@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10: memory-pressure sweep, RNN1 + CPUML.
+ *
+ * RNN1 (latency-critical inference, less bandwidth-sensitive) with
+ * the CPUML low-priority CPU training job swept from 2 to 16
+ * threads under the four configurations:
+ *  (a) RNN1 QPS normalized to standalone,
+ *  (b) RNN1 95%-ile tail latency normalized to standalone,
+ *  (c) CPUML throughput normalized to Baseline with two threads.
+ *
+ * Paper shape: Baseline RNN1 QPS degrades gradually; CT gives ~9%
+ * QPS loss / +13% tail at a small CPUML cost; KP-SD fully protects
+ * RNN1 but costs ~33% CPUML throughput; KP lands at ~5% QPS loss,
+ * +8% tail, and only ~13% CPUML loss.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    const exp::ConfigKind configs[] = {
+        exp::ConfigKind::BL, exp::ConfigKind::CT,
+        exp::ConfigKind::KPSD, exp::ConfigKind::KP};
+
+    exp::RunResult ref = exp::standaloneReference(wl::MlWorkload::Rnn1);
+
+    exp::RunConfig anchor;
+    anchor.ml = wl::MlWorkload::Rnn1;
+    anchor.cpu = wl::CpuWorkload::Cpuml;
+    anchor.cpuThreadsOverride = 2;
+    anchor.config = exp::ConfigKind::BL;
+    double cpuml_ref = exp::runScenario(anchor).cpuThroughput;
+
+    exp::Table qps({"Threads", "BL", "CT", "KP-SD", "KP"});
+    exp::Table tail({"Threads", "BL", "CT", "KP-SD", "KP"});
+    exp::Table tput({"Threads", "BL", "CT", "KP-SD", "KP"});
+
+    for (int threads = 2; threads <= 16; threads += 2) {
+        std::vector<std::string> rq{std::to_string(threads)};
+        std::vector<std::string> rt{std::to_string(threads)};
+        std::vector<std::string> rp{std::to_string(threads)};
+        for (auto kind : configs) {
+            exp::RunConfig cfg = anchor;
+            cfg.cpuThreadsOverride = threads;
+            cfg.config = kind;
+            exp::RunResult r = exp::runScenario(cfg);
+            rq.push_back(exp::fmt(r.mlPerf / ref.mlPerf, 2));
+            rt.push_back(exp::fmt(r.mlTailP95 / ref.mlTailP95, 2));
+            rp.push_back(exp::fmt(r.cpuThroughput / cpuml_ref, 2));
+        }
+        qps.addRow(rq);
+        tail.addRow(rt);
+        tput.addRow(rp);
+    }
+
+    exp::banner("Figure 10a: RNN1 QPS (normalized to standalone)");
+    qps.print();
+    exp::banner("Figure 10b: RNN1 p95 tail latency (normalized to "
+                "standalone)");
+    tail.print();
+    exp::banner("Figure 10c: CPUML throughput (normalized to BL with "
+                "2 threads)");
+    tput.print();
+
+    std::printf("\nPaper averages: CT -9%% QPS / +13%% tail / -5%% "
+                "CPUML; KP-SD ~0%% QPS at -33%% CPUML; KP -5%% QPS / "
+                "+8%% tail / -13%% CPUML.\n");
+    return 0;
+}

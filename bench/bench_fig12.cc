@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 12: runtime parameters of the three isolation mechanisms
+ * for the RNN1 + CPUML sweep (the gentler workload mix).
+ *
+ * Paper shape: less stress on memory bandwidth means less throttling
+ * overall; the vanilla Subdomain configuration achieves enough
+ * isolation without toggling any prefetchers off at low thread
+ * counts; Kelp leaves CPU tasks more cores than CoreThrottle.
+ */
+
+#include <cstdio>
+
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "node/platform.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    node::PlatformSpec spec = node::platformFor(accel::Kind::TpuV1);
+    wl::MlDesc desc = wl::mlDesc(wl::MlWorkload::Rnn1);
+    double ct_max = spec.topo.coresPerSocket - desc.mlCores;
+    double sub = spec.topo.coresPerSocket / 2.0;
+
+    exp::banner("Figure 12: controller parameters, RNN1 + CPUML "
+                "(normalized to each mechanism's maximum)");
+    exp::Table table({"Threads", "CT cores", "KP-SD prefetchers",
+                      "KP cores (lo+backfill)"});
+
+    for (int threads = 2; threads <= 16; threads += 2) {
+        exp::RunConfig cfg;
+        cfg.ml = wl::MlWorkload::Rnn1;
+        cfg.cpu = wl::CpuWorkload::Cpuml;
+        cfg.cpuThreadsOverride = threads;
+
+        cfg.config = exp::ConfigKind::CT;
+        double ct = exp::runScenario(cfg).avgLoCores / ct_max;
+
+        cfg.config = exp::ConfigKind::KPSD;
+        double kpsd = exp::runScenario(cfg).avgLoPrefetchers / sub;
+
+        cfg.config = exp::ConfigKind::KP;
+        exp::RunResult kp = exp::runScenario(cfg);
+        double kp_cores =
+            (kp.avgLoCores + kp.avgHiBackfill) / ct_max;
+
+        table.addRow({std::to_string(threads), exp::fmt(ct, 2),
+                      exp::fmt(kpsd, 2), exp::fmt(kp_cores, 2)});
+    }
+    table.print();
+
+    std::printf("\nPaper shape: gentler mix, less throttling; KP-SD "
+                "keeps most prefetchers on; KP sustains more CPU "
+                "cores than CT.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 13: ML and CPU task performance across the full evaluation
+ * grid -- four ML workloads x three CPU workloads x four
+ * configurations. Left axis: ML slowdown vs. standalone (average =
+ * arithmetic mean). Right axis: CPU workload slowdown vs. Baseline
+ * (average = harmonic mean).
+ *
+ * Paper headlines: vs. Baseline, Kelp cuts ML slowdown ~43% for a
+ * ~24% CPU throughput cost; vs. CoreThrottle, Kelp has ~7% less ML
+ * slowdown at the same CPU throughput; vs. Subdomain, Kelp trades
+ * ~4% ML slowdown for ~19% more CPU throughput.
+ */
+
+#include <cstdio>
+
+#include "exp/evaluation.hh"
+#include "exp/report.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    exp::banner("Figure 13: ML and CPU slowdown, all workload mixes");
+    auto grid = exp::runEvaluationGrid();
+
+    exp::Table table({"Mix", "BL ML", "CT ML", "KP-SD ML", "KP ML",
+                      "BL CPU", "CT CPU", "KP-SD CPU", "KP CPU"});
+
+    double ml_sum[4] = {0, 0, 0, 0};
+    double cpu_inv_sum[4] = {0, 0, 0, 0};
+    for (const auto &r : grid) {
+        std::vector<std::string> row;
+        row.push_back(std::string(wl::mlName(r.mix.ml)) + "+" +
+                      wl::cpuName(r.mix.cpu));
+        for (int i = 0; i < 4; ++i) {
+            row.push_back(exp::fmt(r.mlSlowdown[i], 2));
+            ml_sum[i] += r.mlSlowdown[i];
+        }
+        for (int i = 0; i < 4; ++i) {
+            row.push_back(exp::fmt(r.cpuSlowdown[i], 2));
+            cpu_inv_sum[i] += 1.0 / r.cpuSlowdown[i];
+        }
+        table.addRow(row);
+    }
+
+    double n = static_cast<double>(grid.size());
+    std::vector<std::string> avg{"Average"};
+    double ml_avg[4], cpu_avg[4];
+    for (int i = 0; i < 4; ++i) {
+        ml_avg[i] = ml_sum[i] / n;
+        avg.push_back(exp::fmt(ml_avg[i], 2));
+    }
+    for (int i = 0; i < 4; ++i) {
+        cpu_avg[i] = n / cpu_inv_sum[i];  // harmonic mean
+        avg.push_back(exp::fmt(cpu_avg[i], 2));
+    }
+    table.addRow(avg);
+    table.print();
+
+    // The paper's headline deltas, recomputed from this grid.
+    double kp_vs_bl_ml =
+        (ml_avg[0] - ml_avg[3]) / (ml_avg[0] - 1.0 + 1e-9);
+    double kp_cpu_loss = 1.0 - 1.0 / cpu_avg[3];
+    double kp_vs_ct_ml = (ml_avg[1] - ml_avg[3]) / ml_avg[1];
+    double ct_cpu_loss = 1.0 - 1.0 / cpu_avg[1];
+    double kp_vs_kpsd_ml = (ml_avg[3] - ml_avg[2]) / ml_avg[2];
+    double kpsd_cpu_loss = 1.0 - 1.0 / cpu_avg[2];
+
+    std::printf("\nKP vs BL: ML slowdown reduced %.0f%% (paper ~43%%) "
+                "at %.0f%% CPU throughput loss (paper ~24%%)\n",
+                100.0 * kp_vs_bl_ml, 100.0 * kp_cpu_loss);
+    std::printf("KP vs CT: ML slowdown reduced %.0f%% (paper ~7%%); "
+                "CPU loss KP %.0f%% vs CT %.0f%% (paper: equal)\n",
+                100.0 * kp_vs_ct_ml, 100.0 * kp_cpu_loss,
+                100.0 * ct_cpu_loss);
+    std::printf("KP vs KP-SD: ML slowdown higher by %.0f%% "
+                "(paper ~4%%); CPU loss KP %.0f%% vs KP-SD %.0f%% "
+                "(paper: ~19%% more throughput for KP)\n",
+                100.0 * kp_vs_kpsd_ml, 100.0 * kp_cpu_loss,
+                100.0 * kpsd_cpu_loss);
+    return 0;
+}

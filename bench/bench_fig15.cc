@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 15: workload sensitivity to remote memory interference,
+ * compared against LLC and local-DRAM aggressors (Section VI-A).
+ *
+ * Remote DRAM is the local DRAM aggressor with half its threads and
+ * half its data on the other socket, exercising the inter-processor
+ * link (UPI/QPI). Paper: the Cloud TPU platform is the most
+ * sensitive -- Remote DRAM costs CNN1 an extra ~16% and CNN2 an
+ * extra ~27% beyond local DRAM.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+#include "node/platform.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    exp::banner("Figure 15: sensitivity to remote memory interference "
+                "(normalized performance, Baseline)");
+    exp::Table table({"Workload", "LLC", "DRAM", "Remote DRAM"});
+
+    double extra_cnn1 = 0.0, extra_cnn2 = 0.0;
+    for (auto ml : wl::allMlWorkloads()) {
+        exp::RunResult ref = exp::standaloneReference(ml);
+        wl::MlDesc desc = wl::mlDesc(ml);
+        node::PlatformSpec spec = node::platformFor(desc.platform);
+        int dram_threads = std::min(
+            spec.topo.coresPerSocket - desc.mlCores,
+            wl::saturatingDramThreads(spec.mem.socket.peakBw));
+
+        exp::RunConfig cfg;
+        cfg.ml = ml;
+        cfg.config = exp::ConfigKind::BL;
+
+        cfg.cpu = wl::CpuWorkload::LlcAggressor;
+        double llc = exp::runScenario(cfg).mlPerf / ref.mlPerf;
+
+        cfg.cpu = wl::CpuWorkload::DramAggressor;
+        cfg.cpuThreadsOverride = dram_threads;
+        double dram = exp::runScenario(cfg).mlPerf / ref.mlPerf;
+
+        // Remote DRAM: half the threads and half the dataset on the
+        // remote socket.
+        cfg.aggressorThreadsLocal = 0.5;
+        cfg.aggressorDataLocal = 0.5;
+        double remote = exp::runScenario(cfg).mlPerf / ref.mlPerf;
+
+        table.addRow({wl::mlName(ml), exp::fmt(llc, 2),
+                      exp::fmt(dram, 2), exp::fmt(remote, 2)});
+        if (ml == wl::MlWorkload::Cnn1)
+            extra_cnn1 = dram - remote;
+        if (ml == wl::MlWorkload::Cnn2)
+            extra_cnn2 = dram - remote;
+    }
+    table.print();
+
+    std::printf("\nExtra degradation from remote traffic: CNN1 "
+                "+%.0f%% (paper ~16%%), CNN2 +%.0f%% (paper ~27%%). "
+                "The Cloud TPU platform is the most sensitive.\n",
+                100.0 * extra_cnn1, 100.0 * extra_cnn2);
+    return 0;
+}

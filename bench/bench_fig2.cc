@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 2: distribution of 99th-percentile memory bandwidth across
+ * a production fleet over one day.
+ *
+ * Paper: 16% of profiled servers see 99%-ile bandwidth above 70% of
+ * peak -- wide presence of memory bandwidth saturation, motivating
+ * the whole problem.
+ */
+
+#include <cstdio>
+
+#include "exp/report.hh"
+#include "fleet/fleet.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    fleet::FleetConfig cfg;
+    fleet::FleetResult result = fleet::profileFleet(cfg);
+
+    exp::banner("Figure 2: CDF of per-server 99%-ile memory "
+                "bandwidth (fraction of peak)");
+    exp::Table table({"% of peak BW", "% of machines (CDF)"});
+    for (const auto &[x, y] : result.cdf(11))
+        table.addRow({exp::pct(x, 0), exp::pct(y, 1)});
+    table.print();
+
+    std::printf("\nServers with p99 above 70%% of peak: %s "
+                "(paper: ~16%%)\n",
+                exp::pct(result.fractionAbove(0.70), 1).c_str());
+    return 0;
+}

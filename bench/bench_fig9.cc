@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 9: memory-pressure sweep, CNN1 + Stitch.
+ *
+ * CNN1 (highly sensitive to bandwidth contention) colocated with 1-6
+ * Stitch instances (aggressive bandwidth consumers) under the four
+ * configurations. Figure 9a: CNN1 performance normalized to
+ * standalone. Figure 9b: Stitch throughput normalized to Baseline
+ * with one instance.
+ *
+ * Paper shape: Baseline CNN1 falls by up to 60%; CT recovers some at
+ * a Stitch cost; KP-SD protects CNN1 best but costs Stitch ~25%
+ * throughput; KP is close to KP-SD on CNN1 while keeping Stitch
+ * within ~9% of Baseline.
+ */
+
+#include <cstdio>
+
+#include "exp/report.hh"
+#include "exp/scenario.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    const exp::ConfigKind configs[] = {
+        exp::ConfigKind::BL, exp::ConfigKind::CT,
+        exp::ConfigKind::KPSD, exp::ConfigKind::KP};
+
+    exp::RunResult ref = exp::standaloneReference(wl::MlWorkload::Cnn1);
+
+    // Normalization anchor for Stitch: Baseline with one instance.
+    exp::RunConfig anchor;
+    anchor.ml = wl::MlWorkload::Cnn1;
+    anchor.cpu = wl::CpuWorkload::Stitch;
+    anchor.cpuInstances = 1;
+    anchor.config = exp::ConfigKind::BL;
+    double stitch_ref = exp::runScenario(anchor).cpuThroughput;
+
+    exp::banner("Figure 9a: CNN1 performance (normalized to "
+                "standalone)");
+    exp::Table perf({"Instances", "BL", "CT", "KP-SD", "KP"});
+    exp::banner("collecting...");
+
+    std::vector<std::vector<double>> stitch_rows;
+    for (int inst = 1; inst <= 6; ++inst) {
+        std::vector<std::string> row{std::to_string(inst)};
+        std::vector<double> stitch_row;
+        for (auto kind : configs) {
+            exp::RunConfig cfg = anchor;
+            cfg.cpuInstances = inst;
+            cfg.config = kind;
+            exp::RunResult r = exp::runScenario(cfg);
+            row.push_back(exp::fmt(r.mlPerf / ref.mlPerf, 2));
+            stitch_row.push_back(r.cpuThroughput / stitch_ref);
+        }
+        perf.addRow(row);
+        stitch_rows.push_back(stitch_row);
+    }
+    perf.print();
+
+    exp::banner("Figure 9b: Stitch throughput (normalized to BL with "
+                "1 instance)");
+    exp::Table tput({"Instances", "BL", "CT", "KP-SD", "KP"});
+    for (int inst = 1; inst <= 6; ++inst) {
+        std::vector<std::string> row{std::to_string(inst)};
+        for (double v : stitch_rows[inst - 1])
+            row.push_back(exp::fmt(v, 2));
+        tput.addRow(row);
+    }
+    tput.print();
+
+    std::printf("\nPaper shape: BL CNN1 down to ~0.4 at 6 instances; "
+                "ML ordering BL < CT < KP <= KP-SD; Stitch ordering "
+                "KP-SD < CT <= KP < BL.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): the per-tick cost
+ * of the core model components, to keep the figure benches fast and
+ * catch performance regressions in the simulation kernel.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/llc.hh"
+#include "exp/scenario.hh"
+#include "mem/mem_system.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace kelp;
+
+namespace {
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    sim::Rng rng(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_HistogramAdd(benchmark::State &state)
+{
+    sim::LatencyHistogram hist;
+    sim::Rng rng(42);
+    for (auto _ : state)
+        hist.add(rng.exponential(0.005));
+    benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void
+BM_HistogramPercentile(benchmark::State &state)
+{
+    sim::LatencyHistogram hist;
+    sim::Rng rng(42);
+    for (int i = 0; i < 100000; ++i)
+        hist.add(rng.exponential(0.005));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hist.percentile(95.0));
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void
+BM_LlcApportion(benchmark::State &state)
+{
+    cpu::Llc llc(33.0, 12);
+    std::vector<cpu::LlcRequest> reqs;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+        reqs.push_back({i, 8.0 + i, 1.0 + 0.1 * i, i == 0 ? 3 : 0,
+                        0.8});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(llc.apportion(reqs));
+}
+BENCHMARK(BM_LlcApportion)->Arg(4)->Arg(16);
+
+void
+BM_MemSystemResolve(benchmark::State &state)
+{
+    mem::MemSystemConfig cfg;
+    mem::MemSystem mem(cfg);
+    mem.setSncEnabled(true);
+    int flows = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        mem.beginTick();
+        for (int i = 0; i < flows; ++i) {
+            mem.addFlow(i, {0, i % 2, i % 2 ? 1 : 0, i % 2},
+                        2.0 + i);
+        }
+        mem.resolve(100 * sim::usec);
+        benchmark::DoNotOptimize(mem.grant(0));
+    }
+}
+BENCHMARK(BM_MemSystemResolve)->Arg(4)->Arg(32);
+
+void
+BM_NodeTick(benchmark::State &state)
+{
+    exp::RunConfig cfg;
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 4;
+    cfg.config = exp::ConfigKind::KP;
+    exp::Scenario s = exp::buildScenario(cfg);
+    s.engine->run(1.0);  // settle
+    for (auto _ : state)
+        s.engine->run(100 * sim::usec);
+}
+BENCHMARK(BM_NodeTick);
+
+void
+BM_InferenceTick(benchmark::State &state)
+{
+    exp::RunConfig cfg;
+    cfg.ml = wl::MlWorkload::Rnn1;
+    cfg.cpu = wl::CpuWorkload::Cpuml;
+    cfg.cpuThreadsOverride = 8;
+    cfg.config = exp::ConfigKind::KP;
+    exp::Scenario s = exp::buildScenario(cfg);
+    s.engine->run(1.0);
+    for (auto _ : state)
+        s.engine->run(100 * sim::usec);
+}
+BENCHMARK(BM_InferenceTick);
+
+} // namespace
+
+BENCHMARK_MAIN();

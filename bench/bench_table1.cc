@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table I: accelerated ML platforms and production workloads --
+ * the workload catalog's characteristics, plus the platform
+ * parameters each model runs with.
+ */
+
+#include <cstdio>
+
+#include "exp/report.hh"
+#include "node/platform.hh"
+#include "workload/catalog.hh"
+
+using namespace kelp;
+
+int
+main()
+{
+    exp::banner("Table I: accelerated ML platforms and workloads");
+    exp::Table table({"Workload", "Platform", "Description",
+                      "CPU-Accel Interaction", "CPU Intensity",
+                      "Host Memory Intensity"});
+    for (auto ml : wl::allMlWorkloads()) {
+        wl::MlDesc d = wl::mlDesc(ml);
+        std::string name = d.name +
+            (d.inference ? " Inference" : " Training");
+        table.addRow({name, accel::kindName(d.platform), d.description,
+                      d.interaction, d.cpuIntensity, d.memIntensity});
+    }
+    table.print();
+
+    exp::banner("Platform models");
+    exp::Table plat({"Platform", "Cores/socket", "LLC (MiB)",
+                     "Peak BW (GiB/s)", "Accel TFLOPS",
+                     "Accel mem BW (GiB/s)"});
+    for (auto kind : {accel::Kind::TpuV1, accel::Kind::CloudTpu,
+                      accel::Kind::Gpu}) {
+        node::PlatformSpec p = node::platformFor(kind);
+        plat.addRow({p.name, std::to_string(p.topo.coresPerSocket),
+                     exp::fmt(p.topo.llcMbPerSocket, 1),
+                     exp::fmt(p.mem.socket.peakBw, 1),
+                     exp::fmt(p.accel.peakTflops, 1),
+                     exp::fmt(p.accel.deviceMemBw, 1)});
+    }
+    plat.print();
+    return 0;
+}

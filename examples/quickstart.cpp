@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: colocate an accelerated training job with a bandwidth
+ * aggressor, watch it degrade, then let the Kelp runtime protect it.
+ *
+ * Demonstrates the core public API:
+ *  - build a platform and a Node,
+ *  - place a high-priority ML task and low-priority CPU tasks,
+ *  - run under Baseline vs. full Kelp,
+ *  - read back performance and the controller's decisions.
+ */
+
+#include <cstdio>
+
+#include "exp/scenario.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace kelp;
+
+    // CNN1 on the Cloud TPU platform, colocated with four Stitch
+    // batch instances -- the paper's first case study (Figure 9).
+    exp::RunConfig cfg;
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 4;
+
+    exp::RunResult standalone = exp::standaloneReference(cfg.ml);
+    std::printf("CNN1 standalone: %.2f steps/s\n", standalone.mlPerf);
+
+    cfg.config = exp::ConfigKind::BL;
+    exp::RunResult bl = exp::runScenario(cfg);
+    std::printf("Baseline:  CNN1 %.2f steps/s (%.0f%% of standalone), "
+                "Stitch %.2f units/s, saturation %.2f\n",
+                bl.mlPerf, 100.0 * bl.mlPerf / standalone.mlPerf,
+                bl.cpuThroughput, bl.avgSaturation);
+
+    cfg.config = exp::ConfigKind::KP;
+    exp::RunResult kp = exp::runScenario(cfg);
+    std::printf("Kelp:      CNN1 %.2f steps/s (%.0f%% of standalone), "
+                "Stitch %.2f units/s, saturation %.2f\n",
+                kp.mlPerf, 100.0 * kp.mlPerf / standalone.mlPerf,
+                kp.cpuThroughput, kp.avgSaturation);
+    std::printf("Kelp knobs (time-avg): lo cores %.1f, "
+                "lo prefetchers %.1f, backfill %.1f\n",
+                kp.avgLoCores, kp.avgLoPrefetchers, kp.avgHiBackfill);
+
+    std::printf("\nKelp improved CNN1 by %.0f%% over Baseline at "
+                "%.0f%% of Baseline batch throughput.\n",
+                100.0 * (kp.mlPerf / bl.mlPerf - 1.0),
+                100.0 * kp.cpuThroughput /
+                    std::max(bl.cpuThroughput, 1e-9));
+    return 0;
+}

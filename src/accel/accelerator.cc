@@ -1,0 +1,50 @@
+#include "accel/accelerator.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace accel {
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::TpuV1:
+        return "TPU";
+      case Kind::CloudTpu:
+        return "Cloud TPU";
+      case Kind::Gpu:
+        return "GPU";
+    }
+    return "unknown";
+}
+
+Accelerator::Accelerator(const AcceleratorConfig &cfg)
+    : cfg_(cfg)
+{
+    KELP_ASSERT(cfg.pcieBw > 0.0, "PCIe bandwidth must be positive");
+    KELP_ASSERT(cfg.deviceMemBw > 0.0,
+                "device memory bandwidth must be positive");
+}
+
+sim::Time
+Accelerator::transferTime(double gib) const
+{
+    KELP_ASSERT(gib >= 0.0, "negative transfer size");
+    return gib / cfg_.pcieBw;
+}
+
+void
+Accelerator::recordEngineBusy(double fraction, sim::Time dt)
+{
+    engineUtil_.accumulate(fraction, dt);
+}
+
+void
+Accelerator::recordLinkBusy(double fraction, sim::Time dt)
+{
+    linkUtil_.accumulate(fraction, dt);
+}
+
+} // namespace accel
+} // namespace kelp

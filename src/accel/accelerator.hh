@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Accelerator device model.
+ *
+ * The paper's measurements show the accelerator-side execution (and
+ * its device memory) is *insensitive* to host interference -- only the
+ * CPU-assist phases degrade (Figure 3). Accordingly the device is a
+ * fixed-rate execution engine plus a PCIe link: accelerator-compute
+ * phases take their standalone duration; PCIe transfer phases take
+ * transfer-size / link-bandwidth. The engine is exclusively owned by
+ * one application (Section II-A: no time multiplexing), so there is
+ * no cross-task arbitration -- just utilization accounting.
+ */
+
+#ifndef KELP_ACCEL_ACCELERATOR_HH
+#define KELP_ACCEL_ACCELERATOR_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace accel {
+
+/** The three accelerator platforms studied in the paper (Table I). */
+enum class Kind { TpuV1, CloudTpu, Gpu };
+
+/** Human-readable name of an accelerator kind. */
+const char *kindName(Kind kind);
+
+/** Static description of an accelerator device. */
+struct AcceleratorConfig
+{
+    Kind kind = Kind::TpuV1;
+
+    /** Peak compute throughput, TFLOPS (descriptive; phases carry
+     * their own durations). */
+    double peakTflops = 92.0;
+
+    /** Device memory capacity, GiB. */
+    double deviceMemGb = 8.0;
+
+    /** Device memory bandwidth, GiB/s (the paper's roofline bound). */
+    sim::GiBps deviceMemBw = 34.0;
+
+    /** Host link (PCIe) bandwidth, GiB/s. */
+    sim::GiBps pcieBw = 12.0;
+
+    /** Socket the device is attached to. */
+    sim::SocketId attachedSocket = 0;
+};
+
+/**
+ * One accelerator device: execution-engine and link occupancy
+ * tracking for a single owning application.
+ */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const AcceleratorConfig &cfg);
+
+    const AcceleratorConfig &config() const { return cfg_; }
+    Kind kind() const { return cfg_.kind; }
+    sim::SocketId attachedSocket() const { return cfg_.attachedSocket; }
+
+    /** Time to move the given payload across the host link. */
+    sim::Time transferTime(double gib) const;
+
+    /** Record engine busy fraction over a tick (for utilization). */
+    void recordEngineBusy(double fraction, sim::Time dt);
+
+    /** Record link busy fraction over a tick. */
+    void recordLinkBusy(double fraction, sim::Time dt);
+
+    /** Time-averaged engine utilization accumulator. */
+    const sim::IntervalAccumulator &engineUtil() const
+    {
+        return engineUtil_;
+    }
+
+    /** Time-averaged link utilization accumulator. */
+    const sim::IntervalAccumulator &linkUtil() const
+    {
+        return linkUtil_;
+    }
+
+  private:
+    AcceleratorConfig cfg_;
+    sim::IntervalAccumulator engineUtil_;
+    sim::IntervalAccumulator linkUtil_;
+};
+
+} // namespace accel
+} // namespace kelp
+
+#endif // KELP_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,88 @@
+#include "cpu/llc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace cpu {
+
+Llc::Llc(double size_mb, int ways)
+    : sizeMb_(size_mb), ways_(ways)
+{
+    KELP_ASSERT(size_mb > 0.0, "LLC size must be positive");
+    KELP_ASSERT(ways > 0, "LLC must have at least one way");
+}
+
+double
+Llc::hitRate(double capacity_mb, double footprint_mb, double hit_max)
+{
+    if (footprint_mb <= 0.0)
+        return hit_max;
+    double cover = std::min(capacity_mb / footprint_mb, 1.0);
+    // Square-root curve: early capacity captures hot lines first.
+    return hit_max * std::sqrt(std::max(cover, 0.0));
+}
+
+std::unordered_map<int, LlcShare>
+Llc::apportion(const std::vector<LlcRequest> &requests) const
+{
+    std::unordered_map<int, LlcShare> out;
+
+    int dedicated_ways = 0;
+    for (const auto &r : requests)
+        dedicated_ways += std::max(r.dedicatedWays, 0);
+    KELP_ASSERT(dedicated_ways <= ways_,
+                "dedicated CAT ways exceed LLC associativity");
+
+    double shared_pool = (ways_ - dedicated_ways) * wayMb();
+
+    // First pass: dedicated groups take their partitions; shared
+    // groups register weighted claims capped by footprint.
+    double total_weight = 0.0;
+    for (const auto &r : requests) {
+        if (r.dedicatedWays > 0) {
+            double cap = r.dedicatedWays * wayMb();
+            out[r.group] = {cap, hitRate(cap, r.footprintMb, r.hitMax)};
+        } else {
+            total_weight += std::max(r.weight, 0.0);
+        }
+    }
+
+    // Second pass with one redistribution round: groups whose
+    // footprint is smaller than their fair share release the excess
+    // to the remaining competitors.
+    double pool = shared_pool;
+    double weight_left = total_weight;
+    std::vector<const LlcRequest *> pending;
+    for (const auto &r : requests)
+        if (r.dedicatedWays <= 0)
+            pending.push_back(&r);
+
+    // Satisfy small-footprint groups first so redistribution is
+    // deterministic regardless of request order.
+    std::sort(pending.begin(), pending.end(),
+              [](const LlcRequest *a, const LlcRequest *b) {
+                  if (a->footprintMb != b->footprintMb)
+                      return a->footprintMb < b->footprintMb;
+                  return a->group < b->group;
+              });
+
+    for (const auto *r : pending) {
+        double w = std::max(r->weight, 0.0);
+        double fair = weight_left > 0.0 ? pool * w / weight_left : 0.0;
+        double cap = std::min(fair, std::max(r->footprintMb, 0.0));
+        // A zero-weight group still gets to cache in an empty pool.
+        if (total_weight <= 0.0)
+            cap = std::min(pool, std::max(r->footprintMb, 0.0));
+        out[r->group] = {cap, hitRate(cap, r->footprintMb, r->hitMax)};
+        pool -= cap;
+        weight_left -= w;
+    }
+
+    return out;
+}
+
+} // namespace cpu
+} // namespace kelp

@@ -1,0 +1,28 @@
+#include "cpu/prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace cpu {
+
+double
+prefetchTrafficFactor(const PrefetchParams &p, double enabled_frac)
+{
+    KELP_ASSERT(p.trafficBoost >= 0.0, "negative prefetch boost");
+    double f = std::clamp(enabled_frac, 0.0, 1.0);
+    return (1.0 + p.trafficBoost * f) / (1.0 + p.trafficBoost);
+}
+
+double
+prefetchStallFactor(const PrefetchParams &p, double enabled_frac)
+{
+    KELP_ASSERT(p.stallHide >= 0.0 && p.stallHide < 1.0,
+                "stall hide must be in [0, 1)");
+    double f = std::clamp(enabled_frac, 0.0, 1.0);
+    return (1.0 - p.stallHide * f) / (1.0 - p.stallHide);
+}
+
+} // namespace cpu
+} // namespace kelp

@@ -1,0 +1,22 @@
+#include "cpu/topology.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace cpu {
+
+Topology::Topology(const TopologyConfig &cfg)
+    : cfg_(cfg)
+{
+    KELP_ASSERT(cfg.sockets >= 1, "need at least one socket");
+    KELP_ASSERT(cfg.coresPerSocket >= 2 && cfg.coresPerSocket % 2 == 0,
+                "cores per socket must be even (subdomain split)");
+    KELP_ASSERT(cfg.llcWays >= 2 && cfg.llcWays % 2 == 0,
+                "LLC ways must be even (subdomain split)");
+    KELP_ASSERT(cfg.llcMbPerSocket > 0.0, "LLC size must be positive");
+    KELP_ASSERT(cfg.smtSiblingFactor > 0.0 && cfg.smtSiblingFactor <= 1.0,
+                "SMT sibling factor must be in (0, 1]");
+}
+
+} // namespace cpu
+} // namespace kelp

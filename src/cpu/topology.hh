@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CPU topology description: sockets, cores, and the core->subdomain
+ * mapping used when NUMA subdomains are enabled.
+ *
+ * Cores are modeled as allocation counts, not individual objects: the
+ * experiments and the Kelp runtime operate purely on "how many cores
+ * does group G hold in subdomain D", which is exactly the granularity
+ * of the CPU-mask knob the paper's runtime manipulates.
+ */
+
+#ifndef KELP_CPU_TOPOLOGY_HH
+#define KELP_CPU_TOPOLOGY_HH
+
+#include "sim/types.hh"
+
+namespace kelp {
+namespace cpu {
+
+/** Node CPU topology parameters. */
+struct TopologyConfig
+{
+    int sockets = 2;
+    int coresPerSocket = 16;
+
+    /** LLC capacity per socket, MiB. */
+    double llcMbPerSocket = 32.0;
+
+    /** LLC associativity (CAT partition granularity) per socket. */
+    int llcWays = 16;
+
+    /**
+     * SMT throughput factor: relative throughput of one hardware
+     * thread when its sibling is busy. SMT is enabled in all of the
+     * paper's experiments; the synthetic LLC aggressor contends for
+     * in-pipeline resources through it.
+     */
+    double smtSiblingFactor = 0.65;
+};
+
+/** Immutable topology with subdomain arithmetic helpers. */
+class Topology
+{
+  public:
+    explicit Topology(const TopologyConfig &cfg);
+
+    const TopologyConfig &config() const { return cfg_; }
+
+    int sockets() const { return cfg_.sockets; }
+    int coresPerSocket() const { return cfg_.coresPerSocket; }
+
+    /** Cores in one NUMA subdomain (half a socket). */
+    int coresPerSubdomain() const { return cfg_.coresPerSocket / 2; }
+
+    /** Total cores across the node. */
+    int totalCores() const { return cfg_.sockets * cfg_.coresPerSocket; }
+
+    /** LLC size of one subdomain under SNC, MiB. */
+    double llcMbPerSubdomain() const { return cfg_.llcMbPerSocket / 2; }
+
+    /** LLC ways of one subdomain under SNC. */
+    int llcWaysPerSubdomain() const { return cfg_.llcWays / 2; }
+
+  private:
+    TopologyConfig cfg_;
+};
+
+} // namespace cpu
+} // namespace kelp
+
+#endif // KELP_CPU_TOPOLOGY_HH

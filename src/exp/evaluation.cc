@@ -1,0 +1,124 @@
+#include "exp/evaluation.hh"
+
+#include <cstdio>
+
+#include "node/platform.hh"
+#include "sim/log.hh"
+
+namespace kelp {
+namespace exp {
+
+int
+configIndex(ConfigKind kind)
+{
+    switch (kind) {
+      case ConfigKind::BL:
+        return 0;
+      case ConfigKind::CT:
+        return 1;
+      case ConfigKind::KPSD:
+        return 2;
+      case ConfigKind::KP:
+        return 3;
+      case ConfigKind::FG:
+        break;
+    }
+    sim::panic("config not part of the evaluation grid");
+}
+
+std::vector<Mix>
+evaluationMixes()
+{
+    std::vector<Mix> mixes;
+    for (auto ml : wl::allMlWorkloads()) {
+        wl::MlDesc desc = wl::mlDesc(ml);
+        node::PlatformSpec spec = node::platformFor(desc.platform);
+        int half = spec.topo.coresPerSocket / 2;
+        int spare = spec.topo.coresPerSocket - desc.mlCores;
+        for (auto cpu : wl::evaluationCpuWorkloads()) {
+            Mix m;
+            m.ml = ml;
+            m.cpu = cpu;
+            switch (cpu) {
+              case wl::CpuWorkload::Stream:
+                // Streaming threads on every core the ML task does
+                // not hold: the heaviest mix.
+                m.cpuInstances = spare;
+                break;
+              case wl::CpuWorkload::Stitch:
+                m.cpuInstances = 4;  // 16 threads
+                break;
+              case wl::CpuWorkload::Cpuml:
+                m.cpuThreadsOverride = half;
+                m.cpuInstances = half;
+                break;
+              default:
+                sim::panic("unexpected evaluation CPU workload");
+            }
+            mixes.push_back(m);
+        }
+    }
+    return mixes;
+}
+
+MixResult
+runMix(const Mix &mix)
+{
+    const ConfigKind kinds[] = {ConfigKind::BL, ConfigKind::CT,
+                                ConfigKind::KPSD, ConfigKind::KP};
+    MixResult out;
+    out.mix = mix;
+
+    RunResult ref = standaloneReference(mix.ml);
+    for (ConfigKind kind : kinds) {
+        RunConfig cfg;
+        cfg.ml = mix.ml;
+        cfg.cpu = mix.cpu;
+        cfg.cpuInstances = mix.cpuInstances;
+        cfg.cpuThreadsOverride = mix.cpuThreadsOverride;
+        cfg.config = kind;
+        RunResult r = runScenario(cfg);
+        int i = configIndex(kind);
+        out.mlPerf[i] = r.mlPerf;
+        out.cpuTput[i] = r.cpuThroughput;
+        out.mlSlowdown[i] =
+            r.mlPerf > 0.0 ? ref.mlPerf / r.mlPerf : 1e9;
+    }
+    double bl_tput = out.cpuTput[0];
+    for (int i = 0; i < 4; ++i) {
+        out.cpuSlowdown[i] = out.cpuTput[i] > 0.0 ?
+            bl_tput / out.cpuTput[i] : 1e9;
+    }
+    return out;
+}
+
+std::vector<MixResult>
+runEvaluationGrid(bool verbose)
+{
+    std::vector<MixResult> results;
+    for (const Mix &mix : evaluationMixes()) {
+        if (verbose) {
+            std::printf("  running %s + %s ...\n", wl::mlName(mix.ml),
+                        wl::cpuName(mix.cpu));
+            std::fflush(stdout);
+        }
+        results.push_back(runMix(mix));
+    }
+    return results;
+}
+
+double
+efficiency(const MixResult &r, ConfigKind kind)
+{
+    int i = configIndex(kind);
+    double ml_gain = r.mlPerf[0] > 0.0 ?
+        r.mlPerf[i] / r.mlPerf[0] - 1.0 : 0.0;
+    double cpu_loss = r.cpuTput[0] > 0.0 ?
+        1.0 - r.cpuTput[i] / r.cpuTput[0] : 0.0;
+    if (cpu_loss < 1e-3)
+        return ml_gain > 0.0 ? 99.0 : 0.0;
+    return ml_gain / cpu_loss;
+}
+
+} // namespace exp
+} // namespace kelp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The paper's full evaluation grid (Section V-C): every ML workload
+ * colocated with every CPU workload under every configuration, with
+ * the slowdown/efficiency summary statistics of Figures 13 and 14.
+ */
+
+#ifndef KELP_EXP_EVALUATION_HH
+#define KELP_EXP_EVALUATION_HH
+
+#include <vector>
+
+#include "exp/scenario.hh"
+
+namespace kelp {
+namespace exp {
+
+/** One workload mix of the evaluation grid. */
+struct Mix
+{
+    wl::MlWorkload ml;
+    wl::CpuWorkload cpu;
+
+    /** Instances/threads for the CPU workload (RunConfig semantics). */
+    int cpuInstances = 1;
+    int cpuThreadsOverride = 0;
+};
+
+/** Results for one mix across the four configurations. */
+struct MixResult
+{
+    Mix mix;
+
+    /** ML slowdown per config (standalone perf / achieved perf). */
+    double mlSlowdown[4] = {1, 1, 1, 1};
+
+    /** CPU slowdown per config (Baseline tput / achieved tput). */
+    double cpuSlowdown[4] = {1, 1, 1, 1};
+
+    /** Raw performance per config. */
+    double mlPerf[4] = {0, 0, 0, 0};
+    double cpuTput[4] = {0, 0, 0, 0};
+};
+
+/** Index of a ConfigKind within the MixResult arrays. */
+int configIndex(ConfigKind kind);
+
+/** The 12 mixes of the paper's evaluation (4 ML x 3 CPU), with
+ * representative load levels per platform. */
+std::vector<Mix> evaluationMixes();
+
+/** Run one mix across BL/CT/KP-SD/KP. */
+MixResult runMix(const Mix &mix);
+
+/** Run the full grid (12 mixes x 4 configurations). */
+std::vector<MixResult> runEvaluationGrid(bool verbose = true);
+
+/**
+ * Efficiency metric (Section V-C): ML performance gain over Baseline
+ * per unit of CPU throughput loss vs. Baseline. Higher is better;
+ * returns a large sentinel when CPU loss is ~zero.
+ */
+double efficiency(const MixResult &r, ConfigKind kind);
+
+} // namespace exp
+} // namespace kelp
+
+#endif // KELP_EXP_EVALUATION_HH

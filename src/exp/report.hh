@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text reporting helpers shared by the bench binaries: aligned
+ * tables for the paper's figures ("rows/series"), with a consistent
+ * look across all experiments.
+ */
+
+#ifndef KELP_EXP_REPORT_HH
+#define KELP_EXP_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace kelp {
+namespace exp {
+
+/** An aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string fmt(double v, int precision = 3);
+
+/** Format as a percentage ("42.0%"). */
+std::string pct(double fraction, int precision = 1);
+
+/** Print a figure/table banner. */
+void banner(const std::string &title);
+
+} // namespace exp
+} // namespace kelp
+
+#endif // KELP_EXP_REPORT_HH

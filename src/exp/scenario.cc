@@ -1,0 +1,367 @@
+#include "exp/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "hal/counters.hh"
+#include "kelp/baseline.hh"
+#include "kelp/core_throttle.hh"
+#include "kelp/kelp_controller.hh"
+#include "kelp/profile.hh"
+#include "node/platform.hh"
+#include "sim/log.hh"
+
+namespace kelp {
+namespace exp {
+
+const char *
+configName(ConfigKind kind)
+{
+    switch (kind) {
+      case ConfigKind::BL:
+        return "BL";
+      case ConfigKind::CT:
+        return "CT";
+      case ConfigKind::KPSD:
+        return "KP-SD";
+      case ConfigKind::KP:
+        return "KP";
+      case ConfigKind::FG:
+        return "FG";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Dedicated CAT ways for the ML task in a domain of `ways` ways. */
+int
+mlCatWays(int domain_ways)
+{
+    return std::max(2, static_cast<int>(domain_ways * 0.5));
+}
+
+/** Create the ML task of a scenario. */
+void
+placeMlTask(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
+{
+    if (desc.inference) {
+        wl::InferConfig infer = desc.infer;
+        infer.serial = cfg.serialInference;
+        if (cfg.openLoopQps > 0.0) {
+            infer.closedLoop = false;
+            infer.targetQps = cfg.openLoopQps;
+            infer.pipelineDepth = 4;
+        }
+        auto task = std::make_unique<wl::MlInferTask>(
+            desc.name, s.mlGroup, infer,
+            &s.node->accelerator(), cfg.seed);
+        s.inferTask = &s.node->add(std::move(task));
+        s.mlTask = s.inferTask;
+    } else {
+        auto task = std::make_unique<wl::MlTrainTask>(
+            desc.name, s.mlGroup, desc.step, &s.node->accelerator());
+        s.mlTask = &s.node->add(std::move(task));
+    }
+    s.mlTask->setHomeSocket(0);
+}
+
+/** Create the colocated CPU tasks of a scenario. */
+void
+placeCpuTasks(Scenario &s, const RunConfig &cfg)
+{
+    if (!cfg.cpu)
+        return;
+    wl::CpuWorkload kind = *cfg.cpu;
+    double llc_mb = s.node->topology().config().llcMbPerSocket;
+    wl::HostPhaseParams params = wl::cpuParams(kind, llc_mb);
+
+    auto add_batch = [&](const std::string &name, int threads,
+                         sim::SocketId socket) -> wl::BatchTask * {
+        if (threads <= 0)
+            return nullptr;
+        auto t = std::make_unique<wl::BatchTask>(name, s.cpuGroup,
+                                                 threads, params);
+        wl::BatchTask &ref = s.node->add(std::move(t));
+        ref.setHomeSocket(socket);
+        s.cpuTasks.push_back(&ref);
+        return &ref;
+    };
+
+    switch (kind) {
+      case wl::CpuWorkload::Stitch:
+      case wl::CpuWorkload::Stream: {
+        int per = wl::threadsPerInstance(kind);
+        for (int i = 0; i < cfg.cpuInstances; ++i) {
+            add_batch(std::string(wl::cpuName(kind)) + "." +
+                          std::to_string(i),
+                      per, 0);
+        }
+        break;
+      }
+      case wl::CpuWorkload::Cpuml: {
+        int threads = cfg.cpuThreadsOverride > 0 ?
+            cfg.cpuThreadsOverride : cfg.cpuInstances;
+        add_batch("CPUML", threads, 0);
+        break;
+      }
+      case wl::CpuWorkload::LlcAggressor: {
+        // Oversubscribed threads exercise SMT/pipeline contention
+        // alongside cache occupancy (Section III-B).
+        int threads = cfg.cpuThreadsOverride > 0 ?
+            cfg.cpuThreadsOverride :
+            s.node->topology().coresPerSocket() * 5 / 4;
+        add_batch("LLC-aggressor", threads, 0);
+        break;
+      }
+      case wl::CpuWorkload::DramAggressor: {
+        int threads = cfg.cpuThreadsOverride > 0 ?
+            cfg.cpuThreadsOverride :
+            wl::aggressorThreads(
+                cfg.aggressorLevel,
+                s.node->spec().mem.socket.peakBw / 2.0);
+        int local = static_cast<int>(
+            std::lround(threads * cfg.aggressorThreadsLocal));
+        local = std::clamp(local, 0, threads);
+        wl::BatchTask *t0 =
+            add_batch("DRAM-aggressor.local", local, 0);
+        wl::BatchTask *t1 =
+            add_batch("DRAM-aggressor.remote", threads - local, 1);
+        // Data split across sockets (Remote DRAM experiments).
+        if (cfg.aggressorDataLocal < 1.0 || threads - local > 0) {
+            std::vector<wl::DataShare> placement;
+            if (cfg.aggressorDataLocal > 0.0) {
+                placement.push_back(
+                    {0, 1, cfg.aggressorDataLocal});
+            }
+            if (cfg.aggressorDataLocal < 1.0) {
+                placement.push_back(
+                    {1, 1, 1.0 - cfg.aggressorDataLocal});
+            }
+            if (t0)
+                t0->setDataPlacement(placement);
+            if (t1)
+                t1->setDataPlacement(placement);
+        }
+        break;
+      }
+    }
+}
+
+/** Total threads the low-priority tasks want on socket 0. */
+int
+cpuThreadsOnMlSocket(const Scenario &s)
+{
+    int threads = 0;
+    for (const auto *t : s.cpuTasks)
+        if (t->homeSocket() == 0)
+            threads += t->threadsWanted();
+    return threads;
+}
+
+/** Apply the per-configuration placement and controller. */
+void
+configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
+{
+    node::Node &node = *s.node;
+    hal::ResourceKnobs &knobs = node.knobs();
+    const cpu::Topology &topo = node.topology();
+    int ml_cores = desc.mlCores;
+    int per_socket = topo.coresPerSocket();
+    int per_sub = topo.coresPerSubdomain();
+
+    runtime::Bindings bind{&node, s.mlGroup, s.cpuGroup, 0};
+    runtime::AppProfile profile =
+        runtime::defaultProfile(cfg.ml, node.spec());
+
+    std::unique_ptr<runtime::Controller> controller;
+
+    switch (cfg.config) {
+      case ConfigKind::BL:
+        // Everything floats; contention is unmanaged.
+        node.setSncEnabled(false);
+        controller = std::make_unique<runtime::BaselineController>(bind);
+        break;
+
+      case ConfigKind::FG: {
+        // Section VI-D what-if: request-priority memory controllers
+        // plus per-priority backpressure (Section VI-C). Static
+        // placement, no software feedback loop at all.
+        node.setSncEnabled(false);
+        node.memSystem().setArbitration(
+            mem::Arbitration::RequestPriority);
+        node.setPriorityAwareBackpressure(true);
+        knobs.setCores(s.mlGroup, 0, 0, (ml_cores + 1) / 2);
+        knobs.setCores(s.mlGroup, 0, 1, ml_cores / 2);
+        knobs.setPrefetchersEnabled(s.mlGroup, ml_cores);
+        knobs.setCatWays(s.mlGroup, mlCatWays(topo.config().llcWays));
+        if (s.cpuGroup != sim::invalidId && !s.cpuTasks.empty()) {
+            int cpu_cores = per_socket - ml_cores;
+            knobs.setCores(s.cpuGroup, 0, 0, (cpu_cores + 1) / 2);
+            knobs.setCores(s.cpuGroup, 0, 1, cpu_cores / 2);
+            knobs.setPrefetchersEnabled(s.cpuGroup, cpu_cores);
+        }
+        break;
+      }
+
+      case ConfigKind::CT: {
+        node.setSncEnabled(false);
+        // ML task: pinned cores spread across the socket + dedicated
+        // LLC partition via CAT.
+        knobs.setCores(s.mlGroup, 0, 0, (ml_cores + 1) / 2);
+        knobs.setCores(s.mlGroup, 0, 1, ml_cores / 2);
+        knobs.setPrefetchersEnabled(s.mlGroup, ml_cores);
+        knobs.setCatWays(s.mlGroup, mlCatWays(topo.config().llcWays));
+        int max_cores = per_socket - ml_cores;
+        if (s.cpuGroup != sim::invalidId && !s.cpuTasks.empty()) {
+            controller =
+                std::make_unique<runtime::CoreThrottleController>(
+                    bind,
+                    runtime::coreThrottleProfile(cfg.ml, node.spec()),
+                    1, max_cores, max_cores);
+        }
+        break;
+      }
+
+      case ConfigKind::KPSD:
+      case ConfigKind::KP: {
+        node.setSncEnabled(true);
+        // ML task owns the high-priority subdomain (0) with a CAT
+        // partition in that subdomain's LLC.
+        knobs.setCores(s.mlGroup, 0, 0, ml_cores);
+        knobs.setPrefetchersEnabled(s.mlGroup, ml_cores);
+        knobs.setCatWays(s.mlGroup,
+                         mlCatWays(topo.llcWaysPerSubdomain()));
+
+        if (s.cpuGroup != sim::invalidId && !s.cpuTasks.empty()) {
+            runtime::ConfigLimits limits;
+            limits.minCoreL = 1;
+            limits.maxCoreL = per_sub;
+            limits.minCoreH = 0;
+            limits.maxCoreH = cfg.config == ConfigKind::KP ?
+                per_sub - ml_cores : 0;
+
+            runtime::ResourceState initial;
+            initial.coreNumL = std::min(
+                per_sub,
+                std::max(1, cpuThreadsOnMlSocket(s)));
+            initial.prefetcherNumL = initial.coreNumL;
+            initial.coreNumH = 0;
+
+            if (cfg.forcedPrefetcherFraction >= 0.0) {
+                // Hardware-mechanism sweep (Figure 7): fixed knobs,
+                // no controller.
+                knobs.setCores(s.cpuGroup, 0, 1, initial.coreNumL);
+                int enabled = static_cast<int>(std::lround(
+                    cfg.forcedPrefetcherFraction * initial.coreNumL));
+                knobs.setPrefetchersEnabled(s.cpuGroup, enabled);
+            } else {
+                controller =
+                    std::make_unique<runtime::KelpController>(
+                        bind, profile, limits, initial);
+            }
+        }
+        break;
+      }
+    }
+
+    if (controller) {
+        s.manager = std::make_unique<runtime::RuntimeManager>(
+            std::move(controller), cfg.samplePeriod);
+        s.manager->attach(*s.engine);
+    }
+}
+
+} // namespace
+
+Scenario
+buildScenario(const RunConfig &cfg)
+{
+    Scenario s;
+    wl::MlDesc desc = wl::mlDesc(cfg.ml);
+    node::PlatformSpec spec = node::platformFor(desc.platform);
+
+    s.node = std::make_unique<node::Node>(spec);
+    s.engine = std::make_unique<sim::Engine>(cfg.tick);
+
+    s.mlGroup =
+        s.node->groups().create("ml", hal::Priority::High).id();
+    s.cpuGroup =
+        s.node->groups().create("batch", hal::Priority::Low).id();
+
+    placeMlTask(s, desc, cfg);
+    placeCpuTasks(s, cfg);
+    configure(s, desc, cfg);
+
+    s.node->attach(*s.engine);
+    return s;
+}
+
+RunResult
+runScenario(const RunConfig &cfg)
+{
+    Scenario s = buildScenario(cfg);
+
+    s.engine->run(cfg.warmup);
+
+    // Start the measurement window.
+    double ml_work0 = s.mlTask->completedWork();
+    std::vector<double> cpu_work0;
+    for (const auto *t : s.cpuTasks)
+        cpu_work0.push_back(t->completedWork());
+    if (s.inferTask)
+        s.inferTask->resetLatency();
+    hal::PerfCounters counters(s.node->memSystem());
+    counters.sample(0);  // reset the window cursor
+
+    s.engine->run(cfg.measure);
+
+    RunResult r;
+    r.mlPerf =
+        (s.mlTask->completedWork() - ml_work0) / cfg.measure;
+    if (s.inferTask)
+        r.mlTailP95 = s.inferTask->latency().percentile(95.0);
+    for (size_t i = 0; i < s.cpuTasks.size(); ++i) {
+        r.cpuThroughput +=
+            (s.cpuTasks[i]->completedWork() - cpu_work0[i]) /
+            cfg.measure;
+    }
+    if (s.manager) {
+        r.avgLoCores = s.manager->avgLoCores();
+        r.avgLoPrefetchers = s.manager->avgLoPrefetchers();
+        r.avgHiBackfill = s.manager->avgHiBackfill();
+    }
+    hal::CounterSample cs = counters.sample(0);
+    r.avgSaturation = cs.saturation;
+    r.avgSocketBw = cs.socketBw;
+    return r;
+}
+
+RunResult
+standaloneReference(wl::MlWorkload ml)
+{
+    static std::map<wl::MlWorkload, RunResult> cache;
+    auto it = cache.find(ml);
+    if (it != cache.end())
+        return it->second;
+
+    RunConfig cfg;
+    cfg.ml = ml;
+    cfg.config = ConfigKind::BL;
+    cfg.cpu.reset();
+    RunResult r = runScenario(cfg);
+    cache[ml] = r;
+    return r;
+}
+
+double
+baselineCpuThroughput(const RunConfig &cfg)
+{
+    RunConfig bl = cfg;
+    bl.config = ConfigKind::BL;
+    return runScenario(bl).cpuThroughput;
+}
+
+} // namespace exp
+} // namespace kelp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Scenario builder and runner: assembles a node for one workload mix
+ * under one of the four evaluated configurations (Section V-A),
+ * runs it with warmup, and reports normalized metrics.
+ *
+ *  - BL    Baseline: priorities declared, contention unmanaged.
+ *  - CT    CoreThrottle: CAT partition for the ML task + feedback
+ *          core-count throttling of low-priority tasks (prior work).
+ *  - KP-SD Kelp Subdomain: NUMA subdomains + prefetcher toggling.
+ *  - KP    Full Kelp: KP-SD + backfilling the high-priority
+ *          subdomain, managed by Algorithms 1 and 2.
+ */
+
+#ifndef KELP_EXP_SCENARIO_HH
+#define KELP_EXP_SCENARIO_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kelp/manager.hh"
+#include "node/node.hh"
+#include "sim/engine.hh"
+#include "workload/batch_task.hh"
+#include "workload/catalog.hh"
+#include "workload/ml_infer_task.hh"
+#include "workload/ml_train_task.hh"
+
+namespace kelp {
+namespace exp {
+
+/**
+ * The four evaluated runtime configurations, plus FG: the
+ * fine-grained hardware memory-QoS what-if of Section VI-D
+ * (request-priority memory controllers + priority-aware
+ * backpressure), used by the ablation bench to estimate the headroom
+ * the paper projects for future hardware.
+ */
+enum class ConfigKind { BL, CT, KPSD, KP, FG };
+
+const char *configName(ConfigKind kind);
+
+/** Everything that defines one experimental run. */
+struct RunConfig
+{
+    wl::MlWorkload ml = wl::MlWorkload::Cnn1;
+    ConfigKind config = ConfigKind::BL;
+
+    /** Colocated CPU workload; nullopt = standalone. */
+    std::optional<wl::CpuWorkload> cpu;
+
+    /** Instances of the CPU workload (threads follow the catalog's
+     * threads-per-instance). */
+    int cpuInstances = 1;
+
+    /** For CPUML-style sweeps: total threads instead of instances. */
+    int cpuThreadsOverride = 0;
+
+    /** Synthetic-aggressor level (DramAggressor only). */
+    wl::AggressorLevel aggressorLevel = wl::AggressorLevel::High;
+
+    /** Fraction of aggressor data on the ML task's socket. */
+    double aggressorDataLocal = 1.0;
+
+    /** Fraction of aggressor threads on the ML task's socket. */
+    double aggressorThreadsLocal = 1.0;
+
+    /** Fraction of low-priority prefetchers force-enabled; negative
+     * leaves the controller in charge (Figure 7 sweeps this with the
+     * controller replaced by a fixed setting). */
+    double forcedPrefetcherFraction = -1.0;
+
+    /** Serial single-request inference mode (Figure 3 trace). */
+    bool serialInference = false;
+
+    /** Non-zero: replace the inference server's closed-loop load
+     * generation with open-loop Poisson arrivals at this rate
+     * (knee-sweep experiments). */
+    double openLoopQps = 0.0;
+
+    /** Simulation timing. */
+    sim::Time tick = 100 * sim::usec;
+    sim::Time warmup = 80.0;
+    sim::Time measure = 60.0;
+    sim::Time samplePeriod = 4.0;
+
+    uint64_t seed = 12345;
+};
+
+/** Normalized results of a run. */
+struct RunResult
+{
+    /** ML performance: steps/s (training) or QPS (inference). */
+    double mlPerf = 0.0;
+
+    /** p95 request latency, seconds (inference only; 0 otherwise). */
+    double mlTailP95 = 0.0;
+
+    /** Aggregate CPU-task throughput, standalone thread-seconds/s. */
+    double cpuThroughput = 0.0;
+
+    /** Controller parameter time-averages (Figures 11/12). */
+    double avgLoCores = 0.0;
+    double avgLoPrefetchers = 0.0;
+    double avgHiBackfill = 0.0;
+
+    /** Mean memory saturation over the measurement window. */
+    double avgSaturation = 0.0;
+
+    /** Mean socket bandwidth over the measurement window, GiB/s. */
+    double avgSocketBw = 0.0;
+};
+
+/**
+ * A fully-assembled scenario, exposed so tests and special-purpose
+ * experiments (timeline traces, what-ifs) can drive the pieces
+ * directly.
+ */
+struct Scenario
+{
+    std::unique_ptr<node::Node> node;
+    std::unique_ptr<sim::Engine> engine;
+    std::unique_ptr<runtime::RuntimeManager> manager;
+
+    wl::Task *mlTask = nullptr;
+    wl::MlInferTask *inferTask = nullptr;
+    std::vector<wl::BatchTask *> cpuTasks;
+
+    sim::GroupId mlGroup = sim::invalidId;
+    sim::GroupId cpuGroup = sim::invalidId;
+};
+
+/** Build a scenario without running it. */
+Scenario buildScenario(const RunConfig &cfg);
+
+/** Build, warm up, measure, and summarize. */
+RunResult runScenario(const RunConfig &cfg);
+
+/**
+ * Standalone ML performance (and p95 tail) for normalization,
+ * memoized per workload within the process.
+ */
+RunResult standaloneReference(wl::MlWorkload ml);
+
+/**
+ * Baseline CPU throughput for a mix at given instance count, used as
+ * the CPU-side normalization anchor in the figure benches.
+ */
+double baselineCpuThroughput(const RunConfig &cfg);
+
+} // namespace exp
+} // namespace kelp
+
+#endif // KELP_EXP_SCENARIO_HH

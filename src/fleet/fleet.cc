@@ -1,0 +1,135 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+
+namespace kelp {
+namespace fleet {
+
+FleetResult::FleetResult(std::vector<double> p99_per_server)
+    : p99_(std::move(p99_per_server))
+{
+    std::sort(p99_.begin(), p99_.end());
+}
+
+double
+FleetResult::fractionAbove(double peak_fraction) const
+{
+    if (p99_.empty())
+        return 0.0;
+    auto it = std::upper_bound(p99_.begin(), p99_.end(), peak_fraction);
+    return static_cast<double>(p99_.end() - it) /
+           static_cast<double>(p99_.size());
+}
+
+std::vector<std::pair<double, double>>
+FleetResult::cdf(int points) const
+{
+    KELP_ASSERT(points >= 2, "need at least two CDF points");
+    std::vector<std::pair<double, double>> rows;
+    for (int i = 0; i < points; ++i) {
+        double x = static_cast<double>(i) / (points - 1);
+        rows.emplace_back(x, 1.0 - fractionAbove(x));
+    }
+    return rows;
+}
+
+namespace {
+
+/** Per-task state within one simulated server. */
+struct FleetTask
+{
+    double peakDemand = 0.0;  ///< GiB/s at full activity.
+    double phase = 0.0;       ///< Diurnal phase offset.
+    double activity = 0.5;    ///< Random-walked activity level.
+    double burstiness = 0.2;  ///< Random-walk step scale.
+};
+
+} // namespace
+
+FleetResult
+profileFleet(const FleetConfig &cfg)
+{
+    KELP_ASSERT(cfg.servers > 0 && cfg.samplesPerDay > 1,
+                "bad fleet configuration");
+    sim::Rng rng(cfg.seed);
+
+    // Batch-task archetypes drawn from the catalog: bandwidth per
+    // core at full activity. Weights reflect a WSC mix: mostly
+    // moderate tasks, a minority of streaming bandwidth hogs
+    // [Kanev'15-style heterogeneity].
+    struct Archetype { wl::CpuWorkload kind; double weight; };
+    const Archetype archetypes[] = {
+        {wl::CpuWorkload::Cpuml, 0.45},
+        {wl::CpuWorkload::Stitch, 0.35},
+        {wl::CpuWorkload::Stream, 0.20},
+    };
+
+    std::vector<double> p99_per_server;
+    p99_per_server.reserve(cfg.servers);
+
+    for (int s = 0; s < cfg.servers; ++s) {
+        sim::Rng srng = rng.split(s + 1);
+
+        // Server population: total threads up to ~1.5x cores
+        // (overcommit), split across a handful of jobs.
+        int jobs = 2 + static_cast<int>(srng.below(8));
+        std::vector<FleetTask> tasks;
+        int threads_left = static_cast<int>(
+            cfg.cores * srng.uniform(0.3, 1.25));
+        for (int j = 0; j < jobs && threads_left > 0; ++j) {
+            double pick = srng.uniform();
+            const Archetype *arch = &archetypes[0];
+            double acc = 0.0;
+            for (const auto &a : archetypes) {
+                acc += a.weight;
+                if (pick <= acc) {
+                    arch = &a;
+                    break;
+                }
+            }
+            int threads = 1 + static_cast<int>(srng.below(
+                static_cast<uint64_t>(std::max(threads_left / 2, 1))));
+            threads = std::min(threads, threads_left);
+            threads_left -= threads;
+
+            wl::HostPhaseParams p = wl::cpuParams(arch->kind);
+            FleetTask t;
+            t.peakDemand = p.bwPerCore * threads;
+            t.phase = srng.uniform(0.0, 2.0 * M_PI);
+            t.activity = srng.uniform(0.12, 0.72);
+            t.burstiness = srng.uniform(0.05, 0.35);
+            tasks.push_back(t);
+        }
+
+        // Walk the day and collect bandwidth samples.
+        std::vector<double> samples;
+        samples.reserve(cfg.samplesPerDay);
+        for (int i = 0; i < cfg.samplesPerDay; ++i) {
+            double tod = static_cast<double>(i) / cfg.samplesPerDay;
+            double demand = 0.0;
+            for (auto &t : tasks) {
+                // Diurnal swing plus a bounded random walk.
+                double diurnal =
+                    0.75 + 0.25 * std::sin(2.0 * M_PI * tod + t.phase);
+                t.activity += srng.gaussian(0.0, t.burstiness * 0.1);
+                t.activity = std::clamp(t.activity, 0.05, 1.0);
+                demand += t.peakDemand * t.activity * diurnal;
+            }
+            samples.push_back(std::min(demand / cfg.peakBw, 1.0));
+        }
+        std::sort(samples.begin(), samples.end());
+        size_t idx = static_cast<size_t>(
+            std::floor(0.99 * (samples.size() - 1)));
+        p99_per_server.push_back(samples[idx]);
+    }
+
+    return FleetResult(std::move(p99_per_server));
+}
+
+} // namespace fleet
+} // namespace kelp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fleet-level memory-bandwidth profiling (paper Figure 2).
+ *
+ * Figure 2 plots, for a production server generation over one day,
+ * the distribution across machines of 99th-percentile memory
+ * bandwidth (as a fraction of peak): 16% of machines exceed 70% of
+ * peak, indicating widespread bandwidth saturation.
+ *
+ * We regenerate the figure with a Monte-Carlo fleet: each server
+ * hosts a sampled colocation of batch tasks from the workload
+ * catalog; task activity follows a diurnal cycle with per-task random
+ * modulation; per-interval socket bandwidth is the demand sum capped
+ * at peak. The per-server 99%-ile over the day's samples gives the
+ * distribution.
+ */
+
+#ifndef KELP_FLEET_FLEET_HH
+#define KELP_FLEET_FLEET_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kelp {
+namespace fleet {
+
+/** Fleet-profiling parameters. */
+struct FleetConfig
+{
+    /** Number of servers profiled. */
+    int servers = 4000;
+
+    /** Bandwidth samples per server over the day (5-minute grain). */
+    int samplesPerDay = 288;
+
+    /** Socket peak bandwidth, GiB/s. */
+    sim::GiBps peakBw = 76.8;
+
+    /** Cores per server available to batch tasks. */
+    int cores = 32;
+
+    uint64_t seed = 2019;
+};
+
+/** Per-fleet profiling result. */
+class FleetResult
+{
+  public:
+    explicit FleetResult(std::vector<double> p99_per_server);
+
+    /** 99%-ile bandwidth fraction for each server, sorted. */
+    const std::vector<double> &p99PerServer() const { return p99_; }
+
+    /** Fraction of machines whose p99 exceeds the given fraction of
+     * peak (the paper's "16% above 70%" statement). */
+    double fractionAbove(double peak_fraction) const;
+
+    /**
+     * CDF rows for the figure: (x = fraction of peak BW,
+     * y = fraction of machines with p99 <= x).
+     */
+    std::vector<std::pair<double, double>> cdf(int points = 11) const;
+
+  private:
+    std::vector<double> p99_;
+};
+
+/** Profile a synthetic fleet. */
+FleetResult profileFleet(const FleetConfig &cfg);
+
+} // namespace fleet
+} // namespace kelp
+
+#endif // KELP_FLEET_FLEET_HH

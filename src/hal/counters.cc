@@ -1,0 +1,36 @@
+#include "hal/counters.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace hal {
+
+PerfCounters::PerfCounters(const mem::MemSystem &mem)
+    : mem_(mem)
+{
+}
+
+CounterSample
+PerfCounters::sample(sim::SocketId socket)
+{
+    KELP_ASSERT(socket >= 0 && socket < mem_.numSockets(),
+                "socket out of range");
+    auto &cur = cursors_[socket];
+    const auto &c = mem_.counters(socket);
+
+    CounterSample out;
+    out.socketBw = c.bw.readSince(cur.bw, 0.0);
+    out.memLatency =
+        c.latency.readSince(cur.lat, mem_.baseLatency());
+    out.saturation = mem_.fastAsserted(socket).readSince(cur.sat, 0.0);
+    for (int d = 0; d < 2; ++d) {
+        out.subdomainBw[d] =
+            c.subdomainBw[d].readSince(cur.sub[d], 0.0);
+        out.subdomainLat[d] = c.subdomainLat[d].readSince(
+            cur.subLat[d], mem_.baseLatency());
+    }
+    return out;
+}
+
+} // namespace hal
+} // namespace kelp

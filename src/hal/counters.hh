@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Performance-counter interface: the measurement side of the runtime.
+ *
+ * The paper's Kelp makes exactly four kinds of measurement every
+ * sampling period (Section IV-D): socket memory bandwidth, memory
+ * latency, memory saturation (FAST_ASSERTED duty cycle), and
+ * high-priority-subdomain bandwidth. This class exposes those as
+ * windowed counter reads: each read reports the average since this
+ * reader's previous read, which is how real MSR/uncore counters are
+ * consumed (read, diff, divide by elapsed).
+ *
+ * Each consumer owns its own PerfCounters instance so readers never
+ * perturb one another's windows.
+ */
+
+#ifndef KELP_HAL_COUNTERS_HH
+#define KELP_HAL_COUNTERS_HH
+
+#include <array>
+
+#include "mem/mem_system.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace hal {
+
+/** One sampling window's worth of measurements for a socket. */
+struct CounterSample
+{
+    /** Average socket memory bandwidth over the window, GiB/s. */
+    sim::GiBps socketBw = 0.0;
+
+    /** Average effective memory latency over the window, ns. */
+    sim::Nanoseconds memLatency = 0.0;
+
+    /** Memory saturation: distress duty cycle in [0, 1]. */
+    double saturation = 0.0;
+
+    /** Average per-subdomain bandwidth, GiB/s. */
+    std::array<sim::GiBps, 2> subdomainBw = {0.0, 0.0};
+
+    /** Average per-subdomain memory latency, ns. */
+    std::array<sim::Nanoseconds, 2> subdomainLat = {0.0, 0.0};
+};
+
+/** Windowed reader over the memory system's counters. */
+class PerfCounters
+{
+  public:
+    explicit PerfCounters(const mem::MemSystem &mem);
+
+    /**
+     * Read all counters for a socket, returning averages over the
+     * window since the previous read (or since construction).
+     */
+    CounterSample sample(sim::SocketId socket);
+
+  private:
+    struct SocketCursors
+    {
+        sim::IntervalAccumulator::Snapshot bw;
+        sim::IntervalAccumulator::Snapshot lat;
+        sim::IntervalAccumulator::Snapshot sat;
+        std::array<sim::IntervalAccumulator::Snapshot, 2> sub;
+        std::array<sim::IntervalAccumulator::Snapshot, 2> subLat;
+    };
+
+    const mem::MemSystem &mem_;
+    std::array<SocketCursors, 2> cursors_;
+};
+
+} // namespace hal
+} // namespace kelp
+
+#endif // KELP_HAL_COUNTERS_HH

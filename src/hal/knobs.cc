@@ -1,0 +1,76 @@
+#include "hal/knobs.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace hal {
+
+ResourceKnobs::ResourceKnobs(GroupRegistry &registry)
+    : registry_(registry)
+{
+}
+
+void
+ResourceKnobs::setCores(sim::GroupId group, sim::SocketId socket,
+                        sim::SubdomainId sub, int count)
+{
+    KELP_ASSERT(count >= 0, "negative core count");
+    TaskGroup &g = registry_.get(group);
+    int current = g.cores_.inSubdomain(socket, sub);
+    int free = registry_.freeIn(socket, sub) + current;
+    if (count > free) {
+        sim::fatal("group ", g.name(), " requests ", count,
+                   " cores in socket ", socket, " subdomain ", sub,
+                   " but only ", free, " are available");
+    }
+    g.cores_.count[socket][sub] = count;
+    g.floating_ = false;
+    // Prefetcher enablement can never exceed the cores held.
+    g.prefetchersEnabled_ =
+        std::min(g.prefetchersEnabled_, g.cores_.total());
+}
+
+int
+ResourceKnobs::adjustCores(sim::GroupId group, sim::SocketId socket,
+                           sim::SubdomainId sub, int delta)
+{
+    TaskGroup &g = registry_.get(group);
+    int current = g.cores_.inSubdomain(socket, sub);
+    int free = registry_.freeIn(socket, sub) + current;
+    int target = std::clamp(current + delta, 0, free);
+    g.cores_.count[socket][sub] = target;
+    g.floating_ = false;
+    g.prefetchersEnabled_ =
+        std::min(g.prefetchersEnabled_, g.cores_.total());
+    return target;
+}
+
+void
+ResourceKnobs::setPrefetchersEnabled(sim::GroupId group, int count)
+{
+    TaskGroup &g = registry_.get(group);
+    g.prefetchersEnabled_ = std::clamp(count, 0, g.cores_.total());
+}
+
+void
+ResourceKnobs::setCatWays(sim::GroupId group, int ways)
+{
+    KELP_ASSERT(ways >= 0, "negative CAT ways");
+    TaskGroup &g = registry_.get(group);
+    // Validation against the per-domain way budget happens where the
+    // LLC is apportioned (the domain membership depends on SNC mode).
+    g.catWays_ = ways;
+}
+
+void
+ResourceKnobs::setMemBinding(sim::GroupId group, sim::SocketId socket,
+                             sim::SubdomainId sub)
+{
+    TaskGroup &g = registry_.get(group);
+    g.memBinding_ = {socket, sub};
+}
+
+} // namespace hal
+} // namespace kelp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Resource-control knobs: the actuation interface of the runtime.
+ *
+ * These mirror the mechanisms the paper's runtime drives on real
+ * hardware: CPU masks (core counts per subdomain), the per-core L2
+ * prefetcher MSR toggle, Intel CAT way masks, and NUMA memory
+ * binding. All group mutation goes through this class so that core
+ * capacity is validated against the topology in one place.
+ */
+
+#ifndef KELP_HAL_KNOBS_HH
+#define KELP_HAL_KNOBS_HH
+
+#include "hal/task_group.hh"
+
+namespace kelp {
+namespace hal {
+
+/** Mutating interface over a GroupRegistry. */
+class ResourceKnobs
+{
+  public:
+    explicit ResourceKnobs(GroupRegistry &registry);
+
+    /**
+     * Set the number of cores a group holds in (socket, subdomain).
+     * Fails fatally if the subdomain would be oversubscribed.
+     */
+    void setCores(sim::GroupId group, sim::SocketId socket,
+                  sim::SubdomainId sub, int count);
+
+    /** Adjust a group's cores in (socket, subdomain) by delta,
+     * clamped to [0, free]. Returns the applied new count. */
+    int adjustCores(sim::GroupId group, sim::SocketId socket,
+                    sim::SubdomainId sub, int delta);
+
+    /** Set how many of the group's cores keep prefetchers enabled
+     * (clamped to [0, total cores]). */
+    void setPrefetchersEnabled(sim::GroupId group, int count);
+
+    /** Dedicate LLC ways to the group via CAT (0 = shared pool). */
+    void setCatWays(sim::GroupId group, int ways);
+
+    /** Bind the group's memory allocation to (socket, subdomain). */
+    void setMemBinding(sim::GroupId group, sim::SocketId socket,
+                       sim::SubdomainId sub);
+
+    GroupRegistry &registry() { return registry_; }
+
+  private:
+    GroupRegistry &registry_;
+};
+
+} // namespace hal
+} // namespace kelp
+
+#endif // KELP_HAL_KNOBS_HH

@@ -1,0 +1,79 @@
+#include "hal/task_group.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace hal {
+
+TaskGroup::TaskGroup(sim::GroupId id, std::string name, Priority priority)
+    : id_(id), name_(std::move(name)), priority_(priority)
+{
+}
+
+double
+TaskGroup::prefetcherFraction() const
+{
+    int total = cores_.total();
+    if (total <= 0)
+        return 1.0;
+    return std::clamp(
+        static_cast<double>(prefetchersEnabled_) / total, 0.0, 1.0);
+}
+
+GroupRegistry::GroupRegistry(const cpu::Topology &topo)
+    : topo_(topo)
+{
+}
+
+TaskGroup &
+GroupRegistry::create(const std::string &name, Priority priority)
+{
+    if (find(name))
+        sim::fatal("duplicate task group name: ", name);
+    auto id = static_cast<sim::GroupId>(groups_.size());
+    groups_.push_back(std::make_unique<TaskGroup>(id, name, priority));
+    return *groups_.back();
+}
+
+TaskGroup &
+GroupRegistry::get(sim::GroupId id)
+{
+    KELP_ASSERT(id >= 0 && id < size(), "group id out of range: ", id);
+    return *groups_[id];
+}
+
+const TaskGroup &
+GroupRegistry::get(sim::GroupId id) const
+{
+    KELP_ASSERT(id >= 0 && id < size(), "group id out of range: ", id);
+    return *groups_[id];
+}
+
+TaskGroup *
+GroupRegistry::find(const std::string &name)
+{
+    for (auto &g : groups_)
+        if (g->name() == name)
+            return g.get();
+    return nullptr;
+}
+
+int
+GroupRegistry::allocatedIn(sim::SocketId s, sim::SubdomainId d) const
+{
+    int total = 0;
+    for (const auto &g : groups_)
+        total += g->cores().inSubdomain(s, d);
+    return total;
+}
+
+int
+GroupRegistry::freeIn(sim::SocketId s, sim::SubdomainId d) const
+{
+    return topo_.coresPerSubdomain() - allocatedIn(s, d);
+}
+
+} // namespace hal
+} // namespace kelp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Task groups: the cgroup-like resource containers the Kelp runtime
+ * manipulates.
+ *
+ * A group carries everything the node-level scheduler (Borglet in the
+ * paper) binds for a job: priority class, per-subdomain core
+ * allocations (CPU masks), the number of cores with L2 prefetchers
+ * enabled, dedicated LLC (CAT) ways, and NUMA memory binding. Tasks
+ * attach to a group and inherit its resources.
+ */
+
+#ifndef KELP_HAL_TASK_GROUP_HH
+#define KELP_HAL_TASK_GROUP_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/topology.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace hal {
+
+/** Priority class of a group (the paper's hi/lo split). */
+enum class Priority { High, Low };
+
+/** Maximum sockets supported by the allocation tables. */
+constexpr int maxSockets = 2;
+
+/** Core counts held per (socket, subdomain). */
+struct CoreAllocation
+{
+    std::array<std::array<int, 2>, maxSockets> count = {};
+
+    int
+    total() const
+    {
+        int t = 0;
+        for (const auto &s : count)
+            for (int c : s)
+                t += c;
+        return t;
+    }
+
+    int
+    inSocket(sim::SocketId s) const
+    {
+        return count[s][0] + count[s][1];
+    }
+
+    int
+    inSubdomain(sim::SocketId s, sim::SubdomainId d) const
+    {
+        return count[s][d];
+    }
+};
+
+/** Where a group's memory pages are allocated. */
+struct MemBinding
+{
+    sim::SocketId socket = 0;
+    sim::SubdomainId subdomain = 0;
+};
+
+/**
+ * One resource container. Mutations go through ResourceKnobs so that
+ * capacity constraints are enforced centrally.
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup(sim::GroupId id, std::string name, Priority priority);
+
+    sim::GroupId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    Priority priority() const { return priority_; }
+
+    const CoreAllocation &cores() const { return cores_; }
+
+    /** Cores whose L2 prefetchers are enabled (<= total cores). */
+    int prefetchersEnabled() const { return prefetchersEnabled_; }
+
+    /** Fraction of this group's cores with prefetchers enabled. */
+    double prefetcherFraction() const;
+
+    /** Dedicated LLC ways in each LLC domain the group occupies. */
+    int catWays() const { return catWays_; }
+
+    const MemBinding &memBinding() const { return memBinding_; }
+
+    /**
+     * A floating group has no CPU mask: its tasks share all cores of
+     * their socket with other floating groups (the Baseline
+     * configuration). Setting cores through ResourceKnobs pins the
+     * group.
+     */
+    bool floating() const { return floating_; }
+
+  private:
+    friend class ResourceKnobs;
+
+    sim::GroupId id_;
+    std::string name_;
+    Priority priority_;
+    CoreAllocation cores_;
+    int prefetchersEnabled_ = 0;
+    int catWays_ = 0;
+    MemBinding memBinding_;
+    bool floating_ = true;
+};
+
+/**
+ * Registry of groups on a node; owns the groups and knows the
+ * topology so allocations can be validated.
+ */
+class GroupRegistry
+{
+  public:
+    explicit GroupRegistry(const cpu::Topology &topo);
+
+    /** Create a group; names must be unique. */
+    TaskGroup &create(const std::string &name, Priority priority);
+
+    TaskGroup &get(sim::GroupId id);
+    const TaskGroup &get(sim::GroupId id) const;
+
+    /** Find by name; nullptr if absent. */
+    TaskGroup *find(const std::string &name);
+
+    /** Number of groups. */
+    int size() const { return static_cast<int>(groups_.size()); }
+
+    /** All groups, in creation order. */
+    const std::vector<std::unique_ptr<TaskGroup>> &all() const
+    {
+        return groups_;
+    }
+
+    /** Cores allocated across all groups in (socket, subdomain). */
+    int allocatedIn(sim::SocketId s, sim::SubdomainId d) const;
+
+    /** Free cores remaining in (socket, subdomain). */
+    int freeIn(sim::SocketId s, sim::SubdomainId d) const;
+
+    const cpu::Topology &topology() const { return topo_; }
+
+  private:
+    const cpu::Topology &topo_;
+    std::vector<std::unique_ptr<TaskGroup>> groups_;
+};
+
+} // namespace hal
+} // namespace kelp
+
+#endif // KELP_HAL_TASK_GROUP_HH

@@ -1,0 +1,27 @@
+#include "kelp/baseline.hh"
+
+namespace kelp {
+namespace runtime {
+
+BaselineController::BaselineController(const Bindings &bindings)
+    : Controller(bindings)
+{
+}
+
+void
+BaselineController::sample(sim::Time now)
+{
+    (void)now;
+    // Resource contention is unmanaged by design.
+}
+
+ControllerParams
+BaselineController::params() const
+{
+    // Report the whole socket as available to low-priority tasks.
+    int cores = bind_.node->topology().coresPerSocket();
+    return {cores, cores, 0};
+}
+
+} // namespace runtime
+} // namespace kelp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Baseline (BL): task priority is declared to the cluster scheduler
+ * but node-level resource contention is unmanaged (Section V-A).
+ * The controller samples nothing and touches nothing; tasks float
+ * across the socket's cores and share the memory system freely.
+ */
+
+#ifndef KELP_RUNTIME_BASELINE_HH
+#define KELP_RUNTIME_BASELINE_HH
+
+#include "kelp/controller.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** The do-nothing configuration. */
+class BaselineController : public Controller
+{
+  public:
+    explicit BaselineController(const Bindings &bindings);
+
+    void sample(sim::Time now) override;
+
+    ControllerParams params() const override;
+
+    const char *name() const override { return "BL"; }
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_BASELINE_HH

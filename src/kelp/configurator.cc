@@ -1,0 +1,56 @@
+#include "kelp/configurator.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace runtime {
+
+Configurator::Configurator(const ConfigLimits &limits)
+    : limits_(limits)
+{
+    KELP_ASSERT(limits.minCoreH <= limits.maxCoreH,
+                "bad hi-priority core limits");
+    KELP_ASSERT(limits.minCoreL <= limits.maxCoreL,
+                "bad lo-priority core limits");
+    KELP_ASSERT(limits.minCoreL >= 0, "negative lo-priority minimum");
+}
+
+void
+Configurator::configHiPriority(Action action, ResourceState &state) const
+{
+    // Paper Algorithm 2, ConfigHiPriority: one core at a time within
+    // [minCoreNum_h, maxCoreNum_h].
+    if (action == Action::Throttle) {
+        if (state.coreNumH > limits_.minCoreH)
+            state.coreNumH -= 1;
+    } else if (action == Action::Boost) {
+        if (state.coreNumH < limits_.maxCoreH)
+            state.coreNumH += 1;
+    }
+}
+
+void
+Configurator::configLoPriority(Action action, ResourceState &state) const
+{
+    // Paper Algorithm 2, ConfigLoPriority: throttle by halving
+    // prefetchers first ("more aggressive in disabling prefetchers in
+    // order to prioritize ML task performance"), then shed cores;
+    // boost by restoring prefetchers one at a time, then add cores.
+    if (action == Action::Throttle) {
+        if (state.prefetcherNumL > 0)
+            state.prefetcherNumL /= 2;
+        else if (state.coreNumL > limits_.minCoreL)
+            state.coreNumL -= 1;
+    } else if (action == Action::Boost) {
+        if (state.prefetcherNumL < state.coreNumL)
+            state.prefetcherNumL += 1;
+        else if (state.coreNumL < limits_.maxCoreL)
+            state.coreNumL += 1;
+    }
+    // Invariant: never more enabled prefetchers than cores.
+    if (state.prefetcherNumL > state.coreNumL)
+        state.prefetcherNumL = state.coreNumL;
+}
+
+} // namespace runtime
+} // namespace kelp

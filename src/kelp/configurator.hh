@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Resource configuration procedures -- the paper's Algorithm 2.
+ *
+ * Given a THROTTLE/BOOST/NOP decision per priority group, the
+ * configurator mutates the managed resource state:
+ *
+ *  - High-priority subdomain (ConfigHiPriority): grows or shrinks the
+ *    number of low-priority cores *backfilled* into the high-priority
+ *    subdomain, one core at a time, within [min, max].
+ *  - Low-priority subdomain (ConfigLoPriority): throttling first
+ *    halves the number of enabled prefetchers (aggressive, to
+ *    prioritize ML performance), and only starts removing cores once
+ *    prefetchers are exhausted; boosting restores prefetchers one at
+ *    a time before adding cores back.
+ */
+
+#ifndef KELP_RUNTIME_CONFIGURATOR_HH
+#define KELP_RUNTIME_CONFIGURATOR_HH
+
+#include "kelp/controller.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** Bounds on the managed resources. */
+struct ConfigLimits
+{
+    int minCoreH = 0;
+    int maxCoreH = 0;
+    int minCoreL = 1;
+    int maxCoreL = 1;
+};
+
+/** The resource state Algorithm 2 mutates. */
+struct ResourceState
+{
+    /** Low-priority cores backfilled into the high-pri subdomain. */
+    int coreNumH = 0;
+
+    /** Cores held by low-priority tasks in the low-pri subdomain. */
+    int coreNumL = 1;
+
+    /** Low-priority-subdomain cores with prefetchers enabled. */
+    int prefetcherNumL = 1;
+};
+
+/** Algorithm 2: resource configuration procedures. */
+class Configurator
+{
+  public:
+    explicit Configurator(const ConfigLimits &limits);
+
+    /** ConfigHiPriority(action_h): adjust backfill cores. */
+    void configHiPriority(Action action, ResourceState &state) const;
+
+    /** ConfigLoPriority(action_l): adjust prefetchers, then cores. */
+    void configLoPriority(Action action, ResourceState &state) const;
+
+    const ConfigLimits &limits() const { return limits_; }
+
+  private:
+    ConfigLimits limits_;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_CONFIGURATOR_HH

@@ -1,0 +1,29 @@
+#include "kelp/controller.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace runtime {
+
+const char *
+actionName(Action a)
+{
+    switch (a) {
+      case Action::Throttle:
+        return "THROTTLE";
+      case Action::Boost:
+        return "BOOST";
+      case Action::Nop:
+        return "NOP";
+    }
+    return "?";
+}
+
+Controller::Controller(const Bindings &bindings)
+    : bind_(bindings)
+{
+    KELP_ASSERT(bind_.node, "controller needs a node");
+}
+
+} // namespace runtime
+} // namespace kelp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Controller interface shared by the four evaluated runtime
+ * configurations (Section V-A): Baseline, CoreThrottle, Kelp
+ * Subdomain, and full Kelp.
+ *
+ * A controller samples hardware counters periodically (10 s in the
+ * paper) and adjusts resource knobs. Controllers also expose their
+ * current parameters (low-priority cores, prefetchers, backfill
+ * cores) so experiments can reproduce the parameter plots
+ * (Figures 11 and 12).
+ */
+
+#ifndef KELP_RUNTIME_CONTROLLER_HH
+#define KELP_RUNTIME_CONTROLLER_HH
+
+#include "node/node.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** Algorithm 1's per-group decision. */
+enum class Action { Throttle, Boost, Nop };
+
+const char *actionName(Action a);
+
+/** What a controller is attached to. */
+struct Bindings
+{
+    node::Node *node = nullptr;
+
+    /** Group of the high-priority accelerated task. */
+    sim::GroupId mlGroup = sim::invalidId;
+
+    /** Group of the low-priority CPU tasks. */
+    sim::GroupId cpuGroup = sim::invalidId;
+
+    /** Socket the accelerated task runs on. */
+    sim::SocketId socket = 0;
+};
+
+/** Snapshot of the knob settings a controller manages. */
+struct ControllerParams
+{
+    /** Low-priority cores (low-priority subdomain / socket share). */
+    int loCores = 0;
+
+    /** Low-priority cores with prefetchers enabled. */
+    int loPrefetchers = 0;
+
+    /** Low-priority cores backfilled into the high-priority
+     * subdomain (full Kelp only). */
+    int hiBackfillCores = 0;
+};
+
+/** Base class of all runtime configurations. */
+class Controller
+{
+  public:
+    explicit Controller(const Bindings &bindings);
+    virtual ~Controller() = default;
+
+    /** One sampling period: measure and actuate. */
+    virtual void sample(sim::Time now) = 0;
+
+    /** Current knob settings. */
+    virtual ControllerParams params() const = 0;
+
+    /** Configuration name (BL / CT / KP-SD / KP). */
+    virtual const char *name() const = 0;
+
+  protected:
+    Bindings bind_;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_CONTROLLER_HH

@@ -1,0 +1,63 @@
+#include "kelp/core_throttle.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace runtime {
+
+CoreThrottleController::CoreThrottleController(const Bindings &bindings,
+                                               AppProfile profile,
+                                               int min_cores,
+                                               int max_cores,
+                                               int initial_cores)
+    : Controller(bindings), profile_(std::move(profile)),
+      minCores_(min_cores), maxCores_(max_cores),
+      cores_(std::clamp(initial_cores, min_cores, max_cores)),
+      counters_(bindings.node->memSystem())
+{
+    KELP_ASSERT(min_cores >= 1 && max_cores >= min_cores,
+                "bad CoreThrottle core limits");
+    enforce();
+}
+
+void
+CoreThrottleController::sample(sim::Time now)
+{
+    (void)now;
+    hal::CounterSample s = counters_.sample(bind_.socket);
+
+    // One core at a time, driven by socket bandwidth and latency:
+    // the coarse-granularity feedback loop prior work uses.
+    if (profile_.socketBw.isHigh(s.socketBw) ||
+        profile_.latency.isHigh(s.memLatency)) {
+        cores_ = std::max(cores_ - 1, minCores_);
+    } else if (profile_.socketBw.isLow(s.socketBw) &&
+               profile_.latency.isLow(s.memLatency)) {
+        cores_ = std::min(cores_ + 1, maxCores_);
+    }
+    enforce();
+}
+
+void
+CoreThrottleController::enforce()
+{
+    // SNC is off under CT; spread the mask across both halves so the
+    // allocation is subdomain-agnostic.
+    auto &knobs = bind_.node->knobs();
+    knobs.setCores(bind_.cpuGroup, bind_.socket, 0, cores_ / 2);
+    knobs.setCores(bind_.cpuGroup, bind_.socket, 1,
+                   cores_ - cores_ / 2);
+    // CT never touches prefetchers: all cores keep them enabled.
+    knobs.setPrefetchersEnabled(bind_.cpuGroup, cores_);
+}
+
+ControllerParams
+CoreThrottleController::params() const
+{
+    return {cores_, cores_, 0};
+}
+
+} // namespace runtime
+} // namespace kelp

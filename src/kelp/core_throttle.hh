@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CoreThrottle (CT): the competitive baseline configuration
+ * (Section V-A), closely mimicking prior polling-based runtimes
+ * (Heracles, Dirigent, CPI2): memory-bandwidth interference is
+ * managed by shrinking the CPU mask of low-priority tasks; LLC
+ * interference is handled with a dedicated CAT partition for the
+ * accelerated task. NUMA subdomains are not used.
+ */
+
+#ifndef KELP_RUNTIME_CORE_THROTTLE_HH
+#define KELP_RUNTIME_CORE_THROTTLE_HH
+
+#include "hal/counters.hh"
+#include "kelp/controller.hh"
+#include "kelp/profile.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** Core-throttling feedback controller over socket-level signals. */
+class CoreThrottleController : public Controller
+{
+  public:
+    /**
+     * @param bindings Node, groups, and socket to manage.
+     * @param profile Watermarks (socket bandwidth and latency only --
+     *        the signals prior work had access to).
+     * @param min_cores Fewest low-priority cores.
+     * @param max_cores Most low-priority cores.
+     * @param initial_cores Starting allocation.
+     */
+    CoreThrottleController(const Bindings &bindings, AppProfile profile,
+                           int min_cores, int max_cores,
+                           int initial_cores);
+
+    void sample(sim::Time now) override;
+
+    ControllerParams params() const override;
+
+    const char *name() const override { return "CT"; }
+
+    int cores() const { return cores_; }
+
+  private:
+    void enforce();
+
+    AppProfile profile_;
+    int minCores_;
+    int maxCores_;
+    int cores_;
+    hal::PerfCounters counters_;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_CORE_THROTTLE_HH

@@ -1,0 +1,101 @@
+#include "kelp/kelp_controller.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace runtime {
+
+KelpDecision
+decideActions(const AppProfile &profile, const KelpMeasurements &m)
+{
+    KelpDecision d;
+
+    // High-priority subdomain: throttle backfill when its bandwidth
+    // or the socket latency is high; boost when both are low.
+    bool hi_bw_h = profile.hiSubBw.isHigh(m.bwH);
+    bool hi_lat = profile.latency.isHigh(m.latS);
+    bool lo_bw_h = profile.hiSubBw.isLow(m.bwH);
+    bool lo_lat = profile.latency.isLow(m.latS);
+    if (hi_bw_h || hi_lat)
+        d.actionH = Action::Throttle;
+    else if (lo_bw_h && lo_lat)
+        d.actionH = Action::Boost;
+    else
+        d.actionH = Action::Nop;
+
+    // Low-priority subdomain: socket bandwidth, latency, and memory
+    // saturation all participate.
+    bool hi_bw_s = profile.socketBw.isHigh(m.bwS);
+    bool hi_sat = profile.saturation.isHigh(m.satS);
+    bool lo_bw_s = profile.socketBw.isLow(m.bwS);
+    bool lo_sat = profile.saturation.isLow(m.satS);
+    if (hi_bw_s || hi_lat || hi_sat)
+        d.actionL = Action::Throttle;
+    else if (lo_bw_s && lo_lat && lo_sat)
+        d.actionL = Action::Boost;
+    else
+        d.actionL = Action::Nop;
+
+    return d;
+}
+
+KelpController::KelpController(const Bindings &bindings,
+                               AppProfile profile,
+                               const ConfigLimits &limits,
+                               const ResourceState &initial)
+    : Controller(bindings), profile_(std::move(profile)),
+      configurator_(limits), state_(initial),
+      counters_(bindings.node->memSystem())
+{
+    KELP_ASSERT(bind_.cpuGroup != sim::invalidId,
+                "Kelp needs a low-priority group to manage");
+    enforce();
+}
+
+void
+KelpController::sample(sim::Time now)
+{
+    (void)now;
+    hal::CounterSample s = counters_.sample(bind_.socket);
+
+    KelpMeasurements m;
+    m.bwS = s.socketBw;
+    // Under subdomains the latency that matters to the accelerated
+    // task is its own subdomain's: the saturated low-priority
+    // controller would otherwise dominate the socket average and
+    // block backfilling forever.
+    m.latS = bind_.node->sncEnabled() ? s.subdomainLat[0]
+                                      : s.memLatency;
+    m.satS = s.saturation;
+    // The high-priority subdomain is subdomain 0 by convention (the
+    // ML task is bound there at placement time).
+    m.bwH = s.subdomainBw[0];
+
+    lastDecision_ = decideActions(profile_, m);
+    configurator_.configHiPriority(lastDecision_.actionH, state_);
+    configurator_.configLoPriority(lastDecision_.actionL, state_);
+    enforce();
+}
+
+void
+KelpController::enforce()
+{
+    auto &knobs = bind_.node->knobs();
+    // Low-priority cores: coreNumL in the low-priority subdomain (1),
+    // coreNumH backfilled into the high-priority subdomain (0).
+    knobs.setCores(bind_.cpuGroup, bind_.socket, 1, state_.coreNumL);
+    knobs.setCores(bind_.cpuGroup, bind_.socket, 0, state_.coreNumH);
+    // Backfilled cores keep their prefetchers; the managed count
+    // applies to the low-priority subdomain's cores.
+    knobs.setPrefetchersEnabled(
+        bind_.cpuGroup, state_.prefetcherNumL + state_.coreNumH);
+}
+
+ControllerParams
+KelpController::params() const
+{
+    return {state_.coreNumL, state_.prefetcherNumL, state_.coreNumH};
+}
+
+} // namespace runtime
+} // namespace kelp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Kelp runtime controller -- the paper's Algorithm 1.
+ *
+ * Every sampling period Kelp makes four measurements (socket
+ * bandwidth, memory latency, memory saturation, high-priority
+ * subdomain bandwidth), compares them against the application
+ * profile's watermarks, decides a THROTTLE/BOOST/NOP action per
+ * priority group, and actuates through Algorithm 2
+ * (the Configurator):
+ *
+ *   - action_h throttles/boosts the low-priority cores backfilled
+ *     into the high-priority subdomain (full Kelp only).
+ *   - action_l throttles/boosts the low-priority subdomain:
+ *     prefetchers first, then cores.
+ *
+ * The Kelp Subdomain (KP-SD) configuration is the same controller
+ * with backfilling disabled (maxCoreH = 0).
+ */
+
+#ifndef KELP_RUNTIME_KELP_CONTROLLER_HH
+#define KELP_RUNTIME_KELP_CONTROLLER_HH
+
+#include "hal/counters.hh"
+#include "kelp/configurator.hh"
+#include "kelp/controller.hh"
+#include "kelp/profile.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** Algorithm 1 decision inputs (exposed for tests). */
+struct KelpMeasurements
+{
+    double bwS = 0.0;   ///< Socket bandwidth, GiB/s.
+    double latS = 0.0;  ///< Socket memory latency, ns.
+    double satS = 0.0;  ///< Socket memory saturation, [0, 1].
+    double bwH = 0.0;   ///< High-priority subdomain bandwidth, GiB/s.
+};
+
+/** Pure decision procedure of Algorithm 1 (testable in isolation). */
+struct KelpDecision
+{
+    Action actionH = Action::Nop;
+    Action actionL = Action::Nop;
+};
+
+/** Algorithm 1 lines 4-15: watermark comparison to actions. */
+KelpDecision decideActions(const AppProfile &profile,
+                           const KelpMeasurements &m);
+
+/** The Kelp runtime (KP) and its subdomain-only variant (KP-SD). */
+class KelpController : public Controller
+{
+  public:
+    /**
+     * @param bindings Node, groups, and socket to manage.
+     * @param profile Watermark profile of the accelerated task.
+     * @param limits Resource bounds (maxCoreH = 0 yields KP-SD).
+     * @param initial Starting resource state.
+     */
+    KelpController(const Bindings &bindings, AppProfile profile,
+                   const ConfigLimits &limits,
+                   const ResourceState &initial);
+
+    void sample(sim::Time now) override;
+
+    ControllerParams params() const override;
+
+    const char *
+    name() const override
+    {
+        return configurator_.limits().maxCoreH > 0 ? "KP" : "KP-SD";
+    }
+
+    /** Current managed state (inspection). */
+    const ResourceState &state() const { return state_; }
+
+    /** Last decision taken (inspection). */
+    const KelpDecision &lastDecision() const { return lastDecision_; }
+
+  private:
+    /** EnforceConfig(): push state into the HAL knobs. */
+    void enforce();
+
+    AppProfile profile_;
+    Configurator configurator_;
+    ResourceState state_;
+    hal::PerfCounters counters_;
+    KelpDecision lastDecision_;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_KELP_CONTROLLER_HH

@@ -1,0 +1,52 @@
+#include "kelp/manager.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace runtime {
+
+RuntimeManager::RuntimeManager(std::unique_ptr<Controller> controller,
+                               sim::Time period)
+    : controller_(std::move(controller)), period_(period)
+{
+    KELP_ASSERT(controller_, "manager needs a controller");
+    KELP_ASSERT(period > 0.0, "sampling period must be positive");
+}
+
+void
+RuntimeManager::attach(sim::Engine &engine)
+{
+    engine.every(period_, [this](sim::Time now) { onSample(now); });
+}
+
+void
+RuntimeManager::onSample(sim::Time now)
+{
+    controller_->sample(now);
+    ++samples_;
+    ControllerParams p = controller_->params();
+    loCores_.add(p.loCores);
+    loPrefetchers_.add(p.loPrefetchers);
+    hiBackfill_.add(p.hiBackfillCores);
+}
+
+double
+RuntimeManager::avgLoCores() const
+{
+    return loCores_.mean();
+}
+
+double
+RuntimeManager::avgLoPrefetchers() const
+{
+    return loPrefetchers_.mean();
+}
+
+double
+RuntimeManager::avgHiBackfill() const
+{
+    return hiBackfill_.mean();
+}
+
+} // namespace runtime
+} // namespace kelp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Runtime manager: hosts a controller next to the node-level
+ * scheduler runtime, sampling it periodically (10 s in the paper,
+ * Section IV-D: "Kelp samples system performance every 10 seconds
+ * and has negligible performance overhead. The effectiveness of Kelp
+ * is not sensitive to the sampling frequency.").
+ *
+ * The manager also time-averages the controller's parameters so
+ * experiments can reproduce the parameter plots (Figures 11 and 12)
+ * without re-instrumenting each controller.
+ */
+
+#ifndef KELP_RUNTIME_MANAGER_HH
+#define KELP_RUNTIME_MANAGER_HH
+
+#include <memory>
+
+#include "kelp/controller.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** Drives one controller at a fixed sampling period. */
+class RuntimeManager
+{
+  public:
+    /**
+     * @param controller The configuration to run.
+     * @param period Sampling period, seconds.
+     */
+    RuntimeManager(std::unique_ptr<Controller> controller,
+                   sim::Time period = 10.0);
+
+    /** Register the sampling callback with an engine. */
+    void attach(sim::Engine &engine);
+
+    Controller &controller() { return *controller_; }
+    const Controller &controller() const { return *controller_; }
+
+    sim::Time period() const { return period_; }
+
+    /** Samples taken so far. */
+    uint64_t samples() const { return samples_; }
+
+    /** Time-averaged low-priority core count. */
+    double avgLoCores() const;
+
+    /** Time-averaged enabled-prefetcher count. */
+    double avgLoPrefetchers() const;
+
+    /** Time-averaged backfill core count. */
+    double avgHiBackfill() const;
+
+  private:
+    void onSample(sim::Time now);
+
+    std::unique_ptr<Controller> controller_;
+    sim::Time period_;
+    uint64_t samples_ = 0;
+    sim::OnlineStats loCores_;
+    sim::OnlineStats loPrefetchers_;
+    sim::OnlineStats hiBackfill_;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_MANAGER_HH

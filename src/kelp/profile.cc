@@ -1,0 +1,75 @@
+#include "kelp/profile.hh"
+
+namespace kelp {
+namespace runtime {
+
+AppProfile
+defaultProfile(wl::MlWorkload workload, const node::PlatformSpec &platform)
+{
+    const double peak = platform.mem.socket.peakBw;
+    const double sub_peak = peak / 2.0;
+    const double base_lat = platform.mem.socket.baseLatency;
+
+    AppProfile p;
+    p.workload = wl::mlName(workload);
+
+    // Conservative socket-level throttling points: well below the
+    // distress threshold (0.80 of peak) so low-priority tasks are
+    // throttled before global backpressure kicks in.
+    p.socketBw = {0.70 * peak, 0.45 * peak};
+    p.latency = {1.60 * base_lat, 1.30 * base_lat};
+    p.saturation = {0.10, 0.02};
+    if (workload == wl::MlWorkload::Cnn3) {
+        // The parameter server saturates its own subdomain during
+        // aggregation phases; the profile must not blame colocated
+        // tasks for the ML task's own bursts (Section IV-D: profiles
+        // are per-application).
+        p.saturation = {0.30, 0.12};
+        p.latency = {1.90 * base_lat, 1.50 * base_lat};
+    }
+
+    // High-priority-subdomain bandwidth watermark: leave headroom
+    // above the ML task's own appetite before counting backfilled
+    // traffic as interference.
+    switch (workload) {
+      case wl::MlWorkload::Rnn1:
+      case wl::MlWorkload::Cnn1:
+        // Low host-memory-intensity workloads (Table I): generous
+        // backfill headroom before subdomain traffic counts as
+        // interference.
+        p.hiSubBw = {0.60 * sub_peak, 0.40 * sub_peak};
+        break;
+      case wl::MlWorkload::Cnn2:
+        // Medium intensity: the in-feed itself uses a fair share, so
+        // the watermarks sit above its own appetite.
+        p.hiSubBw = {0.75 * sub_peak, 0.55 * sub_peak};
+        break;
+      case wl::MlWorkload::Cnn3:
+        // High intensity: the parameter server's aggregation bursts
+        // already approach the subdomain's capacity, so backfill
+        // headroom is slim -- the watermarks sit just above the ps
+        // phase's own time-averaged bandwidth.
+        p.hiSubBw = {0.55 * sub_peak, 0.35 * sub_peak};
+        break;
+    }
+    return p;
+}
+
+AppProfile
+coreThrottleProfile(wl::MlWorkload workload,
+                    const node::PlatformSpec &platform)
+{
+    AppProfile p = defaultProfile(workload, platform);
+    // Utilization-oriented targets: throttle only when the socket is
+    // visibly saturated; recover aggressively. This reproduces prior
+    // work's behaviour of leaving more low-priority capacity online
+    // at the cost of weaker ML protection (Figures 9/10/13).
+    const double peak = platform.mem.socket.peakBw;
+    const double base_lat = platform.mem.socket.baseLatency;
+    p.socketBw = {0.72 * peak, 0.52 * peak};
+    p.latency = {1.65 * base_lat, 1.35 * base_lat};
+    return p;
+}
+
+} // namespace runtime
+} // namespace kelp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Application profiles: the per-workload watermarks Kelp loads when a
+ * job is scheduled onto the node (Section IV-D).
+ *
+ * Algorithm 1 compares four measurements against high/low watermarks:
+ * socket bandwidth, memory latency, memory saturation, and
+ * high-priority-subdomain bandwidth. "Thresholds for throttling are
+ * configured conservatively to prioritize accelerated tasks."
+ */
+
+#ifndef KELP_RUNTIME_PROFILE_HH
+#define KELP_RUNTIME_PROFILE_HH
+
+#include <string>
+
+#include "node/platform.hh"
+#include "workload/catalog.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** A high/low watermark pair for one measurement. */
+struct Watermarks
+{
+    double hi = 0.0;
+    double lo = 0.0;
+
+    bool isHigh(double x) const { return x > hi; }
+    bool isLow(double x) const { return x < lo; }
+};
+
+/** Watermarks for the four measurements Kelp makes. */
+struct AppProfile
+{
+    std::string workload;
+
+    /** Socket memory bandwidth, GiB/s. */
+    Watermarks socketBw;
+
+    /** Memory latency, ns. */
+    Watermarks latency;
+
+    /** Memory saturation (distress duty cycle), [0, 1]. */
+    Watermarks saturation;
+
+    /** High-priority-subdomain bandwidth, GiB/s. */
+    Watermarks hiSubBw;
+};
+
+/**
+ * Default profile for an ML workload on its platform. Watermarks are
+ * fractions of platform peak bandwidth / unloaded latency, shifted
+ * per workload for its own bandwidth appetite (CNN3's parameter
+ * server legitimately drives its subdomain hard, so its subdomain
+ * watermark sits higher).
+ */
+AppProfile defaultProfile(wl::MlWorkload workload,
+                          const node::PlatformSpec &platform);
+
+/**
+ * Watermarks for the CoreThrottle baseline: prior-work runtimes
+ * (Heracles-style) target overall socket utilization and are less
+ * conservative than Kelp's accelerator-first thresholds.
+ */
+AppProfile coreThrottleProfile(wl::MlWorkload workload,
+                               const node::PlatformSpec &platform);
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_PROFILE_HH

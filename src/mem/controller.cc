@@ -1,0 +1,120 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace mem {
+
+Controller::Controller(sim::McId id, sim::SocketId socket,
+                       sim::GiBps capacity, LatencyCurve curve)
+    : id_(id), socket_(socket), capacity_(capacity), curve_(curve),
+      latency_(curve.base())
+{
+    KELP_ASSERT(capacity > 0.0, "controller capacity must be positive");
+}
+
+void
+Controller::beginTick()
+{
+    demands_.clear();
+    grants_.clear();
+}
+
+void
+Controller::addDemand(int requestor, sim::GiBps demand,
+                      bool high_priority, sim::Nanoseconds latency_extra)
+{
+    KELP_ASSERT(demand >= 0.0, "negative bandwidth demand");
+    if (demand <= 0.0)
+        return;
+    demands_.push_back({requestor, demand, high_priority, latency_extra});
+}
+
+void
+Controller::resolve(sim::Time dt)
+{
+    sim::GiBps total = 0.0;
+    for (const auto &d : demands_)
+        total += d.demand;
+
+    // Demand-based utilization drives latency: queues form from what
+    // is *requested*, even though delivery is capped at capacity.
+    utilization_ = std::min(total / capacity_, 1.0);
+    latency_ = curve_.at(utilization_);
+
+    if (arbitration_ == Arbitration::Fair) {
+        double frac = total <= capacity_ ? 1.0 : capacity_ / total;
+        delivered_ = 0.0;
+        for (const auto &d : demands_) {
+            Grant &g = grants_[d.requestor];
+            double given = d.demand * frac;
+            // A requestor may submit several flows to one controller
+            // (e.g., demand + prefetch); merge grants by demand
+            // weight.
+            double w_old = g.delivered;
+            g.delivered += given;
+            g.fraction = frac;
+            if (g.delivered > 0.0) {
+                g.latency = (g.latency * w_old +
+                             (latency_ + d.latencyExtra) * given) /
+                            g.delivered;
+            }
+            delivered_ += given;
+        }
+    } else {
+        // RequestPriority: serve high-priority demands at (almost)
+        // unloaded latency first; low-priority flows split what is
+        // left and absorb all the queueing.
+        sim::GiBps hi_total = 0.0, lo_total = 0.0;
+        for (const auto &d : demands_)
+            (d.highPriority ? hi_total : lo_total) += d.demand;
+
+        double hi_frac = hi_total <= capacity_ ?
+            1.0 : capacity_ / hi_total;
+        sim::GiBps remaining =
+            std::max(0.0, capacity_ - hi_total * hi_frac);
+        double lo_frac = lo_total <= remaining ?
+            1.0 : (lo_total > 0.0 ? remaining / lo_total : 1.0);
+
+        // High-priority requests bypass the queue; they only see the
+        // load their own class generates.
+        double hi_util = std::min(hi_total / capacity_, 1.0);
+        sim::Nanoseconds hi_lat = curve_.at(hi_util);
+
+        delivered_ = 0.0;
+        for (const auto &d : demands_) {
+            Grant &g = grants_[d.requestor];
+            double frac = d.highPriority ? hi_frac : lo_frac;
+            sim::Nanoseconds lat =
+                (d.highPriority ? hi_lat : latency_) + d.latencyExtra;
+            double given = d.demand * frac;
+            double w_old = g.delivered;
+            g.delivered += given;
+            g.fraction = frac;
+            if (g.delivered > 0.0) {
+                g.latency =
+                    (g.latency * w_old + lat * given) / g.delivered;
+            }
+            delivered_ += given;
+        }
+    }
+
+    bwAccum_.accumulate(delivered_, dt);
+    utilAccum_.accumulate(utilization_, dt);
+    latAccum_.accumulate(latency_ * std::max(delivered_, 1e-9), dt);
+}
+
+Grant
+Controller::grant(int requestor) const
+{
+    auto it = grants_.find(requestor);
+    if (it == grants_.end())
+        return Grant{0.0, 1.0, latency_};
+    return it->second;
+}
+
+} // namespace mem
+} // namespace kelp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Latency-load curve for DRAM controllers.
+ *
+ * Memory access latency is flat at low utilization and grows convexly
+ * as the controller approaches saturation (classic bandwidth-latency
+ * "hockey stick"). The curve is parameterized by the unloaded latency
+ * and the inflation factor at 95% utilization, which is the landmark
+ * the calibration constants are written against.
+ */
+
+#ifndef KELP_MEM_LATENCY_CURVE_HH
+#define KELP_MEM_LATENCY_CURVE_HH
+
+#include "sim/types.hh"
+
+namespace kelp {
+namespace mem {
+
+/** Maps controller utilization in [0, 1] to effective latency. */
+class LatencyCurve
+{
+  public:
+    /**
+     * @param base_ns Unloaded (idle-controller) latency.
+     * @param inflation_at_95 Latency multiplier when utilization hits
+     *        0.95 (e.g., 4.0 means 4x the unloaded latency).
+     */
+    explicit LatencyCurve(sim::Nanoseconds base_ns = 90.0,
+                          double inflation_at_95 = 4.0);
+
+    /** Effective latency at the given utilization. */
+    sim::Nanoseconds at(double utilization) const;
+
+    /** Latency multiplier (>= 1) at the given utilization. */
+    double inflation(double utilization) const;
+
+    /** Unloaded latency. */
+    sim::Nanoseconds base() const { return base_; }
+
+  private:
+    sim::Nanoseconds base_;
+    double alpha_;
+};
+
+} // namespace mem
+} // namespace kelp
+
+#endif // KELP_MEM_LATENCY_CURVE_HH

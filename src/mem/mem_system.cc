@@ -1,0 +1,230 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace mem {
+
+MemSystem::MemSystem(const MemSystemConfig &cfg)
+    : cfg_(cfg),
+      upi_(cfg.upiCapacity, cfg.upiHopLatency, cfg.upiCoherenceTax)
+{
+    KELP_ASSERT(cfg.numSockets >= 1 && cfg.numSockets <= 2,
+                "MemSystem supports 1 or 2 sockets");
+    sockets_.resize(cfg.numSockets);
+    LatencyCurve curve(cfg.socket.baseLatency, cfg.socket.inflationAt95);
+    sim::McId next_id = 0;
+    for (int s = 0; s < cfg.numSockets; ++s) {
+        for (int d = 0; d < 2; ++d) {
+            sockets_[s].mc[d] = std::make_unique<Controller>(
+                next_id++, s, cfg.socket.peakBw / 2.0, curve);
+        }
+        sockets_[s].backpressure = std::make_unique<BackpressureUnit>(
+            cfg.socket.distressThreshold, cfg.socket.throttleStrength);
+    }
+}
+
+void
+MemSystem::setArbitration(Arbitration mode)
+{
+    for (auto &s : sockets_)
+        for (auto &mc : s.mc)
+            mc->setArbitration(mode);
+}
+
+void
+MemSystem::beginTick()
+{
+    flows_.clear();
+    for (auto &s : sockets_)
+        for (auto &mc : s.mc)
+            mc->beginTick();
+    upi_.beginTick();
+}
+
+void
+MemSystem::addFlow(int requestor, const Route &route, sim::GiBps demand,
+                   bool high_priority)
+{
+    KELP_ASSERT(route.homeSocket >= 0 && route.homeSocket < numSockets(),
+                "flow home socket out of range");
+    KELP_ASSERT(route.reqSocket >= 0 && route.reqSocket < numSockets(),
+                "flow request socket out of range");
+    if (demand <= 0.0)
+        return;
+    flows_.push_back({requestor, route, demand, high_priority});
+}
+
+double
+MemSystem::sncFactor(const Route &route) const
+{
+    if (!sncEnabled_ || route.homeSocket != route.reqSocket)
+        return 1.0;
+    return route.reqSub == route.homeSub ?
+        cfg_.socket.sncLocalLatencyFactor :
+        cfg_.socket.sncRemoteLatencyFactor;
+}
+
+void
+MemSystem::resolve(sim::Time dt)
+{
+    // 1. Cross-socket link first: remote flows are capped by the link
+    //    before they ever reach the remote controller.
+    for (const auto &f : flows_) {
+        if (f.route.homeSocket != f.route.reqSocket)
+            upi_.addDemand(f.demand);
+    }
+    upi_.resolve(dt);
+
+    // 2. Route flows to controllers. Remote flows hold the home
+    //    controller longer than their data volume implies.
+    for (const auto &f : flows_) {
+        bool remote = f.route.homeSocket != f.route.reqSocket;
+        sim::Nanoseconds extra = remote ? upi_.remoteLatency() : 0.0;
+        sim::GiBps demand = remote ?
+            f.demand * upi_.grantFraction() * cfg_.remoteMcOverhead :
+            f.demand;
+        auto &home = sockets_[f.route.homeSocket];
+        if (sncEnabled_) {
+            home.mc[f.route.homeSub]->addDemand(
+                f.requestor, demand, f.highPriority, extra);
+        } else {
+            // Channel interleaving spreads the flow across both
+            // controllers evenly.
+            home.mc[0]->addDemand(f.requestor, demand / 2.0,
+                                  f.highPriority, extra);
+            home.mc[1]->addDemand(f.requestor, demand / 2.0,
+                                  f.highPriority, extra);
+        }
+    }
+    for (auto &s : sockets_)
+        for (auto &mc : s.mc)
+            mc->resolve(dt);
+
+    // 3. Distress signals (socket-wide shared backpressure). The
+    //    inter-socket link participates: the throttling mechanism
+    //    exists precisely "to avoid congesting the interconnection
+    //    network" (Section IV-B), so a saturated link distresses the
+    //    cores on both attached sockets.
+    for (auto &s : sockets_) {
+        double max_util = std::max({s.mc[0]->utilization(),
+                                    s.mc[1]->utilization(),
+                                    upi_.congestionUtilization()});
+        s.backpressure->update(max_util, dt);
+    }
+
+    // 4. Assemble per-requestor grants. The coherence tax from the
+    //    inter-socket link inflates every access's latency.
+    double coh = upi_.coherenceInflation();
+    grants_.clear();
+    struct Merge { double delivered = 0, demand = 0, lat_w = 0; };
+    std::unordered_map<int, Merge> merged;
+    for (const auto &f : flows_) {
+        double snc = sncFactor(f.route);
+        bool remote = f.route.homeSocket != f.route.reqSocket;
+        auto &home = sockets_[f.route.homeSocket];
+        double delivered = 0.0;
+        double lat = 0.0;
+        if (sncEnabled_) {
+            Grant g = home.mc[f.route.homeSub]->grant(f.requestor);
+            // The controller merges same-requestor flows, so recover
+            // this flow's share by its demand fraction.
+            delivered = f.demand *
+                (remote ? upi_.grantFraction() : 1.0) * g.fraction;
+            lat = g.latency;
+        } else {
+            Grant g0 = home.mc[0]->grant(f.requestor);
+            Grant g1 = home.mc[1]->grant(f.requestor);
+            double eff =
+                f.demand * (remote ? upi_.grantFraction() : 1.0);
+            delivered = eff / 2.0 * g0.fraction +
+                        eff / 2.0 * g1.fraction;
+            lat = (g0.latency + g1.latency) / 2.0;
+        }
+        lat = lat * snc * coh;
+        auto &m = merged[f.requestor];
+        m.delivered += delivered;
+        m.demand += f.demand;
+        m.lat_w += lat * std::max(delivered, 1e-12);
+    }
+    for (const auto &[req, m] : merged) {
+        Grant g;
+        g.delivered = m.delivered;
+        g.fraction = m.demand > 0.0 ?
+            std::min(m.delivered / m.demand, 1.0) : 1.0;
+        g.latency = m.delivered > 0.0 ? m.lat_w / m.delivered :
+            cfg_.socket.baseLatency;
+        grants_[req] = g;
+    }
+
+    // 5. Socket-level counters for the HAL.
+    for (auto &s : sockets_) {
+        double bw0 = s.mc[0]->totalDelivered();
+        double bw1 = s.mc[1]->totalDelivered();
+        s.counters.bw.accumulate(bw0 + bw1, dt);
+        s.counters.subdomainBw[0].accumulate(bw0, dt);
+        s.counters.subdomainBw[1].accumulate(bw1, dt);
+        s.counters.subdomainLat[0].accumulate(
+            s.mc[0]->latency() * coh, dt);
+        s.counters.subdomainLat[1].accumulate(
+            s.mc[1]->latency() * coh, dt);
+        double lat;
+        if (bw0 + bw1 > 0.0) {
+            lat = (s.mc[0]->latency() * bw0 + s.mc[1]->latency() * bw1) /
+                  (bw0 + bw1);
+        } else {
+            lat = cfg_.socket.baseLatency;
+        }
+        s.counters.latency.accumulate(lat * coh, dt);
+    }
+}
+
+Grant
+MemSystem::grant(int requestor) const
+{
+    auto it = grants_.find(requestor);
+    if (it == grants_.end())
+        return Grant{0.0, 1.0, cfg_.socket.baseLatency};
+    return it->second;
+}
+
+double
+MemSystem::coreThrottle(sim::SocketId s) const
+{
+    KELP_ASSERT(s >= 0 && s < numSockets(), "socket out of range");
+    return sockets_[s].backpressure->coreThrottle();
+}
+
+double
+MemSystem::saturation(sim::SocketId s) const
+{
+    KELP_ASSERT(s >= 0 && s < numSockets(), "socket out of range");
+    return sockets_[s].backpressure->assertedFraction();
+}
+
+const Controller &
+MemSystem::controller(sim::SocketId s, sim::SubdomainId d) const
+{
+    KELP_ASSERT(s >= 0 && s < numSockets() && (d == 0 || d == 1),
+                "controller index out of range");
+    return *sockets_[s].mc[d];
+}
+
+const SocketCounters &
+MemSystem::counters(sim::SocketId s) const
+{
+    KELP_ASSERT(s >= 0 && s < numSockets(), "socket out of range");
+    return sockets_[s].counters;
+}
+
+const sim::IntervalAccumulator &
+MemSystem::fastAsserted(sim::SocketId s) const
+{
+    KELP_ASSERT(s >= 0 && s < numSockets(), "socket out of range");
+    return sockets_[s].backpressure->fastAsserted();
+}
+
+} // namespace mem
+} // namespace kelp

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Node-level memory system: per-socket controller pairs, NUMA
+ * subdomain routing, shared backpressure, and the cross-socket link.
+ *
+ * Each socket owns two memory controllers (two halves of its channel
+ * population). With NUMA subdomains (SNC/CoD) *disabled*, every flow
+ * interleaves 50/50 across both controllers of its home socket --
+ * full socket bandwidth, fully shared. With subdomains *enabled*,
+ * a flow is routed to the controller of its home subdomain only, and
+ * same-subdomain accesses enjoy a small latency discount while
+ * cross-subdomain accesses pay a small premium (the SNC side effects
+ * the paper measures in Section IV-A).
+ *
+ * Per tick the node submits flows, calls resolve(), and reads grants,
+ * throttles, and counters back.
+ */
+
+#ifndef KELP_MEM_MEM_SYSTEM_HH
+#define KELP_MEM_MEM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/backpressure.hh"
+#include "mem/controller.hh"
+#include "mem/upi.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace mem {
+
+/** Memory-related parameters of one socket. */
+struct SocketMemConfig
+{
+    /** Total peak socket bandwidth (both controllers), GiB/s. */
+    sim::GiBps peakBw = 76.8;
+
+    /** Unloaded memory latency, ns. */
+    sim::Nanoseconds baseLatency = 90.0;
+
+    /** Latency multiplier at 95% controller utilization. */
+    double inflationAt95 = 4.0;
+
+    /** Controller utilization where the distress signal asserts. */
+    double distressThreshold = 0.80;
+
+    /** Max issue-rate fraction removed by socket-wide throttling. */
+    double throttleStrength = 0.45;
+
+    /** Latency factor for same-subdomain accesses under SNC (< 1). */
+    double sncLocalLatencyFactor = 0.92;
+
+    /** Latency factor for cross-subdomain accesses under SNC (> 1). */
+    double sncRemoteLatencyFactor = 1.10;
+};
+
+/** Parameters of the full memory system. */
+struct MemSystemConfig
+{
+    int numSockets = 2;
+    SocketMemConfig socket;
+
+    /** Cross-socket link bandwidth, GiB/s. */
+    sim::GiBps upiCapacity = 40.0;
+
+    /** Added latency per remote hop, ns. */
+    sim::Nanoseconds upiHopLatency = 70.0;
+
+    /** Coherence latency tax at full link load (platform knob; the
+     * Cloud TPU platform's is the highest, per Section VI-A). */
+    double upiCoherenceTax = 0.5;
+
+    /**
+     * Controller-occupancy overhead of remote requests: a request
+     * arriving over the link holds the home controller longer
+     * (coherence round-trips, open-page misses), so remote traffic
+     * consumes this multiple of its data bandwidth at the home
+     * controller.
+     */
+    double remoteMcOverhead = 1.5;
+};
+
+/** Where a flow originates and where its data lives. */
+struct Route
+{
+    sim::SocketId reqSocket = 0;
+    sim::SubdomainId reqSub = 0;
+    sim::SocketId homeSocket = 0;
+    sim::SubdomainId homeSub = 0;
+};
+
+/** Aggregated per-socket counters exposed to the HAL. */
+struct SocketCounters
+{
+    sim::IntervalAccumulator bw;
+    sim::IntervalAccumulator latency;
+    std::array<sim::IntervalAccumulator, 2> subdomainBw;
+    std::array<sim::IntervalAccumulator, 2> subdomainLat;
+};
+
+/**
+ * The complete host memory system of a node.
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemConfig &cfg);
+
+    int numSockets() const { return static_cast<int>(sockets_.size()); }
+
+    /** Enable/disable NUMA subdomains (SNC/CoD) on all sockets. */
+    void setSncEnabled(bool enabled) { sncEnabled_ = enabled; }
+    bool sncEnabled() const { return sncEnabled_; }
+
+    /** Select controller arbitration for the what-if ablation. */
+    void setArbitration(Arbitration mode);
+
+    /** Clear per-tick state; call before submitting flows. */
+    void beginTick();
+
+    /**
+     * Submit one flow's bandwidth demand for this tick.
+     *
+     * @param requestor Task identifier.
+     * @param route Requesting/home placement of the flow.
+     * @param demand Requested bandwidth, GiB/s.
+     * @param high_priority Request-priority class (used only under
+     *        RequestPriority arbitration).
+     */
+    void addFlow(int requestor, const Route &route, sim::GiBps demand,
+                 bool high_priority = false);
+
+    /** Resolve all flows for a tick of length dt. */
+    void resolve(sim::Time dt);
+
+    /** Aggregated grant for a requestor across all its flows. */
+    Grant grant(int requestor) const;
+
+    /**
+     * Core issue-rate multiplier for a socket, reflecting the last
+     * resolve(). Read it *before* submitting this tick's flows to get
+     * the physical one-tick signal-propagation delay.
+     */
+    double coreThrottle(sim::SocketId s) const;
+
+    /** Instantaneous distress duty cycle for a socket. */
+    double saturation(sim::SocketId s) const;
+
+    /** Effective unloaded latency (for normalizing stall factors). */
+    sim::Nanoseconds baseLatency() const { return cfg_.socket.baseLatency; }
+
+    /** Utilization of a specific controller (testing/inspection). */
+    const Controller &controller(sim::SocketId s,
+                                 sim::SubdomainId d) const;
+
+    const UpiLink &upi() const { return upi_; }
+
+    /** Per-socket counter block (bandwidth, latency, subdomain BW). */
+    const SocketCounters &counters(sim::SocketId s) const;
+
+    /** FAST_ASSERTED-equivalent accumulator for a socket. */
+    const sim::IntervalAccumulator &fastAsserted(sim::SocketId s) const;
+
+    const MemSystemConfig &config() const { return cfg_; }
+
+  private:
+    struct Flow
+    {
+        int requestor;
+        Route route;
+        sim::GiBps demand;
+        bool highPriority;
+    };
+
+    struct SocketState
+    {
+        std::array<std::unique_ptr<Controller>, 2> mc;
+        std::unique_ptr<BackpressureUnit> backpressure;
+        SocketCounters counters;
+    };
+
+    /** Latency factor from SNC locality for a flow. */
+    double sncFactor(const Route &route) const;
+
+    MemSystemConfig cfg_;
+    bool sncEnabled_ = false;
+    std::vector<SocketState> sockets_;
+    UpiLink upi_;
+    std::vector<Flow> flows_;
+    std::unordered_map<int, Grant> grants_;
+};
+
+} // namespace mem
+} // namespace kelp
+
+#endif // KELP_MEM_MEM_SYSTEM_HH

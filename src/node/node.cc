@@ -1,0 +1,305 @@
+#include "node/node.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace node {
+
+Node::Node(const PlatformSpec &spec)
+    : spec_(spec), topo_(spec.topo), mem_(spec.mem),
+      accel_(spec.accel), groups_(topo_), knobs_(groups_)
+{
+}
+
+wl::Task &
+Node::addTask(std::unique_ptr<wl::Task> task)
+{
+    KELP_ASSERT(task, "null task");
+    KELP_ASSERT(task->group() >= 0 && task->group() < groups_.size(),
+                "task placed into unknown group ", task->group());
+    task->setId(static_cast<int>(tasks_.size()));
+    tasks_.push_back(std::move(task));
+    states_.push_back(TaskState{tasks_.back().get(), {}, {}});
+    return *tasks_.back();
+}
+
+void
+Node::attach(sim::Engine &engine)
+{
+    engine.onTick([this](sim::Time now, sim::Time dt) {
+        tick(now, dt);
+    });
+}
+
+Node::TaskState &
+Node::stateOf(const wl::Task &task)
+{
+    KELP_ASSERT(task.id() >= 0 &&
+                task.id() < static_cast<int>(states_.size()),
+                "task not placed on this node");
+    return states_[task.id()];
+}
+
+const wl::ExecEnv &
+Node::lastEnv(const wl::Task &task) const
+{
+    KELP_ASSERT(task.id() >= 0 &&
+                task.id() < static_cast<int>(states_.size()),
+                "task not placed on this node");
+    return states_[task.id()].env;
+}
+
+void
+Node::computeCoreShares()
+{
+    // A pool is a set of tasks sharing a set of cores: one pool per
+    // pinned group per socket, plus one floating pool per socket over
+    // the unpinned cores.
+    struct Pool
+    {
+        double cores = 0.0;
+        std::array<double, 2> coresPerSub = {0.0, 0.0};
+        int threads = 0;
+        std::vector<TaskState *> members;
+    };
+
+    for (int s = 0; s < topo_.sockets(); ++s) {
+        std::unordered_map<int, Pool> pinned_pools;
+        Pool floating;
+
+        int pinned_cores = 0;
+        for (const auto &g : groups_.all()) {
+            if (!g->floating() && g->cores().inSocket(s) > 0) {
+                Pool &p = pinned_pools[g->id()];
+                p.cores = g->cores().inSocket(s);
+                p.coresPerSub[0] = g->cores().inSubdomain(s, 0);
+                p.coresPerSub[1] = g->cores().inSubdomain(s, 1);
+                pinned_cores += g->cores().inSocket(s);
+            }
+        }
+        floating.cores = std::max(
+            topo_.coresPerSocket() - pinned_cores, 0);
+        floating.coresPerSub[0] = floating.cores / 2.0;
+        floating.coresPerSub[1] = floating.cores / 2.0;
+
+        for (auto &st : states_) {
+            if (st.task->homeSocket() != s)
+                continue;
+            const auto &g = groups_.get(st.task->group());
+            Pool *pool = nullptr;
+            if (!g.floating() && pinned_pools.count(g.id()))
+                pool = &pinned_pools[g.id()];
+            else
+                pool = &floating;
+            pool->threads += st.task->threadsWanted();
+            pool->members.push_back(&st);
+        }
+
+        auto apply = [this](Pool &pool) {
+            if (pool.members.empty())
+                return;
+            double smt = topo_.config().smtSiblingFactor;
+            for (auto *st : pool.members) {
+                int n = st->task->threadsWanted();
+                // Slots: how many of the task's threads can run at
+                // once (SMT doubles thread capacity). SMT factor: the
+                // per-running-thread throughput penalty from sibling
+                // sharing.
+                double slots_frac = 0.0;
+                double smt_factor = 1.0;
+                if (pool.cores > 0.0 && pool.threads > 0) {
+                    double r = pool.threads / pool.cores;
+                    if (r <= 1.0) {
+                        slots_frac = 1.0;
+                    } else {
+                        double running = std::min(
+                            static_cast<double>(pool.threads),
+                            2.0 * pool.cores);
+                        double c_eff = pool.cores *
+                            (1.0 + smt * std::min(r - 1.0, 1.0));
+                        slots_frac = running / pool.threads;
+                        smt_factor = c_eff / running;
+                    }
+                }
+                st->env.effCores = n * slots_frac;
+                st->env.smtFactor = smt_factor;
+                // Split a task's effective cores across subdomains in
+                // proportion to the pool's core placement.
+                for (int d = 0; d < 2; ++d) {
+                    st->coresPerSub[d] = pool.cores > 0.0 ?
+                        st->env.effCores *
+                            (pool.coresPerSub[d] / pool.cores) :
+                        0.0;
+                }
+            }
+        };
+
+        for (auto &[id, pool] : pinned_pools)
+            apply(pool);
+        apply(floating);
+    }
+}
+
+void
+Node::computeLlc()
+{
+    // Miss ratios are rebuilt from scratch every tick: a task
+    // accumulates one weighted contribution per LLC domain it has
+    // cores in (-1 marks "no contribution yet").
+    for (auto &st : states_)
+        st.env.missRatio = -1.0;
+
+    bool snc = mem_.sncEnabled();
+    for (int s = 0; s < topo_.sockets(); ++s) {
+        int domains = snc ? 2 : 1;
+        for (int d = 0; d < domains; ++d) {
+            cpu::Llc llc(snc ? topo_.llcMbPerSubdomain() :
+                               topo_.config().llcMbPerSocket,
+                         snc ? topo_.llcWaysPerSubdomain() :
+                               topo_.config().llcWays);
+
+            // Gather requests from tasks with cores in this domain.
+            std::vector<cpu::LlcRequest> reqs;
+            std::vector<TaskState *> present;
+            for (auto &st : states_) {
+                if (st.task->homeSocket() != s)
+                    continue;
+                double cores = snc ? st.coresPerSub[d] :
+                    st.coresPerSub[0] + st.coresPerSub[1];
+                if (cores <= 1e-9)
+                    continue;
+                const auto &g = groups_.get(st.task->group());
+                wl::HostPhaseParams prof = st.task->llcProfile();
+                cpu::LlcRequest r;
+                r.group = st.task->id();
+                r.footprintMb = prof.llcFootprintMb;
+                r.weight = prof.llcWeight * cores;
+                r.dedicatedWays =
+                    std::min(g.catWays(), llc.ways() - 1);
+                r.hitMax = prof.llcHitMax;
+                reqs.push_back(r);
+                present.push_back(&st);
+            }
+            if (reqs.empty())
+                continue;
+
+            auto shares = llc.apportion(reqs);
+            for (auto *st : present) {
+                wl::HostPhaseParams prof = st->task->llcProfile();
+                // Standalone reference: the full socket LLC, alone,
+                // SNC off (the paper's normalization baseline).
+                double hit_alone = cpu::Llc::hitRate(
+                    topo_.config().llcMbPerSocket,
+                    prof.llcFootprintMb, prof.llcHitMax);
+                double hit_now = shares.at(st->task->id()).hitRate;
+                double miss_alone = std::max(1.0 - hit_alone, 0.01);
+                double miss_now = std::max(1.0 - hit_now, 0.0);
+                double ratio = miss_now / miss_alone;
+                // Weight by the task's core split across domains so
+                // spanning tasks blend their two domains' ratios.
+                double c0 = st->coresPerSub[0];
+                double c1 = st->coresPerSub[1];
+                double total = c0 + c1;
+                double w = 1.0;
+                if (snc && total > 0.0)
+                    w = (d == 0 ? c0 : c1) / total;
+                double contrib = ratio * w;
+                st->env.missRatio = st->env.missRatio < 0.0 ?
+                    contrib : st->env.missRatio + contrib;
+            }
+        }
+    }
+
+    // Tasks with no cores anywhere keep the neutral ratio.
+    for (auto &st : states_)
+        if (st.env.missRatio < 0.0)
+            st.env.missRatio = 1.0;
+}
+
+void
+Node::resolveAndAdvance(sim::Time dt)
+{
+    // Throttles from the previous tick's distress state (one tick of
+    // physical signal propagation).
+    std::array<double, 2> throttle = {1.0, 1.0};
+    for (int s = 0; s < mem_.numSockets(); ++s)
+        throttle[s] = mem_.coreThrottle(s);
+
+    mem_.beginTick();
+
+    // Pass 1: collect and route demands.
+    for (auto &st : states_) {
+        const auto &g = groups_.get(st.task->group());
+        st.env.socket = st.task->homeSocket();
+        st.env.pfFraction = g.floating() ? 1.0 : g.prefetcherFraction();
+        st.env.throttle = throttle[st.env.socket];
+        if (priorityAwareBackpressure_ &&
+            g.priority() == hal::Priority::High) {
+            st.env.throttle = 1.0;
+        }
+        st.env.baseLatencyNs = mem_.baseLatency();
+
+        sim::GiBps demand = st.task->bwDemand(st.env);
+        if (demand <= 0.0)
+            continue;
+
+        bool hi = g.priority() == hal::Priority::High;
+        sim::SocketId home = st.task->homeSocket();
+        if (!st.task->dataPlacement().empty()) {
+            // Explicit placement (Remote-DRAM experiments). The
+            // requesting subdomain is where most of its cores sit.
+            sim::SubdomainId req_sub =
+                st.coresPerSub[1] > st.coresPerSub[0] ? 1 : 0;
+            for (const auto &share : st.task->dataPlacement()) {
+                mem::Route route{home, req_sub, share.socket,
+                                 share.subdomain};
+                mem_.addFlow(st.task->id(), route,
+                             demand * share.fraction, hi);
+            }
+        } else {
+            // Local allocation: data lives where the cores are.
+            double c0 = st.coresPerSub[0];
+            double c1 = st.coresPerSub[1];
+            double total = c0 + c1;
+            if (total <= 1e-12) {
+                continue;
+            }
+            if (c0 > 1e-12) {
+                mem_.addFlow(st.task->id(),
+                             {home, 0, home, 0}, demand * c0 / total,
+                             hi);
+            }
+            if (c1 > 1e-12) {
+                mem_.addFlow(st.task->id(),
+                             {home, 1, home, 1}, demand * c1 / total,
+                             hi);
+            }
+        }
+    }
+
+    mem_.resolve(dt);
+
+    // Pass 2: advance with post-resolve environments.
+    for (auto &st : states_) {
+        mem::Grant grant = mem_.grant(st.task->id());
+        st.env.latencyNs = grant.latency;
+        st.env.bwFraction = grant.fraction;
+        st.task->advance(dt, st.env);
+    }
+}
+
+void
+Node::tick(sim::Time now, sim::Time dt)
+{
+    (void)now;
+    computeCoreShares();
+    computeLlc();
+    resolveAndAdvance(dt);
+}
+
+} // namespace node
+} // namespace kelp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Node: a complete accelerated server, and the per-tick orchestration
+ * that couples tasks to the hardware models.
+ *
+ * Every tick the node:
+ *  1. Builds core pools per socket (pinned groups own their masked
+ *     cores; floating groups share the rest) and computes each task's
+ *     effective cores, folding in fair sharing and SMT capacity.
+ *  2. Apportions each LLC domain (socket-wide, or per-subdomain when
+ *     SNC is on) among the tasks present and derives per-task LLC
+ *     miss ratios relative to their standalone hit rates.
+ *  3. Reads the previous tick's distress throttles, collects per-task
+ *     bandwidth demands, and routes them: explicit data placements
+ *     (Remote-DRAM experiments) or local-allocation splits across the
+ *     subdomains where the task holds cores.
+ *  4. Resolves the memory system and advances every task with its
+ *     post-resolve environment.
+ */
+
+#ifndef KELP_NODE_NODE_HH
+#define KELP_NODE_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "cpu/llc.hh"
+#include "cpu/topology.hh"
+#include "hal/knobs.hh"
+#include "hal/task_group.hh"
+#include "mem/mem_system.hh"
+#include "node/platform.hh"
+#include "sim/engine.hh"
+#include "workload/task.hh"
+
+namespace kelp {
+namespace node {
+
+/** A fully-assembled accelerated server. */
+class Node
+{
+  public:
+    explicit Node(const PlatformSpec &spec);
+
+    const PlatformSpec &spec() const { return spec_; }
+    const cpu::Topology &topology() const { return topo_; }
+    mem::MemSystem &memSystem() { return mem_; }
+    const mem::MemSystem &memSystem() const { return mem_; }
+    accel::Accelerator &accelerator() { return accel_; }
+    hal::GroupRegistry &groups() { return groups_; }
+    hal::ResourceKnobs &knobs() { return knobs_; }
+
+    /** Enable NUMA subdomains on the host (SNC/CoD). */
+    void setSncEnabled(bool enabled) { mem_.setSncEnabled(enabled); }
+    bool sncEnabled() const { return mem_.sncEnabled(); }
+
+    /**
+     * Section VI-C what-if: backpressure that targets the offending
+     * threads only -- high-priority groups are exempt from the
+     * distress throttle. Off by default (the paper's hardware
+     * throttles every core on the socket).
+     */
+    void setPriorityAwareBackpressure(bool enabled)
+    {
+        priorityAwareBackpressure_ = enabled;
+    }
+    bool priorityAwareBackpressure() const
+    {
+        return priorityAwareBackpressure_;
+    }
+
+    /**
+     * Place a task on the node. The node assigns the task id used as
+     * its memory-system requestor.
+     */
+    wl::Task &addTask(std::unique_ptr<wl::Task> task);
+
+    /** Typed convenience overload returning the concrete task type. */
+    template <typename T>
+    T &
+    add(std::unique_ptr<T> task)
+    {
+        return static_cast<T &>(addTask(std::move(task)));
+    }
+
+    /** All placed tasks. */
+    const std::vector<std::unique_ptr<wl::Task>> &tasks() const
+    {
+        return tasks_;
+    }
+
+    /** Register the node's tick pipeline with an engine. */
+    void attach(sim::Engine &engine);
+
+    /** Execute one tick (exposed for tests; attach() drives this). */
+    void tick(sim::Time now, sim::Time dt);
+
+    /** Last computed environment for a task (inspection/tests). */
+    const wl::ExecEnv &lastEnv(const wl::Task &task) const;
+
+  private:
+    struct TaskState
+    {
+        wl::Task *task = nullptr;
+        wl::ExecEnv env;
+        /** Effective cores per subdomain of the home socket. */
+        std::array<double, 2> coresPerSub = {0.0, 0.0};
+    };
+
+    /** Phase 1: pools, effective cores, SMT. */
+    void computeCoreShares();
+
+    /** Phase 2: LLC apportionment and miss ratios. */
+    void computeLlc();
+
+    /** Phase 3+4: demands, memory resolution, task advancement. */
+    void resolveAndAdvance(sim::Time dt);
+
+    TaskState &stateOf(const wl::Task &task);
+
+    PlatformSpec spec_;
+    cpu::Topology topo_;
+    mem::MemSystem mem_;
+    accel::Accelerator accel_;
+    hal::GroupRegistry groups_;
+    hal::ResourceKnobs knobs_;
+
+    std::vector<std::unique_ptr<wl::Task>> tasks_;
+    std::vector<TaskState> states_;
+    bool priorityAwareBackpressure_ = false;
+};
+
+} // namespace node
+} // namespace kelp
+
+#endif // KELP_NODE_NODE_HH

@@ -1,0 +1,134 @@
+#include "node/platform.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace node {
+
+namespace {
+
+PlatformSpec
+makeTpuPlatform()
+{
+    PlatformSpec p;
+    p.name = "TPU platform";
+
+    // Haswell-class dual-socket host.
+    p.topo.sockets = 2;
+    p.topo.coresPerSocket = 16;
+    p.topo.llcMbPerSocket = 32.0;
+    p.topo.llcWays = 16;
+    p.topo.smtSiblingFactor = 0.65;
+
+    p.mem.numSockets = 2;
+    p.mem.socket.peakBw = 76.8;     // 4ch DDR4-2400
+    p.mem.socket.baseLatency = 90.0;
+    p.mem.socket.inflationAt95 = 2.5;
+    p.mem.socket.distressThreshold = 0.80;
+    p.mem.socket.throttleStrength = 0.30;
+    p.mem.socket.sncLocalLatencyFactor = 0.93;
+    p.mem.socket.sncRemoteLatencyFactor = 1.08;
+    p.mem.upiCapacity = 38.4;       // QPI-class link
+    p.mem.upiHopLatency = 65.0;
+    p.mem.upiCoherenceTax = 0.70;
+
+    p.accel.kind = accel::Kind::TpuV1;
+    p.accel.peakTflops = 92.0;      // 92 TOPS MAC array [Jouppi'17]
+    p.accel.deviceMemGb = 8.0;
+    p.accel.deviceMemBw = 34.0;
+    p.accel.pcieBw = 12.0;
+    p.accel.attachedSocket = 0;
+    return p;
+}
+
+PlatformSpec
+makeCloudTpuPlatform()
+{
+    PlatformSpec p;
+    p.name = "Cloud TPU platform";
+
+    // Skylake-class dual-socket host with SNC.
+    p.topo.sockets = 2;
+    p.topo.coresPerSocket = 24;
+    p.topo.llcMbPerSocket = 33.0;
+    p.topo.llcWays = 12;
+    p.topo.smtSiblingFactor = 0.65;
+
+    p.mem.numSockets = 2;
+    p.mem.socket.peakBw = 115.2;    // 6ch DDR4-2400
+    p.mem.socket.baseLatency = 85.0;
+    p.mem.socket.inflationAt95 = 3.0;
+    p.mem.socket.distressThreshold = 0.80;
+    // Strong global throttling: CNN1 loses 50% with subdomains and
+    // unmanaged backpressure (Figure 7b).
+    p.mem.socket.throttleStrength = 0.58;
+    // SNC latency bonus: CNN1 up to +9% over standalone (Fig. 7b).
+    p.mem.socket.sncLocalLatencyFactor = 0.90;
+    p.mem.socket.sncRemoteLatencyFactor = 1.08;
+    p.mem.upiCapacity = 41.6;       // UPI-class link
+    p.mem.upiHopLatency = 70.0;
+    // Highest remote-traffic sensitivity of the three platforms
+    // (Section VI-A, Figures 15-16).
+    p.mem.upiCoherenceTax = 2.20;
+
+    p.accel.kind = accel::Kind::CloudTpu;
+    p.accel.peakTflops = 180.0;
+    p.accel.deviceMemGb = 64.0;
+    p.accel.deviceMemBw = 600.0;
+    p.accel.pcieBw = 14.0;
+    p.accel.attachedSocket = 0;
+    return p;
+}
+
+PlatformSpec
+makeGpuPlatform()
+{
+    PlatformSpec p;
+    p.name = "GPU platform";
+
+    // Broadwell-class dual-socket host with Cluster-on-Die.
+    p.topo.sockets = 2;
+    p.topo.coresPerSocket = 20;
+    p.topo.llcMbPerSocket = 30.0;
+    p.topo.llcWays = 20;
+    p.topo.smtSiblingFactor = 0.65;
+
+    p.mem.numSockets = 2;
+    p.mem.socket.peakBw = 76.8;
+    p.mem.socket.baseLatency = 95.0;
+    p.mem.socket.inflationAt95 = 3.0;
+    p.mem.socket.distressThreshold = 0.80;
+    p.mem.socket.throttleStrength = 0.40;
+    p.mem.socket.sncLocalLatencyFactor = 0.94;
+    p.mem.socket.sncRemoteLatencyFactor = 1.10;
+    p.mem.upiCapacity = 38.4;
+    p.mem.upiHopLatency = 75.0;
+    p.mem.upiCoherenceTax = 0.90;
+
+    p.accel.kind = accel::Kind::Gpu;
+    p.accel.peakTflops = 10.6;      // P100-class
+    p.accel.deviceMemGb = 16.0;
+    p.accel.deviceMemBw = 732.0;
+    p.accel.pcieBw = 12.0;
+    p.accel.attachedSocket = 0;
+    return p;
+}
+
+} // namespace
+
+PlatformSpec
+platformFor(accel::Kind kind)
+{
+    switch (kind) {
+      case accel::Kind::TpuV1:
+        return makeTpuPlatform();
+      case accel::Kind::CloudTpu:
+        return makeCloudTpuPlatform();
+      case accel::Kind::Gpu:
+        return makeGpuPlatform();
+    }
+    sim::panic("unknown accelerator kind");
+}
+
+} // namespace node
+} // namespace kelp

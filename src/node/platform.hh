@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Platform descriptors for the three accelerated platforms in the
+ * paper's Table I: the TPU (v1) inference platform, the Cloud TPU
+ * training platform, and the GPU training platform.
+ *
+ * Host-side parameters follow the server generations the paper's
+ * platforms shipped with (Haswell/Broadwell-class for TPU and GPU,
+ * Skylake-class with SNC for Cloud TPU). The coherence-tax knob is
+ * highest on the Cloud TPU platform, matching the paper's observation
+ * that it is the most sensitive to cross-socket traffic
+ * (Section VI-A).
+ */
+
+#ifndef KELP_NODE_PLATFORM_HH
+#define KELP_NODE_PLATFORM_HH
+
+#include <string>
+
+#include "accel/accelerator.hh"
+#include "cpu/topology.hh"
+#include "mem/mem_system.hh"
+
+namespace kelp {
+namespace node {
+
+/** Complete hardware description of one node. */
+struct PlatformSpec
+{
+    std::string name;
+    cpu::TopologyConfig topo;
+    mem::MemSystemConfig mem;
+    accel::AcceleratorConfig accel;
+};
+
+/** The platform a given accelerator kind ships in. */
+PlatformSpec platformFor(accel::Kind kind);
+
+} // namespace node
+} // namespace kelp
+
+#endif // KELP_NODE_PLATFORM_HH

@@ -1,0 +1,66 @@
+#include "sim/engine.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace sim {
+
+Engine::Engine(Time tick_len)
+    : tickLen_(tick_len)
+{
+    KELP_ASSERT(tick_len > 0.0, "tick length must be positive");
+}
+
+void
+Engine::onTick(TickFn fn)
+{
+    tickFns_.push_back(std::move(fn));
+}
+
+void
+Engine::every(Time period, PeriodicFn fn, Time phase)
+{
+    KELP_ASSERT(period >= tickLen_,
+                "periodic interval shorter than a tick");
+    if (phase < 0.0)
+        phase = period;
+    periodics_.push_back({period, now_ + phase, std::move(fn)});
+}
+
+void
+Engine::step()
+{
+    Time t = now_;
+    for (auto &fn : tickFns_)
+        fn(t, tickLen_);
+    now_ = t + tickLen_;
+    ++ticks_;
+    // Fire periodics whose deadline has been reached. Periodics run
+    // after the tick so they observe a fully-updated model state.
+    for (auto &p : periodics_) {
+        while (p.next <= now_ + tickLen_ * 1e-9) {
+            p.fn(p.next);
+            p.next += p.period;
+        }
+    }
+}
+
+void
+Engine::run(Time duration)
+{
+    runUntil(now_ + duration);
+}
+
+void
+Engine::runUntil(Time t)
+{
+    // Half-tick tolerance avoids an extra step from floating-point
+    // accumulation over millions of ticks.
+    while (now_ + tickLen_ * 0.5 < t)
+        step();
+}
+
+} // namespace sim
+} // namespace kelp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The time-stepped simulation engine.
+ *
+ * The engine advances simulated time in fixed ticks. Registered tick
+ * functions run every tick in registration order (the node registers
+ * its demand/resolve/advance pipeline as a single function to keep the
+ * ordering explicit). Periodic callbacks run at their own cadence --
+ * this is how runtime controllers get their 10-second sampling without
+ * being entangled in the per-tick model.
+ */
+
+#ifndef KELP_SIM_ENGINE_HH
+#define KELP_SIM_ENGINE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kelp {
+namespace sim {
+
+/** A function invoked every tick with (now, dt). */
+using TickFn = std::function<void(Time, Time)>;
+
+/** A function invoked periodically with the current time. */
+using PeriodicFn = std::function<void(Time)>;
+
+/**
+ * Fixed-step simulation driver.
+ */
+class Engine
+{
+  public:
+    /** @param tick_len Length of one simulation step, in seconds. */
+    explicit Engine(Time tick_len = 100 * usec);
+
+    /** Current simulated time in seconds. */
+    Time now() const { return now_; }
+
+    /** Step length in seconds. */
+    Time tickLength() const { return tickLen_; }
+
+    /** Number of ticks executed so far. */
+    uint64_t tickCount() const { return ticks_; }
+
+    /**
+     * Register a per-tick function. Functions run in registration
+     * order every tick.
+     */
+    void onTick(TickFn fn);
+
+    /**
+     * Register a periodic callback.
+     *
+     * @param period Interval between invocations (must be >= tick).
+     * @param fn Callback; receives the time of invocation.
+     * @param phase Offset of the first invocation from time zero.
+     *              Defaults to one full period (so a controller first
+     *              fires after its first sampling window, as Kelp's
+     *              10 s sampler does).
+     */
+    void every(Time period, PeriodicFn fn, Time phase = -1.0);
+
+    /** Run for the given additional duration of simulated time. */
+    void run(Time duration);
+
+    /** Run until the given absolute simulated time. */
+    void runUntil(Time t);
+
+  private:
+    struct Periodic
+    {
+        Time period;
+        Time next;
+        PeriodicFn fn;
+    };
+
+    void step();
+
+    Time tickLen_;
+    Time now_ = 0.0;
+    uint64_t ticks_ = 0;
+    std::vector<TickFn> tickFns_;
+    std::vector<Periodic> periodics_;
+};
+
+} // namespace sim
+} // namespace kelp
+
+#endif // KELP_SIM_ENGINE_HH

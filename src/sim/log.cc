@@ -1,0 +1,53 @@
+#include "sim/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace kelp {
+namespace sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+void
+die(const std::string &tag, const std::string &msg, bool is_panic)
+{
+    std::cerr << "[" << tag << "] " << msg << std::endl;
+    if (is_panic) {
+        // Internal bug: abort so a debugger/core dump sees the state.
+        // Tests intercept this via death tests.
+        std::abort();
+    }
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace sim
+} // namespace kelp

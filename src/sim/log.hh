@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-reporting helpers.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * internal invariant violations. Both terminate. inform()/warn() are
+ * status messages that never stop execution.
+ */
+
+#ifndef KELP_SIM_LOG_HH
+#define KELP_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace kelp {
+namespace sim {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Get the process-wide log level (default: Warn). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+
+[[noreturn]] void die(const std::string &tag, const std::string &msg,
+                      bool is_panic);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informative status message (shown at Inform level and above). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Inform, "info",
+                 detail::format(std::forward<Args>(args)...));
+}
+
+/** Warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::format(std::forward<Args>(args)...));
+}
+
+/** Debug-level trace message. */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::format(std::forward<Args>(args)...));
+}
+
+/** Terminate due to a user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::die("fatal", detail::format(std::forward<Args>(args)...),
+                false);
+}
+
+/** Terminate due to an internal library bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::die("panic", detail::format(std::forward<Args>(args)...),
+                true);
+}
+
+/** panic() unless the given condition holds. */
+#define KELP_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::kelp::sim::panic("assertion failed: " #cond " ",          \
+                               ##__VA_ARGS__);                          \
+        }                                                               \
+    } while (0)
+
+} // namespace sim
+} // namespace kelp
+
+#endif // KELP_SIM_LOG_HH

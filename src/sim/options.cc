@@ -1,0 +1,194 @@
+#include "sim/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace sim {
+
+Options::Options(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{
+    addBool("help", false, "print this help and exit");
+}
+
+void
+Options::add(const std::string &name, Kind kind, const std::string &def,
+             const std::string &help)
+{
+    KELP_ASSERT(!options_.count(name), "duplicate option --", name);
+    options_[name] = Option{kind, def, def, help, false};
+    order_.push_back(name);
+}
+
+void
+Options::addString(const std::string &name, const std::string &def,
+                   const std::string &help)
+{
+    add(name, Kind::String, def, help);
+}
+
+void
+Options::addInt(const std::string &name, long def,
+                const std::string &help)
+{
+    add(name, Kind::Int, std::to_string(def), help);
+}
+
+void
+Options::addDouble(const std::string &name, double def,
+                   const std::string &help)
+{
+    std::ostringstream os;
+    os << def;
+    add(name, Kind::Double, os.str(), help);
+}
+
+void
+Options::addBool(const std::string &name, bool def,
+                 const std::string &help)
+{
+    add(name, Kind::Bool, def ? "true" : "false", help);
+}
+
+bool
+Options::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown flag --", name, "\n", usage());
+        Option &opt = it->second;
+        if (!have_value) {
+            if (opt.kind == Kind::Bool) {
+                value = "true";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                fatal("flag --", name, " needs a value");
+            }
+        }
+        // Validate typed values eagerly.
+        char *end = nullptr;
+        switch (opt.kind) {
+          case Kind::Int:
+            (void)std::strtol(value.c_str(), &end, 10);
+            if (!end || *end != '\0')
+                fatal("flag --", name, " expects an integer, got '",
+                      value, "'");
+            break;
+          case Kind::Double:
+            (void)std::strtod(value.c_str(), &end);
+            if (!end || *end != '\0')
+                fatal("flag --", name, " expects a number, got '",
+                      value, "'");
+            break;
+          case Kind::Bool:
+            if (value != "true" && value != "false" && value != "1" &&
+                value != "0") {
+                fatal("flag --", name, " expects true/false");
+            }
+            break;
+          case Kind::String:
+            break;
+        }
+        opt.value = value;
+        opt.set = true;
+    }
+
+    if (getBool("help")) {
+        std::fputs(usage().c_str(), stdout);
+        return false;
+    }
+    return true;
+}
+
+const Options::Option &
+Options::lookup(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    KELP_ASSERT(it != options_.end(), "unregistered option --", name);
+    KELP_ASSERT(it->second.kind == kind, "type mismatch for --", name);
+    return it->second;
+}
+
+std::string
+Options::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+long
+Options::getInt(const std::string &name) const
+{
+    return std::strtol(lookup(name, Kind::Int).value.c_str(), nullptr,
+                       10);
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(),
+                       nullptr);
+}
+
+bool
+Options::getBool(const std::string &name) const
+{
+    const std::string &v = lookup(name, Kind::Bool).value;
+    return v == "true" || v == "1";
+}
+
+bool
+Options::isSet(const std::string &name) const
+{
+    auto it = options_.find(name);
+    KELP_ASSERT(it != options_.end(), "unregistered option --", name);
+    return it->second.set;
+}
+
+std::string
+Options::usage() const
+{
+    std::ostringstream os;
+    os << program_ << " -- " << summary_ << "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const Option &o = options_.at(name);
+        os << "  --" << name;
+        switch (o.kind) {
+          case Kind::String:
+            os << "=<string>";
+            break;
+          case Kind::Int:
+            os << "=<int>";
+            break;
+          case Kind::Double:
+            os << "=<num>";
+            break;
+          case Kind::Bool:
+            break;
+        }
+        os << "\n      " << o.help << " (default: " << o.def << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace sim
+} // namespace kelp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental simulation types: simulated time, identifiers, and the
+ * unit conventions used throughout the library.
+ *
+ * Conventions:
+ *  - Simulated time is a double in seconds (phases are sub-millisecond
+ *    and experiments run for minutes; double keeps full precision over
+ *    that range).
+ *  - Bandwidth is measured in GiB/s (the paper reports percentages of
+ *    peak, so the absolute unit only has to be internally consistent).
+ *  - Work is measured in abstract "work units"; a phase defines how
+ *    long one unit takes standalone, and contention scales that.
+ */
+
+#ifndef KELP_SIM_TYPES_HH
+#define KELP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace kelp {
+namespace sim {
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Bandwidth in GiB per second. */
+using GiBps = double;
+
+/** Memory access latency in nanoseconds. */
+using Nanoseconds = double;
+
+/** An abstract quantity of computational work. */
+using Work = double;
+
+/** Identifier for a socket within a node. */
+using SocketId = int;
+
+/** Identifier for a NUMA subdomain within a socket (0 or 1). */
+using SubdomainId = int;
+
+/** Identifier for a memory controller within a node. */
+using McId = int;
+
+/** Identifier for a core within a node. */
+using CoreId = int;
+
+/** Identifier for a task group (cgroup-like) within a node. */
+using GroupId = int;
+
+/** Sentinel for "no id". */
+constexpr int invalidId = -1;
+
+/** One microsecond in seconds. */
+constexpr Time usec = 1e-6;
+
+/** One millisecond in seconds. */
+constexpr Time msec = 1e-3;
+
+/** Convert seconds to microseconds. */
+constexpr double
+toUsec(Time t)
+{
+    return t * 1e6;
+}
+
+/** Convert seconds to milliseconds. */
+constexpr double
+toMsec(Time t)
+{
+    return t * 1e3;
+}
+
+/** Positive infinity shorthand for time deadlines. */
+constexpr Time timeInf = std::numeric_limits<Time>::infinity();
+
+} // namespace sim
+} // namespace kelp
+
+#endif // KELP_SIM_TYPES_HH

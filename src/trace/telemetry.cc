@@ -1,0 +1,144 @@
+#include "trace/telemetry.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace trace {
+
+TimeSeries::TimeSeries(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+TimeSeries::record(sim::Time t, double value)
+{
+    KELP_ASSERT(times_.empty() || t >= times_.back(),
+                "time series must be recorded in order");
+    times_.push_back(t);
+    values_.push_back(value);
+}
+
+double
+TimeSeries::last() const
+{
+    return values_.empty() ? 0.0 : values_.back();
+}
+
+double
+TimeSeries::meanOver(sim::Time from, sim::Time to) const
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < times_.size(); ++i) {
+        if (times_[i] >= from && times_[i] <= to) {
+            sum += values_[i];
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+TimeSeries::maxOver(sim::Time from, sim::Time to) const
+{
+    double best = 0.0;
+    bool any = false;
+    for (size_t i = 0; i < times_.size(); ++i) {
+        if (times_[i] >= from && times_[i] <= to) {
+            best = any ? std::max(best, values_[i]) : values_[i];
+            any = true;
+        }
+    }
+    return best;
+}
+
+TimeSeries &
+Telemetry::series(const std::string &name)
+{
+    for (auto &s : series_)
+        if (s->name() == name)
+            return *s;
+    series_.push_back(std::make_unique<TimeSeries>(name));
+    return *series_.back();
+}
+
+const TimeSeries *
+Telemetry::find(const std::string &name) const
+{
+    for (const auto &s : series_)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+void
+Telemetry::addProbe(const std::string &name, Probe probe)
+{
+    KELP_ASSERT(probe, "null telemetry probe");
+    probes_.emplace_back(&series(name), std::move(probe));
+}
+
+void
+Telemetry::attach(sim::Engine &engine, sim::Time period)
+{
+    engine.every(period,
+                 [this](sim::Time now) { sampleProbes(now); });
+}
+
+void
+Telemetry::sampleProbes(sim::Time now)
+{
+    for (auto &[s, probe] : probes_)
+        s->record(now, probe());
+}
+
+std::string
+Telemetry::toCsv() const
+{
+    // Union of all sample times, carried-forward values.
+    std::set<sim::Time> times;
+    for (const auto &s : series_)
+        times.insert(s->times().begin(), s->times().end());
+
+    std::ostringstream os;
+    os << "time";
+    for (const auto &s : series_)
+        os << "," << s->name();
+    os << "\n";
+
+    std::vector<size_t> cursor(series_.size(), 0);
+    std::vector<double> current(series_.size(), 0.0);
+    for (sim::Time t : times) {
+        for (size_t i = 0; i < series_.size(); ++i) {
+            const auto &s = *series_[i];
+            while (cursor[i] < s.size() && s.times()[cursor[i]] <= t) {
+                current[i] = s.values()[cursor[i]];
+                ++cursor[i];
+            }
+        }
+        os << t;
+        for (double v : current)
+            os << "," << v;
+        os << "\n";
+    }
+    return os.str();
+}
+
+bool
+Telemetry::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toCsv();
+    return static_cast<bool>(out);
+}
+
+} // namespace trace
+} // namespace kelp

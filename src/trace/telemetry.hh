@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Telemetry: named time-series recording for experiments.
+ *
+ * A TimeSeries accumulates (time, value) samples; a Telemetry
+ * registry groups series, samples registered probes on a fixed
+ * cadence, and exports everything as CSV for plotting. This is how
+ * the runtime's knob trajectories (Figures 11 and 12), saturation
+ * signals (Figure 7), and bandwidth traces are captured without
+ * entangling the model code with I/O.
+ */
+
+#ifndef KELP_TRACE_TELEMETRY_HH
+#define KELP_TRACE_TELEMETRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace trace {
+
+/** One named (time, value) series. */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::string name);
+
+    const std::string &name() const { return name_; }
+
+    /** Append a sample (times must be non-decreasing). */
+    void record(sim::Time t, double value);
+
+    size_t size() const { return times_.size(); }
+    bool empty() const { return times_.empty(); }
+
+    const std::vector<sim::Time> &times() const { return times_; }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Last recorded value (0 when empty). */
+    double last() const;
+
+    /** Arithmetic mean of samples in [from, to]. */
+    double meanOver(sim::Time from, sim::Time to) const;
+
+    /** Largest sample in [from, to] (0 when none). */
+    double maxOver(sim::Time from, sim::Time to) const;
+
+  private:
+    std::string name_;
+    std::vector<sim::Time> times_;
+    std::vector<double> values_;
+};
+
+/** A value source sampled on the telemetry cadence. */
+using Probe = std::function<double()>;
+
+/** Registry of series and probes for one experiment. */
+class Telemetry
+{
+  public:
+    Telemetry() = default;
+
+    /** Create (or fetch) a series by name. */
+    TimeSeries &series(const std::string &name);
+
+    /** Find a series; nullptr if absent. */
+    const TimeSeries *find(const std::string &name) const;
+
+    /** Register a probe sampled into the named series. */
+    void addProbe(const std::string &name, Probe probe);
+
+    /**
+     * Attach to an engine: all probes are sampled every `period`.
+     */
+    void attach(sim::Engine &engine, sim::Time period);
+
+    /** Sample all probes now (also called by the engine hook). */
+    void sampleProbes(sim::Time now);
+
+    /** All series, in creation order. */
+    const std::vector<std::unique_ptr<TimeSeries>> &all() const
+    {
+        return series_;
+    }
+
+    /**
+     * Render every series as CSV: a `time` column followed by one
+     * column per series, rows aligned on the union of sample times
+     * (missing cells carry the previous value forward).
+     */
+    std::string toCsv() const;
+
+    /** Write the CSV to a file; returns false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::unique_ptr<TimeSeries>> series_;
+    std::vector<std::pair<TimeSeries *, Probe>> probes_;
+};
+
+} // namespace trace
+} // namespace kelp
+
+#endif // KELP_TRACE_TELEMETRY_HH

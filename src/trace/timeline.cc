@@ -1,0 +1,75 @@
+#include "trace/timeline.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace trace {
+
+std::vector<wl::TraceEvent>
+lastEvents(const std::vector<wl::TraceEvent> &events, size_t count)
+{
+    if (events.size() <= count)
+        return events;
+    return {events.end() - static_cast<long>(count), events.end()};
+}
+
+std::string
+renderTimeline(const std::vector<wl::TraceEvent> &events,
+               const TimelineOptions &opts)
+{
+    if (events.empty())
+        return "";
+    KELP_ASSERT(opts.width > 0, "timeline width must be positive");
+
+    double t0 = events.front().start;
+    double t1 = events.back().end;
+    for (const auto &e : events) {
+        t0 = std::min(t0, e.start);
+        t1 = std::max(t1, e.end);
+    }
+    double span = std::max(t1 - t0, 1e-12);
+    double scale = opts.width / span;
+
+    std::string lanes[3] = {std::string(opts.width, ' '),
+                            std::string(opts.width, ' '),
+                            std::string(opts.width, ' ')};
+    for (const auto &e : events) {
+        int a = static_cast<int>((e.start - t0) * scale);
+        int b = std::max(a + 1,
+                         static_cast<int>((e.end - t0) * scale));
+        a = std::clamp(a, 0, opts.width - 1);
+        b = std::clamp(b, a + 1, opts.width);
+        int lane;
+        char glyph;
+        switch (e.kind) {
+          case wl::SegmentKind::Host:
+            lane = 0;
+            glyph = opts.hostGlyph;
+            break;
+          case wl::SegmentKind::Pcie:
+            lane = 1;
+            glyph = opts.pcieGlyph;
+            break;
+          default:
+            lane = 2;
+            glyph = opts.accelGlyph;
+            break;
+        }
+        for (int i = a; i < b; ++i)
+            lanes[lane][i] = glyph;
+    }
+
+    std::ostringstream os;
+    os << "span: " << sim::toMsec(span) << " ms\n";
+    os << "  " << opts.hostLabel << " |" << lanes[0] << "|\n";
+    os << "  " << opts.pcieLabel << " |" << lanes[1] << "|\n";
+    os << "  " << opts.accelLabel << " |" << lanes[2] << "|\n";
+    return os.str();
+}
+
+} // namespace trace
+} // namespace kelp

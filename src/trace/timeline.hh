@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII timeline (Gantt) rendering of phase-execution traces.
+ *
+ * Turns a stream of TraceEvents (from MlInferTask's trace sink) into
+ * the three-lane CPU / PCIe / Accel timeline the paper's Figure 3
+ * plots, for terminal output in benches and examples.
+ */
+
+#ifndef KELP_TRACE_TIMELINE_HH
+#define KELP_TRACE_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/ml_infer_task.hh"
+
+namespace kelp {
+namespace trace {
+
+/** Rendering options. */
+struct TimelineOptions
+{
+    /** Character width of the plotted span. */
+    int width = 72;
+
+    /** Lane glyphs for Host / Pcie / Accel segments. */
+    char hostGlyph = 'C';
+    char pcieGlyph = '-';
+    char accelGlyph = 'T';
+
+    /** Lane labels. */
+    std::string hostLabel = "CPU ";
+    std::string pcieLabel = "PCIe";
+    std::string accelLabel = "Acc ";
+};
+
+/**
+ * Render the events as a three-lane timeline. Events must be
+ * time-ordered (as emitted by the trace sink); the span is
+ * [first.start, last.end]. Returns an empty string for no events.
+ */
+std::string renderTimeline(const std::vector<wl::TraceEvent> &events,
+                           const TimelineOptions &opts = {});
+
+/**
+ * The trailing `count` events (e.g., one request's worth: stages x
+ * iterations). Returns all events if fewer exist.
+ */
+std::vector<wl::TraceEvent>
+lastEvents(const std::vector<wl::TraceEvent> &events, size_t count);
+
+} // namespace trace
+} // namespace kelp
+
+#endif // KELP_TRACE_TIMELINE_HH

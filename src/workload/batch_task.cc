@@ -1,0 +1,52 @@
+#include "workload/batch_task.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace wl {
+
+BatchTask::BatchTask(std::string name, sim::GroupId group, int threads,
+                     const HostPhaseParams &phase)
+    : Task(std::move(name), group), threads_(threads), phase_(phase)
+{
+    KELP_ASSERT(threads >= 1, "batch task needs at least one thread");
+}
+
+sim::GiBps
+BatchTask::bwDemand(const ExecEnv &env)
+{
+    return hostDemand(phase_, env.effCores, demandBasis(),
+                      env.missRatio, env.pfFraction);
+}
+
+void
+BatchTask::advance(sim::Time dt, const ExecEnv &env)
+{
+    HostSpeeds speeds = hostSpeeds(phase_, env, demandBasis());
+    // Work accrues per effective core actually running the phase;
+    // effCores already folds in fair-share and SMT capacity.
+    double running = std::min(static_cast<double>(threads_),
+                              env.effCores);
+    work_ += speeds.speed * running * dt;
+    updateDemandBasis(speeds.demandSpeed);
+}
+
+double
+BatchTask::throughputSince(double &work_cursor, sim::Time dt) const
+{
+    double delta = work_ - work_cursor;
+    work_cursor = work_;
+    return dt > 0.0 ? delta / dt : 0.0;
+}
+
+void
+BatchTask::setThreads(int threads)
+{
+    KELP_ASSERT(threads >= 1, "batch task needs at least one thread");
+    threads_ = threads;
+}
+
+} // namespace wl
+} // namespace kelp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Batch CPU tasks: continuously-running low-priority work.
+ *
+ * Covers the paper's colocated CPU workloads (Stream, Stitch, CPUML)
+ * and the synthetic aggressors (LLC, DRAM at three aggressiveness
+ * levels, Remote DRAM). A batch task executes one host phase forever;
+ * its throughput metric is standalone-equivalent thread-seconds of
+ * work per second, so a task running T threads at full speed scores T.
+ */
+
+#ifndef KELP_WORKLOAD_BATCH_TASK_HH
+#define KELP_WORKLOAD_BATCH_TASK_HH
+
+#include "workload/task.hh"
+
+namespace kelp {
+namespace wl {
+
+/** A continuously-running CPU workload. */
+class BatchTask : public Task
+{
+  public:
+    /**
+     * @param name Display name.
+     * @param group Owning task group.
+     * @param threads Software threads the task runs.
+     * @param phase Host-phase response parameters.
+     */
+    BatchTask(std::string name, sim::GroupId group, int threads,
+              const HostPhaseParams &phase);
+
+    int threadsWanted() const override { return threads_; }
+
+    sim::GiBps bwDemand(const ExecEnv &env) override;
+
+    void advance(sim::Time dt, const ExecEnv &env) override;
+
+    /** Completed work in standalone thread-seconds. */
+    double completedWork() const override { return work_; }
+
+    HostPhaseParams llcProfile() const override { return phase_; }
+
+    /** Throughput over an interval: work delta / time delta. */
+    double throughputSince(double &work_cursor, sim::Time dt) const;
+
+    /** Change the thread count (load sweeps). */
+    void setThreads(int threads);
+
+    const HostPhaseParams &phase() const { return phase_; }
+
+  private:
+    int threads_;
+    HostPhaseParams phase_;
+    double work_ = 0.0;
+};
+
+} // namespace wl
+} // namespace kelp
+
+#endif // KELP_WORKLOAD_BATCH_TASK_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload catalog: the four production ML workloads (Table I) and
+ * the colocated CPU workloads / synthetic aggressors used throughout
+ * the paper's evaluation.
+ *
+ * The paper's workloads are confidential; these models are calibrated
+ * against everything the paper discloses: platform, CPU-accelerator
+ * interaction pattern, CPU and host-memory intensity classes
+ * (Table I), and the sensitivity/degradation numbers in Figures 3, 5,
+ * 7, 9, 10, 13, 15 and 16. Every constant in catalog.cc carries the
+ * paper target it was calibrated toward.
+ */
+
+#ifndef KELP_WORKLOAD_CATALOG_HH
+#define KELP_WORKLOAD_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "workload/ml_infer_task.hh"
+#include "workload/phase.hh"
+
+namespace kelp {
+namespace wl {
+
+/** The four accelerated ML workloads (paper Table I). */
+enum class MlWorkload { Rnn1, Cnn1, Cnn2, Cnn3 };
+
+/** Colocated CPU workloads and synthetic aggressors. */
+enum class CpuWorkload { Stream, Stitch, Cpuml, LlcAggressor,
+                         DramAggressor };
+
+/** Synthetic DRAM aggressor intensity (Figure 7's L/M/H). */
+enum class AggressorLevel { Low, Medium, High };
+
+/** Full description of one ML workload (Table I row + model). */
+struct MlDesc
+{
+    MlWorkload id;
+    std::string name;
+
+    /** Platform the workload runs on. */
+    accel::Kind platform;
+
+    /** True for the inference server (RNN1). */
+    bool inference = false;
+
+    /** Training-step graph (training workloads). */
+    StepGraph step;
+
+    /** Inference configuration (inference workloads). */
+    InferConfig infer;
+
+    /** Host cores the ML task is entitled to. */
+    int mlCores = 4;
+
+    /** Table I columns. */
+    std::string description;
+    std::string interaction;
+    std::string cpuIntensity;
+    std::string memIntensity;
+};
+
+/** All four ML workloads, in Table I order. */
+std::vector<MlWorkload> allMlWorkloads();
+
+/** The three CPU workloads used in the evaluation (Section V-A). */
+std::vector<CpuWorkload> evaluationCpuWorkloads();
+
+/** Catalog entry for an ML workload. */
+MlDesc mlDesc(MlWorkload w);
+
+/** Human-readable name. */
+const char *mlName(MlWorkload w);
+const char *cpuName(CpuWorkload w);
+
+/** Host-phase parameters for a CPU workload. The LLC aggressor needs
+ * the platform's LLC size (its working set exactly fits the LLC). */
+HostPhaseParams cpuParams(CpuWorkload w, double platform_llc_mb = 32.0);
+
+/** Threads per "instance" of a CPU workload (Stitch runs 2-thread
+ * instances; the others are per-thread sweeps). */
+int threadsPerInstance(CpuWorkload w);
+
+/** Thread count of a synthetic DRAM aggressor at a given level,
+ * scaled to one NUMA subdomain's bandwidth capacity. */
+int aggressorThreads(AggressorLevel level, double subdomain_bw_gibps);
+
+const char *aggressorLevelName(AggressorLevel level);
+
+/**
+ * DRAM-aggressor thread count that just saturates a socket of the
+ * given peak bandwidth (~95% offered load), matching the paper's
+ * "traverses a large array" synthetic at full blast.
+ */
+int saturatingDramThreads(double peak_bw_gibps);
+
+} // namespace wl
+} // namespace kelp
+
+#endif // KELP_WORKLOAD_CATALOG_HH

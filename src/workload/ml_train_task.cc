@@ -1,0 +1,165 @@
+#include "workload/ml_train_task.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace wl {
+
+MlTrainTask::MlTrainTask(std::string name, sim::GroupId group,
+                         StepGraph step, accel::Accelerator *accel)
+    : Task(std::move(name), group), step_(std::move(step)),
+      accel_(accel)
+{
+    KELP_ASSERT(!step_.stages.empty(), "training step has no stages");
+    for (const auto &stage : step_.stages)
+        KELP_ASSERT(!stage.segments.empty(), "empty step stage");
+    enterStage(0);
+}
+
+void
+MlTrainTask::enterStage(size_t idx)
+{
+    stageIdx_ = idx;
+    const auto &segs = step_.stages[idx].segments;
+    remaining_.assign(segs.size(), 0.0);
+    for (size_t i = 0; i < segs.size(); ++i)
+        remaining_[i] = segs[i].duration;
+}
+
+const StepSegment *
+MlTrainTask::activeHostSegment() const
+{
+    const auto &segs = step_.stages[stageIdx_].segments;
+    for (size_t i = 0; i < segs.size(); ++i)
+        if (segs[i].kind == SegmentKind::Host && remaining_[i] > 0.0)
+            return &segs[i];
+    return nullptr;
+}
+
+int
+MlTrainTask::threadsWanted() const
+{
+    int threads = 1;
+    for (const auto &stage : step_.stages)
+        for (const auto &seg : stage.segments)
+            if (seg.kind == SegmentKind::Host)
+                threads = std::max(threads, seg.host.parallelism);
+    return threads;
+}
+
+HostPhaseParams
+MlTrainTask::llcProfile() const
+{
+    // The dominant (longest) host segment defines cache behaviour.
+    const StepSegment *best = nullptr;
+    for (const auto &stage : step_.stages)
+        for (const auto &seg : stage.segments)
+            if (seg.kind == SegmentKind::Host &&
+                (!best || seg.duration > best->duration)) {
+                best = &seg;
+            }
+    return best ? best->host : HostPhaseParams{};
+}
+
+sim::GiBps
+MlTrainTask::bwDemand(const ExecEnv &env)
+{
+    const StepSegment *host = activeHostSegment();
+    if (!host)
+        return 0.0;
+    double cores = std::min(env.effCores,
+                            static_cast<double>(host->host.parallelism));
+    return hostDemand(host->host, cores, demandBasis(), env.missRatio,
+                      env.pfFraction);
+}
+
+void
+MlTrainTask::advance(sim::Time dt, const ExecEnv &env)
+{
+    sim::Time accel_busy = 0.0;
+    sim::Time link_busy = 0.0;
+    sim::Time budget = dt;
+    double last_host_speed = -1.0;
+
+    while (budget > 1e-12) {
+        const auto &segs = step_.stages[stageIdx_].segments;
+
+        // Per-segment progress speeds for this slice.
+        sim::Time to_finish = 0.0;
+        bool any_left = false;
+        std::array<double, 8> speed;
+        KELP_ASSERT(segs.size() <= speed.size(),
+                    "too many segments in one stage");
+        for (size_t i = 0; i < segs.size(); ++i) {
+            double s = 1.0;
+            if (segs[i].kind == SegmentKind::Host) {
+                HostSpeeds sp =
+                    hostSpeeds(segs[i].host, env, demandBasis());
+                s = sp.speed;
+                last_host_speed = sp.demandSpeed;
+            }
+            speed[i] = s;
+            if (remaining_[i] > 0.0) {
+                any_left = true;
+                to_finish = std::max(to_finish, remaining_[i] / s);
+            }
+        }
+        KELP_ASSERT(any_left, "stage entered with no remaining work");
+
+        sim::Time slice = std::min(budget, to_finish);
+        for (size_t i = 0; i < segs.size(); ++i) {
+            if (remaining_[i] <= 0.0)
+                continue;
+            sim::Time active = std::min(slice, remaining_[i] / speed[i]);
+            remaining_[i] =
+                std::max(0.0, remaining_[i] - active * speed[i]);
+            if (segs[i].kind == SegmentKind::Accel)
+                accel_busy += active;
+            else if (segs[i].kind == SegmentKind::Pcie)
+                link_busy += active;
+        }
+        budget -= slice;
+
+        if (slice >= to_finish - 1e-15) {
+            // Stage complete; move on (wrapping completes a step).
+            size_t next = stageIdx_ + 1;
+            if (next >= step_.stages.size()) {
+                next = 0;
+                ++steps_;
+            }
+            enterStage(next);
+        }
+    }
+
+    if (accel_) {
+        accel_->recordEngineBusy(accel_busy / dt, dt);
+        accel_->recordLinkBusy(link_busy / dt, dt);
+    }
+    if (last_host_speed >= 0.0)
+        updateDemandBasis(last_host_speed);
+}
+
+double
+MlTrainTask::completedWork() const
+{
+    // Whole steps plus the standalone-time fraction of the current
+    // one (critical path through the remaining stages).
+    sim::Time left = 0.0;
+    for (size_t i = 0; i < remaining_.size(); ++i)
+        left = std::max(left, remaining_[i]);
+    for (size_t s = stageIdx_ + 1; s < step_.stages.size(); ++s) {
+        sim::Time longest = 0.0;
+        for (const auto &seg : step_.stages[s].segments)
+            longest = std::max(longest, seg.duration);
+        left += longest;
+    }
+    sim::Time total = step_.standaloneDuration();
+    double frac = total > 0.0 ? 1.0 - left / total : 0.0;
+    return static_cast<double>(steps_) + std::clamp(frac, 0.0, 1.0);
+}
+
+} // namespace wl
+} // namespace kelp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Closed-loop accelerated training task (CNN1, CNN2, CNN3).
+ *
+ * A training step is a StepGraph: sequential stages of concurrent
+ * segments. The in-feed pattern (CNN1/CNN2 on Cloud TPU) is a stage
+ * where a Host segment overlaps an Accel segment -- the step completes
+ * at the pace of the slower of the two, which is how host interference
+ * surfaces as step-time inflation. The parameter-server pattern (CNN3
+ * on GPU) is sequential accelerator compute followed by a
+ * memory-bound host aggregation.
+ *
+ * Performance metric: completed training steps; experiments normalize
+ * steps/s against a standalone run.
+ */
+
+#ifndef KELP_WORKLOAD_ML_TRAIN_TASK_HH
+#define KELP_WORKLOAD_ML_TRAIN_TASK_HH
+
+#include "accel/accelerator.hh"
+#include "workload/task.hh"
+
+namespace kelp {
+namespace wl {
+
+/** Closed-loop training workload bound to one accelerator. */
+class MlTrainTask : public Task
+{
+  public:
+    /**
+     * @param name Display name.
+     * @param group Owning task group.
+     * @param step The training-step graph.
+     * @param accel Accelerator the Accel segments run on (may be
+     *        nullptr in unit tests; only utilization accounting is
+     *        lost).
+     */
+    MlTrainTask(std::string name, sim::GroupId group, StepGraph step,
+                accel::Accelerator *accel);
+
+    int threadsWanted() const override;
+
+    sim::GiBps bwDemand(const ExecEnv &env) override;
+
+    void advance(sim::Time dt, const ExecEnv &env) override;
+
+    /** Completed training steps (fractional: includes partial). */
+    double completedWork() const override;
+
+    HostPhaseParams llcProfile() const override;
+
+    /** Whole steps completed. */
+    uint64_t steps() const { return steps_; }
+
+    const StepGraph &step() const { return step_; }
+
+  private:
+    /** Remaining standalone-time per segment of the current stage. */
+    void enterStage(size_t idx);
+
+    /** Host segment active in the current stage, or nullptr. */
+    const StepSegment *activeHostSegment() const;
+
+    StepGraph step_;
+    accel::Accelerator *accel_;
+
+    size_t stageIdx_ = 0;
+    std::vector<sim::Time> remaining_;
+    uint64_t steps_ = 0;
+    double stageProgressWork_ = 0.0;
+};
+
+} // namespace wl
+} // namespace kelp
+
+#endif // KELP_WORKLOAD_ML_TRAIN_TASK_HH

@@ -1,0 +1,61 @@
+#include "workload/phase.hh"
+
+#include <algorithm>
+
+namespace kelp {
+namespace wl {
+
+sim::Time
+StepGraph::standaloneDuration() const
+{
+    sim::Time total = 0.0;
+    for (const auto &stage : stages) {
+        sim::Time longest = 0.0;
+        for (const auto &seg : stage.segments)
+            longest = std::max(longest, seg.duration);
+        total += longest;
+    }
+    return total;
+}
+
+sim::Time
+StepGraph::hostTime() const
+{
+    sim::Time total = 0.0;
+    for (const auto &stage : stages)
+        for (const auto &seg : stage.segments)
+            if (seg.kind == SegmentKind::Host)
+                total += seg.duration;
+    return total;
+}
+
+StepSegment
+hostSegment(sim::Time duration, const HostPhaseParams &p)
+{
+    StepSegment s;
+    s.kind = SegmentKind::Host;
+    s.duration = duration;
+    s.host = p;
+    return s;
+}
+
+StepSegment
+accelSegment(sim::Time duration)
+{
+    StepSegment s;
+    s.kind = SegmentKind::Accel;
+    s.duration = duration;
+    return s;
+}
+
+StepSegment
+pcieSegment(sim::Time duration)
+{
+    StepSegment s;
+    s.kind = SegmentKind::Pcie;
+    s.duration = duration;
+    return s;
+}
+
+} // namespace wl
+} // namespace kelp

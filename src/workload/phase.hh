@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Phase descriptors: how a slice of work responds to the host
+ * environment.
+ *
+ * Every workload is a composition of three segment kinds:
+ *  - Host segments run on CPU cores and are the interference-sensitive
+ *    part: their speed depends on memory latency, bandwidth share, LLC
+ *    hit rate, prefetchers, SMT contention, and distress throttling.
+ *  - Accel segments run on the accelerator at a fixed rate (the paper
+ *    shows they are insensitive to host interference).
+ *  - Pcie segments move data across the host link at a fixed rate
+ *    (the paper observed no PCIe contention in its experiments).
+ *
+ * Host behaviour is captured by HostPhaseParams, calibrated per
+ * workload in calibration.hh.
+ */
+
+#ifndef KELP_WORKLOAD_PHASE_HH
+#define KELP_WORKLOAD_PHASE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/prefetcher.hh"
+#include "sim/types.hh"
+
+namespace kelp {
+namespace wl {
+
+/** Interference-response parameters of host-side execution. */
+struct HostPhaseParams
+{
+    /**
+     * Fraction of standalone execution time spent computing (not
+     * stalled on memory). The remaining (1 - cpuFrac) scales with
+     * effective memory latency.
+     */
+    double cpuFrac = 0.5;
+
+    /** Bandwidth demand per core at standalone speed, GiB/s. */
+    double bwPerCore = 2.0;
+
+    /**
+     * How strongly the stall time responds to latency/miss inflation,
+     * in [0, 1]. Pointer-chasing code (beam search) is 1.0: stalls
+     * scale with full latency. Deeply-pipelined streaming code with
+     * high MLP (Stream, parameter-server reductions) is low: latency
+     * inflation barely slows it -- bandwidth starvation does.
+     */
+    double latencySensitivity = 1.0;
+
+    /** Maximum cores one execution of this phase can use. */
+    int parallelism = 1;
+
+    /** Prefetcher response. */
+    cpu::PrefetchParams prefetch;
+
+    /** LLC working-set size, MiB. */
+    double llcFootprintMb = 8.0;
+
+    /** Hit rate with unbounded LLC capacity. */
+    double llcHitMax = 0.85;
+
+    /** Relative LLC access intensity (shared-pool competition). */
+    double llcWeight = 1.0;
+};
+
+/** Kind of a step segment. */
+enum class SegmentKind { Host, Accel, Pcie };
+
+/** One segment of a step: a contiguous slice of one resource. */
+struct StepSegment
+{
+    SegmentKind kind = SegmentKind::Host;
+
+    /** Standalone duration of the segment, seconds. */
+    sim::Time duration = 1 * sim::msec;
+
+    /** Host response parameters (Host segments only). */
+    HostPhaseParams host;
+};
+
+/**
+ * One stage of a step: segments that execute concurrently; the stage
+ * completes when all of them do. CNN in-feed overlapping accelerator
+ * compute is a stage with one Host and one Accel segment.
+ */
+struct StepStage
+{
+    std::vector<StepSegment> segments;
+};
+
+/** A full step (training step or inference iteration): sequential
+ * stages. */
+struct StepGraph
+{
+    std::vector<StepStage> stages;
+
+    /** Sum of standalone stage durations (critical path). */
+    sim::Time standaloneDuration() const;
+
+    /** Total standalone host-busy time across all stages. */
+    sim::Time hostTime() const;
+};
+
+/** Convenience constructors. */
+StepSegment hostSegment(sim::Time duration, const HostPhaseParams &p);
+StepSegment accelSegment(sim::Time duration);
+StepSegment pcieSegment(sim::Time duration);
+
+} // namespace wl
+} // namespace kelp
+
+#endif // KELP_WORKLOAD_PHASE_HH

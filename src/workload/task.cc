@@ -1,0 +1,111 @@
+#include "workload/task.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace wl {
+
+HostSpeeds
+hostSpeeds(const HostPhaseParams &p, const ExecEnv &env,
+           double demand_basis)
+{
+    // Latency view: the memory-stall portion of execution time scales
+    // with effective latency, LLC miss inflation, and the stall
+    // exposure from partially-disabled prefetchers.
+    double lat_ratio =
+        std::max(env.latencyNs / env.baseLatencyNs, 1e-3);
+    double pf_stall = cpu::prefetchStallFactor(p.prefetch,
+                                               env.pfFraction);
+    double mem_frac = 1.0 - p.cpuFrac;
+    // The stall multiplier is damped by the phase's latency
+    // sensitivity: high-MLP streaming code barely feels latency
+    // inflation (bandwidth starvation limits it instead), while
+    // dependent-load code feels it fully.
+    double stall_mult = env.missRatio * lat_ratio * pf_stall;
+    stall_mult = 1.0 + p.latencySensitivity * (stall_mult - 1.0);
+    stall_mult = std::max(stall_mult, 0.1);
+
+    // Distress throttling slows memory issue: the stall portion of
+    // execution stretches by 1/throttle. Compute-heavy phases are
+    // therefore less exposed than stall-heavy ones -- exactly the
+    // CNN2-vs-CNN1 asymmetry in Figure 7.
+    double throttle = std::max(env.throttle, 0.05);
+    double rel_unthrottled = p.cpuFrac + mem_frac * stall_mult;
+    double rel_time = p.cpuFrac + mem_frac * stall_mult / throttle;
+    double speed_lat = 1.0 / std::max(rel_time, 1e-6);
+
+    // Bandwidth view: the task cannot progress faster than its data
+    // arrives. The demand it submitted corresponded to demand_basis
+    // speed, so granted bandwidth supports demand_basis * fraction.
+    double speed = speed_lat;
+    if (env.bwFraction < 0.999) {
+        double speed_bw =
+            std::max(demand_basis, 0.05) * env.bwFraction;
+        speed = std::min(speed, speed_bw);
+    }
+
+    HostSpeeds out;
+    out.speed = speed * env.smtFactor;
+    // Offered memory pressure is largely prefetcher-driven for
+    // streaming code (Section VI-B): throttling the core barely
+    // reduces it, so the demand basis damps the throttle by the
+    // phase's latency sensitivity. This is what lets a saturated
+    // low-priority controller *stay* saturated and keep the distress
+    // signal asserted (Figure 7's premise).
+    double demand_throttle =
+        1.0 - p.latencySensitivity * (1.0 - throttle);
+    out.demandSpeed = (1.0 / std::max(rel_unthrottled, 1e-6)) *
+                      demand_throttle * env.smtFactor;
+    return out;
+}
+
+double
+hostSpeed(const HostPhaseParams &p, const ExecEnv &env,
+          double demand_basis)
+{
+    return hostSpeeds(p, env, demand_basis).speed;
+}
+
+double
+hostDemand(const HostPhaseParams &p, double cores, double speed_basis,
+           double miss_ratio, double pf_fraction)
+{
+    double pf_traffic =
+        cpu::prefetchTrafficFactor(p.prefetch, pf_fraction);
+    // Demand scales with how fast the task is actually running and
+    // how many of its accesses miss the LLC relative to standalone.
+    return p.bwPerCore * cores * pf_traffic * miss_ratio *
+           std::clamp(speed_basis, 0.0, 1.5);
+}
+
+Task::Task(std::string name, sim::GroupId group)
+    : name_(std::move(name)), group_(group)
+{
+}
+
+void
+Task::setDataPlacement(std::vector<DataShare> placement)
+{
+    double total = 0.0;
+    for (const auto &s : placement)
+        total += s.fraction;
+    KELP_ASSERT(placement.empty() || std::abs(total - 1.0) < 1e-6,
+                "data placement fractions must sum to 1");
+    dataPlacement_ = std::move(placement);
+}
+
+void
+Task::updateDemandBasis(double achieved_speed)
+{
+    // Damped relaxation toward the achieved speed: fast enough to
+    // track phase changes within a few 100 us ticks, slow enough to
+    // avoid demand/grant oscillation.
+    demandBasis_ += 0.5 * (achieved_speed - demandBasis_);
+    demandBasis_ = std::clamp(demandBasis_, 0.02, 1.5);
+}
+
+} // namespace wl
+} // namespace kelp

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Task abstraction: the unit of placement and progress.
+ *
+ * The node drives every task through a two-pass protocol each tick:
+ *
+ *  1. bwDemand(env) -- the task reports its memory bandwidth demand
+ *     given its current phase and the pre-resolve environment (cores,
+ *     prefetchers, LLC hit rate, last tick's achieved speed).
+ *  2. advance(dt, env) -- after the memory system resolves, the task
+ *     advances its phase/step state using the post-resolve environment
+ *     (effective latency, granted bandwidth fraction, throttle).
+ *
+ * hostSpeed() encodes the shared performance model: how a host phase's
+ * execution speed responds to the environment. It is the single place
+ * where latency, bandwidth, prefetcher, SMT, and distress effects
+ * combine, used by ML host segments and batch tasks alike.
+ */
+
+#ifndef KELP_WORKLOAD_TASK_HH
+#define KELP_WORKLOAD_TASK_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/phase.hh"
+
+namespace kelp {
+namespace wl {
+
+/** Explicit data-placement share (Remote-DRAM style experiments). */
+struct DataShare
+{
+    sim::SocketId socket = 0;
+    sim::SubdomainId subdomain = 0;
+    double fraction = 1.0;
+};
+
+/** Environment a task executes in during one tick. */
+struct ExecEnv
+{
+    /** Socket the task's threads run on. */
+    sim::SocketId socket = 0;
+
+    /** Cores effectively available to this task (may be fractional
+     * under fair sharing; includes the SMT bonus capacity). */
+    double effCores = 1.0;
+
+    /** Throughput factor from SMT sibling sharing, in (0, 1]. */
+    double smtFactor = 1.0;
+
+    /** Current LLC miss rate / standalone miss rate (>= 0). */
+    double missRatio = 1.0;
+
+    /** Fraction of the group's prefetchers enabled, in [0, 1]. */
+    double pfFraction = 1.0;
+
+    /** Distress-signal core throttle from the previous tick. */
+    double throttle = 1.0;
+
+    /** Effective memory latency observed this tick, ns. */
+    sim::Nanoseconds latencyNs = 90.0;
+
+    /** Unloaded memory latency, ns. */
+    sim::Nanoseconds baseLatencyNs = 90.0;
+
+    /** Granted fraction of demanded bandwidth, in [0, 1]. */
+    double bwFraction = 1.0;
+};
+
+/** Execution speeds of a host phase under an environment. */
+struct HostSpeeds
+{
+    /** Achieved relative speed (1.0 = standalone), including
+     * bandwidth starvation. */
+    double speed = 1.0;
+
+    /**
+     * Speed the phase would run at if all demanded bandwidth were
+     * granted (latency stalls, throttling, and SMT only). This is
+     * the correct demand basis: a bandwidth-starved streaming task
+     * keeps *offering* its full load -- that pressure is what
+     * saturates controllers and asserts the distress signal.
+     */
+    double demandSpeed = 1.0;
+};
+
+/**
+ * Relative execution speeds of a host phase under the given
+ * environment.
+ *
+ * Combines: memory-stall inflation from latency, LLC misses and
+ * prefetcher stall exposure; bandwidth starvation (bounded by last
+ * tick's demand basis); distress throttling; and SMT contention.
+ *
+ * @param p Host-phase response parameters.
+ * @param env The execution environment.
+ * @param demand_basis Relative speed assumed when demand was
+ *        submitted (the task's smoothed demandSpeed).
+ */
+HostSpeeds hostSpeeds(const HostPhaseParams &p, const ExecEnv &env,
+                      double demand_basis);
+
+/** Achieved speed only (convenience). */
+double hostSpeed(const HostPhaseParams &p, const ExecEnv &env,
+                 double demand_basis);
+
+/**
+ * Bandwidth demand (GiB/s) of a host phase running on the given
+ * number of cores at the given relative speed.
+ */
+double hostDemand(const HostPhaseParams &p, double cores,
+                  double speed_basis, double miss_ratio,
+                  double pf_fraction);
+
+/** Base class for all workloads. */
+class Task
+{
+  public:
+    Task(std::string name, sim::GroupId group);
+    virtual ~Task() = default;
+
+    const std::string &name() const { return name_; }
+    sim::GroupId group() const { return group_; }
+
+    /** Unique task id, assigned by the node at placement time. */
+    int id() const { return id_; }
+    void setId(int id) { id_ = id; }
+
+    /** Socket this task's threads run on. */
+    sim::SocketId homeSocket() const { return homeSocket_; }
+    void setHomeSocket(sim::SocketId s) { homeSocket_ = s; }
+
+    /**
+     * Explicit data placement. Empty means "allocate local": demand is
+     * split across the subdomains in proportion to the group's cores.
+     */
+    const std::vector<DataShare> &dataPlacement() const
+    {
+        return dataPlacement_;
+    }
+    void setDataPlacement(std::vector<DataShare> placement);
+
+    /** Number of software threads the task wants to run. */
+    virtual int threadsWanted() const = 0;
+
+    /** Pass 1: bandwidth demand for this tick, GiB/s. */
+    virtual sim::GiBps bwDemand(const ExecEnv &env) = 0;
+
+    /** Pass 2: advance task state through dt. */
+    virtual void advance(sim::Time dt, const ExecEnv &env) = 0;
+
+    /** Cumulative completed work (task-specific units). */
+    virtual double completedWork() const = 0;
+
+    /** Host-phase LLC characteristics for apportionment. */
+    virtual HostPhaseParams llcProfile() const = 0;
+
+    /** Smoothed achieved relative speed (demand feedback basis). */
+    double demandBasis() const { return demandBasis_; }
+
+  protected:
+    /** Fold an achieved speed into the demand basis. */
+    void updateDemandBasis(double achieved_speed);
+
+  private:
+    std::string name_;
+    sim::GroupId group_;
+    int id_ = sim::invalidId;
+    sim::SocketId homeSocket_ = 0;
+    std::vector<DataShare> dataPlacement_;
+    double demandBasis_ = 1.0;
+};
+
+} // namespace wl
+} // namespace kelp
+
+#endif // KELP_WORKLOAD_TASK_HH

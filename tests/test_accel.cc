@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the accelerator device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+
+using namespace kelp;
+using namespace kelp::accel;
+
+TEST(Accelerator, TransferTime)
+{
+    AcceleratorConfig cfg;
+    cfg.pcieBw = 12.0;
+    Accelerator a(cfg);
+    EXPECT_NEAR(a.transferTime(6.0), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(a.transferTime(0.0), 0.0);
+}
+
+TEST(Accelerator, NegativeTransferPanics)
+{
+    Accelerator a(AcceleratorConfig{});
+    EXPECT_DEATH(a.transferTime(-1.0), "negative");
+}
+
+TEST(Accelerator, UtilizationAccumulates)
+{
+    Accelerator a(AcceleratorConfig{});
+    a.recordEngineBusy(0.5, 1.0);
+    a.recordEngineBusy(1.0, 1.0);
+    a.recordLinkBusy(0.25, 2.0);
+    sim::IntervalAccumulator::Snapshot e, l;
+    EXPECT_NEAR(a.engineUtil().readSince(e, 0.0), 0.75, 1e-12);
+    EXPECT_NEAR(a.linkUtil().readSince(l, 0.0), 0.25, 1e-12);
+}
+
+TEST(Accelerator, KindNames)
+{
+    EXPECT_STREQ(kindName(Kind::TpuV1), "TPU");
+    EXPECT_STREQ(kindName(Kind::CloudTpu), "Cloud TPU");
+    EXPECT_STREQ(kindName(Kind::Gpu), "GPU");
+}
+
+TEST(Accelerator, BadConfigPanics)
+{
+    AcceleratorConfig cfg;
+    cfg.pcieBw = 0.0;
+    EXPECT_DEATH(Accelerator{cfg}, "PCIe");
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the workload catalog: Table I fidelity and parameter
+ * sanity for every workload model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "node/platform.hh"
+#include "workload/catalog.hh"
+
+using namespace kelp;
+using namespace kelp::wl;
+
+TEST(Catalog, FourMlWorkloads)
+{
+    auto all = allMlWorkloads();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0], MlWorkload::Rnn1);
+    EXPECT_EQ(all[3], MlWorkload::Cnn3);
+}
+
+TEST(Catalog, TableOnePlatforms)
+{
+    EXPECT_EQ(mlDesc(MlWorkload::Rnn1).platform, accel::Kind::TpuV1);
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn1).platform, accel::Kind::CloudTpu);
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn2).platform, accel::Kind::CloudTpu);
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn3).platform, accel::Kind::Gpu);
+}
+
+TEST(Catalog, TableOneInteractions)
+{
+    EXPECT_EQ(mlDesc(MlWorkload::Rnn1).interaction, "Beam search");
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn1).interaction, "Data in-feed");
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn2).interaction, "Data in-feed");
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn3).interaction,
+              "Parameter server");
+}
+
+TEST(Catalog, TableOneIntensities)
+{
+    EXPECT_EQ(mlDesc(MlWorkload::Rnn1).cpuIntensity, "Medium");
+    EXPECT_EQ(mlDesc(MlWorkload::Rnn1).memIntensity, "Low");
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn2).cpuIntensity, "High");
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn2).memIntensity, "Medium");
+    EXPECT_EQ(mlDesc(MlWorkload::Cnn3).memIntensity, "High");
+}
+
+TEST(Catalog, OnlyRnn1IsInference)
+{
+    EXPECT_TRUE(mlDesc(MlWorkload::Rnn1).inference);
+    EXPECT_FALSE(mlDesc(MlWorkload::Cnn1).inference);
+    EXPECT_FALSE(mlDesc(MlWorkload::Cnn2).inference);
+    EXPECT_FALSE(mlDesc(MlWorkload::Cnn3).inference);
+}
+
+TEST(Catalog, MemIntensityOrderingMatchesTable)
+{
+    // Table I intensity classes must be reflected in per-core
+    // bandwidth demand: CNN3 (High) > CNN2 (Medium) > CNN1/RNN1 (Low).
+    auto bw = [](MlWorkload w) {
+        MlDesc d = mlDesc(w);
+        if (d.inference) {
+            for (const auto &st : d.infer.iteration.stages)
+                if (st.segments[0].kind == SegmentKind::Host)
+                    return st.segments[0].host.bwPerCore;
+        }
+        for (const auto &st : d.step.stages)
+            for (const auto &seg : st.segments)
+                if (seg.kind == SegmentKind::Host)
+                    return seg.host.bwPerCore;
+        return 0.0;
+    };
+    EXPECT_GT(bw(MlWorkload::Cnn3), bw(MlWorkload::Cnn2));
+    EXPECT_GT(bw(MlWorkload::Cnn2), bw(MlWorkload::Cnn1));
+    EXPECT_GT(bw(MlWorkload::Cnn2), bw(MlWorkload::Rnn1));
+}
+
+TEST(Catalog, SubMillisecondInferencePhases)
+{
+    // Figure 3: interleaving is on the order of sub-ms to ms.
+    MlDesc d = mlDesc(MlWorkload::Rnn1);
+    for (const auto &st : d.infer.iteration.stages) {
+        EXPECT_GT(st.segments[0].duration, 0.01 * sim::msec);
+        EXPECT_LT(st.segments[0].duration, 1.0 * sim::msec);
+    }
+}
+
+TEST(Catalog, TrainStepsAreMilliseconds)
+{
+    for (auto w : {MlWorkload::Cnn1, MlWorkload::Cnn2,
+                   MlWorkload::Cnn3}) {
+        sim::Time step = mlDesc(w).step.standaloneDuration();
+        EXPECT_GT(step, 1.0 * sim::msec);
+        EXPECT_LT(step, 50.0 * sim::msec);
+    }
+}
+
+TEST(Catalog, MlCoresFitInSubdomain)
+{
+    for (auto w : allMlWorkloads()) {
+        MlDesc d = mlDesc(w);
+        node::PlatformSpec spec = node::platformFor(d.platform);
+        EXPECT_LE(d.mlCores, spec.topo.coresPerSocket / 2)
+            << mlName(w);
+        EXPECT_GE(d.mlCores, 1);
+    }
+}
+
+TEST(Catalog, CpuParamsSane)
+{
+    for (auto w : {CpuWorkload::Stream, CpuWorkload::Stitch,
+                   CpuWorkload::Cpuml, CpuWorkload::LlcAggressor,
+                   CpuWorkload::DramAggressor}) {
+        HostPhaseParams p = cpuParams(w, 32.0);
+        EXPECT_GT(p.bwPerCore, 0.0) << cpuName(w);
+        EXPECT_GE(p.cpuFrac, 0.0);
+        EXPECT_LT(p.cpuFrac, 1.0);
+        EXPECT_GT(p.llcFootprintMb, 0.0);
+        EXPECT_GE(p.latencySensitivity, 0.0);
+        EXPECT_LE(p.latencySensitivity, 1.0);
+    }
+}
+
+TEST(Catalog, LlcAggressorFitsTheLlc)
+{
+    HostPhaseParams p = cpuParams(CpuWorkload::LlcAggressor, 48.0);
+    EXPECT_DOUBLE_EQ(p.llcFootprintMb, 48.0);
+    EXPECT_GT(p.llcHitMax, 0.9);  // cache-resident by design
+}
+
+TEST(Catalog, DramAggressorDoesNotFit)
+{
+    HostPhaseParams p = cpuParams(CpuWorkload::DramAggressor, 48.0);
+    EXPECT_GT(p.llcFootprintMb, 100.0);
+    EXPECT_LT(p.llcHitMax, 0.1);
+}
+
+TEST(Catalog, StreamIsBandwidthBound)
+{
+    HostPhaseParams p = cpuParams(CpuWorkload::Stream);
+    EXPECT_LT(p.cpuFrac, 0.15);
+    EXPECT_LT(p.latencySensitivity, 0.3);
+    EXPECT_GT(p.bwPerCore, 4.0);
+}
+
+TEST(Catalog, CpumlIsComputeHeavy)
+{
+    HostPhaseParams p = cpuParams(CpuWorkload::Cpuml);
+    EXPECT_GT(p.cpuFrac, 0.5);
+    EXPECT_LT(p.bwPerCore, cpuParams(CpuWorkload::Stream).bwPerCore);
+}
+
+TEST(Catalog, AggressorLevelsMonotone)
+{
+    double sub_bw = 57.6;
+    int lo = aggressorThreads(AggressorLevel::Low, sub_bw);
+    int med = aggressorThreads(AggressorLevel::Medium, sub_bw);
+    int hi = aggressorThreads(AggressorLevel::High, sub_bw);
+    EXPECT_LT(lo, med);
+    EXPECT_LT(med, hi);
+    // High oversubscribes the subdomain.
+    double per_core = cpuParams(CpuWorkload::DramAggressor).bwPerCore;
+    EXPECT_GE(hi * per_core, sub_bw);
+}
+
+TEST(Catalog, SaturatingThreadsAtTheKnee)
+{
+    // Offered load lands at ~95% of peak: the knee of the
+    // bandwidth-latency curve.
+    double per_core = cpuParams(CpuWorkload::DramAggressor).bwPerCore;
+    int n = saturatingDramThreads(100.0);
+    EXPECT_GE(n * per_core, 95.0);
+    EXPECT_LT((n - 1) * per_core, 95.0);
+}
+
+TEST(Catalog, StitchInstancesAreFourThreads)
+{
+    EXPECT_EQ(threadsPerInstance(CpuWorkload::Stitch), 4);
+    EXPECT_EQ(threadsPerInstance(CpuWorkload::Stream), 1);
+}
+
+TEST(Catalog, NamesRoundTrip)
+{
+    EXPECT_STREQ(mlName(MlWorkload::Rnn1), "RNN1");
+    EXPECT_STREQ(cpuName(CpuWorkload::Stitch), "Stitch");
+    EXPECT_STREQ(aggressorLevelName(AggressorLevel::High), "H");
+}
+
+TEST(Platform, ThreePlatformsDistinct)
+{
+    auto tpu = node::platformFor(accel::Kind::TpuV1);
+    auto cloud = node::platformFor(accel::Kind::CloudTpu);
+    auto gpu = node::platformFor(accel::Kind::Gpu);
+    EXPECT_NE(tpu.name, cloud.name);
+    EXPECT_NE(cloud.name, gpu.name);
+    // Cloud TPU platform has the most bandwidth and the highest
+    // remote-traffic sensitivity (Section VI-A).
+    EXPECT_GT(cloud.mem.socket.peakBw, tpu.mem.socket.peakBw);
+    EXPECT_GT(cloud.mem.upiCoherenceTax, tpu.mem.upiCoherenceTax);
+    EXPECT_GT(cloud.mem.upiCoherenceTax, gpu.mem.upiCoherenceTax);
+}
+
+TEST(Platform, AcceleratorsMatchPaper)
+{
+    EXPECT_NEAR(node::platformFor(accel::Kind::TpuV1).accel.peakTflops,
+                92.0, 1e-9);
+    EXPECT_NEAR(
+        node::platformFor(accel::Kind::CloudTpu).accel.peakTflops,
+        180.0, 1e-9);
+    EXPECT_NEAR(
+        node::platformFor(accel::Kind::CloudTpu).accel.deviceMemGb,
+        64.0, 1e-9);
+}

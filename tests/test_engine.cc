@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the time-stepped simulation engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+using namespace kelp::sim;
+
+TEST(Engine, AdvancesTime)
+{
+    Engine e(100 * usec);
+    e.run(0.01);
+    EXPECT_NEAR(e.now(), 0.01, 1e-9);
+    EXPECT_EQ(e.tickCount(), 100u);
+}
+
+TEST(Engine, TickFnReceivesTimes)
+{
+    Engine e(1 * msec);
+    std::vector<Time> times;
+    e.onTick([&](Time now, Time dt) {
+        times.push_back(now);
+        EXPECT_DOUBLE_EQ(dt, 1 * msec);
+    });
+    e.run(0.005);
+    ASSERT_EQ(times.size(), 5u);
+    EXPECT_DOUBLE_EQ(times[0], 0.0);
+    EXPECT_NEAR(times[4], 0.004, 1e-12);
+}
+
+TEST(Engine, TickFnsRunInRegistrationOrder)
+{
+    Engine e(1 * msec);
+    std::vector<int> order;
+    e.onTick([&](Time, Time) { order.push_back(1); });
+    e.onTick([&](Time, Time) { order.push_back(2); });
+    e.run(1 * msec);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, PeriodicFiresAtPeriod)
+{
+    Engine e(1 * msec);
+    std::vector<Time> fires;
+    e.every(0.01, [&](Time t) { fires.push_back(t); });
+    e.run(0.035);
+    // Default phase = one period: 10, 20, 30 ms.
+    ASSERT_EQ(fires.size(), 3u);
+    EXPECT_NEAR(fires[0], 0.010, 1e-9);
+    EXPECT_NEAR(fires[2], 0.030, 1e-9);
+}
+
+TEST(Engine, PeriodicCustomPhase)
+{
+    Engine e(1 * msec);
+    std::vector<Time> fires;
+    e.every(0.01, [&](Time t) { fires.push_back(t); }, 0.002);
+    e.run(0.025);
+    ASSERT_EQ(fires.size(), 3u);
+    EXPECT_NEAR(fires[0], 0.002, 1e-9);
+    EXPECT_NEAR(fires[1], 0.012, 1e-9);
+}
+
+TEST(Engine, MultiplePeriodics)
+{
+    Engine e(1 * msec);
+    int fast = 0, slow = 0;
+    e.every(0.005, [&](Time) { ++fast; });
+    e.every(0.010, [&](Time) { ++slow; });
+    e.run(0.030);
+    EXPECT_EQ(fast, 6);
+    EXPECT_EQ(slow, 3);
+}
+
+TEST(Engine, RunUntilIsAbsolute)
+{
+    Engine e(1 * msec);
+    e.runUntil(0.010);
+    e.runUntil(0.010);  // no-op
+    EXPECT_EQ(e.tickCount(), 10u);
+    e.runUntil(0.020);
+    EXPECT_EQ(e.tickCount(), 20u);
+}
+
+TEST(Engine, NoDriftOverManyTicks)
+{
+    Engine e(100 * usec);
+    e.run(10.0);
+    EXPECT_EQ(e.tickCount(), 100000u);
+    EXPECT_NEAR(e.now(), 10.0, 1e-6);
+}
+
+TEST(Engine, BadTickLengthPanics)
+{
+    EXPECT_DEATH(Engine(0.0), "positive");
+}
+
+TEST(Engine, PeriodShorterThanTickPanics)
+{
+    Engine e(1 * msec);
+    EXPECT_DEATH(e.every(0.1 * msec, [](Time) {}), "shorter");
+}
+
+TEST(Engine, PeriodicSeesUpdatedModelState)
+{
+    Engine e(1 * msec);
+    int ticks_at_fire = -1;
+    int ticks = 0;
+    e.onTick([&](Time, Time) { ++ticks; });
+    e.every(0.005, [&](Time) { ticks_at_fire = ticks; });
+    e.run(0.005);
+    // The periodic fires after the 5th tick completed.
+    EXPECT_EQ(ticks_at_fire, 5);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the fleet bandwidth-profiling model (Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.hh"
+
+using namespace kelp;
+using namespace kelp::fleet;
+
+TEST(Fleet, Deterministic)
+{
+    FleetConfig cfg;
+    cfg.servers = 200;
+    auto a = profileFleet(cfg);
+    auto b = profileFleet(cfg);
+    ASSERT_EQ(a.p99PerServer().size(), b.p99PerServer().size());
+    for (size_t i = 0; i < a.p99PerServer().size(); ++i)
+        EXPECT_DOUBLE_EQ(a.p99PerServer()[i], b.p99PerServer()[i]);
+}
+
+TEST(Fleet, SeedChangesResult)
+{
+    FleetConfig cfg;
+    cfg.servers = 200;
+    auto a = profileFleet(cfg);
+    cfg.seed = 777;
+    auto b = profileFleet(cfg);
+    EXPECT_NE(a.p99PerServer(), b.p99PerServer());
+}
+
+TEST(Fleet, ValuesAreFractionsOfPeak)
+{
+    FleetConfig cfg;
+    cfg.servers = 500;
+    auto r = profileFleet(cfg);
+    for (double v : r.p99PerServer()) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Fleet, CdfMonotone)
+{
+    FleetConfig cfg;
+    cfg.servers = 500;
+    auto r = profileFleet(cfg);
+    auto cdf = r.cdf(21);
+    double prev = -1.0;
+    for (const auto &[x, y] : cdf) {
+        EXPECT_GE(y, prev);
+        EXPECT_GE(y, 0.0);
+        EXPECT_LE(y, 1.0);
+        prev = y;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Fleet, FractionAboveConsistentWithCdf)
+{
+    FleetConfig cfg;
+    cfg.servers = 500;
+    auto r = profileFleet(cfg);
+    EXPECT_NEAR(r.fractionAbove(0.5) + (1.0 - r.fractionAbove(0.5)),
+                1.0, 1e-12);
+    EXPECT_GE(r.fractionAbove(0.2), r.fractionAbove(0.8));
+}
+
+TEST(Fleet, SaturatedTailMatchesPaperBallpark)
+{
+    // Figure 2's headline: ~16% of servers above 70% of peak.
+    FleetConfig cfg;
+    auto r = profileFleet(cfg);
+    double frac = r.fractionAbove(0.70);
+    EXPECT_GT(frac, 0.08);
+    EXPECT_LT(frac, 0.25);
+}
+
+TEST(Fleet, MoreCoresMoreSaturation)
+{
+    FleetConfig small;
+    small.servers = 1000;
+    small.cores = 16;
+    FleetConfig big = small;
+    big.cores = 64;
+    EXPECT_GT(profileFleet(big).fractionAbove(0.7),
+              profileFleet(small).fractionAbove(0.7));
+}
+
+TEST(Fleet, BadConfigPanics)
+{
+    FleetConfig cfg;
+    cfg.servers = 0;
+    EXPECT_DEATH(profileFleet(cfg), "configuration");
+}

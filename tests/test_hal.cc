@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the HAL: task groups, resource knobs, and performance
+ * counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hal/counters.hh"
+#include "hal/knobs.hh"
+#include "hal/task_group.hh"
+#include "mem/mem_system.hh"
+
+using namespace kelp;
+using namespace kelp::hal;
+
+namespace {
+
+cpu::TopologyConfig
+topoConfig()
+{
+    cpu::TopologyConfig cfg;
+    cfg.sockets = 2;
+    cfg.coresPerSocket = 16;  // 8 per subdomain
+    return cfg;
+}
+
+} // namespace
+
+TEST(TaskGroup, CreateAndLookup)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    TaskGroup &ml = reg.create("ml", Priority::High);
+    TaskGroup &batch = reg.create("batch", Priority::Low);
+    EXPECT_EQ(reg.size(), 2);
+    EXPECT_EQ(reg.find("ml"), &ml);
+    EXPECT_EQ(reg.find("batch"), &batch);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    EXPECT_EQ(&reg.get(ml.id()), &ml);
+    EXPECT_EQ(ml.priority(), Priority::High);
+}
+
+TEST(TaskGroup, DuplicateNameFatal)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    reg.create("ml", Priority::High);
+    EXPECT_EXIT(reg.create("ml", Priority::Low),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(TaskGroup, StartsFloating)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    TaskGroup &g = reg.create("g", Priority::Low);
+    EXPECT_TRUE(g.floating());
+    EXPECT_EQ(g.cores().total(), 0);
+}
+
+TEST(Knobs, SetCoresPinsGroup)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &g = reg.create("g", Priority::Low);
+    knobs.setCores(g.id(), 0, 1, 4);
+    EXPECT_FALSE(g.floating());
+    EXPECT_EQ(g.cores().inSubdomain(0, 1), 4);
+    EXPECT_EQ(g.cores().inSocket(0), 4);
+    EXPECT_EQ(g.cores().total(), 4);
+}
+
+TEST(Knobs, CapacityAccounting)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::High);
+    TaskGroup &b = reg.create("b", Priority::Low);
+    knobs.setCores(a.id(), 0, 0, 5);
+    knobs.setCores(b.id(), 0, 0, 3);
+    EXPECT_EQ(reg.allocatedIn(0, 0), 8);
+    EXPECT_EQ(reg.freeIn(0, 0), 0);
+    EXPECT_EQ(reg.freeIn(0, 1), 8);
+}
+
+TEST(Knobs, OversubscriptionFatal)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::High);
+    TaskGroup &b = reg.create("b", Priority::Low);
+    knobs.setCores(a.id(), 0, 0, 6);
+    EXPECT_EXIT(knobs.setCores(b.id(), 0, 0, 3),
+                ::testing::ExitedWithCode(1), "available");
+}
+
+TEST(Knobs, ResizeWithinOwnAllocation)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::High);
+    knobs.setCores(a.id(), 0, 0, 8);
+    knobs.setCores(a.id(), 0, 0, 8);  // same count again is fine
+    knobs.setCores(a.id(), 0, 0, 2);
+    EXPECT_EQ(reg.freeIn(0, 0), 6);
+}
+
+TEST(Knobs, AdjustCoresClamps)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::Low);
+    knobs.setCores(a.id(), 0, 1, 7);
+    EXPECT_EQ(knobs.adjustCores(a.id(), 0, 1, +5), 8);
+    EXPECT_EQ(knobs.adjustCores(a.id(), 0, 1, -20), 0);
+}
+
+TEST(Knobs, PrefetchersClampToCores)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::Low);
+    knobs.setCores(a.id(), 0, 1, 4);
+    knobs.setPrefetchersEnabled(a.id(), 100);
+    EXPECT_EQ(a.prefetchersEnabled(), 4);
+    EXPECT_DOUBLE_EQ(a.prefetcherFraction(), 1.0);
+    knobs.setPrefetchersEnabled(a.id(), 2);
+    EXPECT_DOUBLE_EQ(a.prefetcherFraction(), 0.5);
+    // Shrinking the mask re-clamps prefetchers.
+    knobs.setPrefetchersEnabled(a.id(), 4);
+    knobs.setCores(a.id(), 0, 1, 2);
+    EXPECT_EQ(a.prefetchersEnabled(), 2);
+}
+
+TEST(Knobs, MemBinding)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::Low);
+    knobs.setMemBinding(a.id(), 1, 1);
+    EXPECT_EQ(a.memBinding().socket, 1);
+    EXPECT_EQ(a.memBinding().subdomain, 1);
+}
+
+TEST(Knobs, CatWays)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    TaskGroup &a = reg.create("a", Priority::High);
+    knobs.setCatWays(a.id(), 4);
+    EXPECT_EQ(a.catWays(), 4);
+}
+
+TEST(Knobs, UnknownGroupPanics)
+{
+    cpu::Topology topo(topoConfig());
+    GroupRegistry reg(topo);
+    ResourceKnobs knobs(reg);
+    EXPECT_DEATH(knobs.setCatWays(7, 2), "out of range");
+}
+
+TEST(PerfCounters, WindowedRead)
+{
+    mem::MemSystemConfig cfg;
+    cfg.socket.peakBw = 100.0;
+    mem::MemSystem mem(cfg);
+    PerfCounters pc(mem);
+
+    for (int i = 0; i < 10; ++i) {
+        mem.beginTick();
+        mem.addFlow(1, {0, 0, 0, 0}, 30.0);
+        mem.resolve(100 * sim::usec);
+    }
+    CounterSample s = pc.sample(0);
+    EXPECT_NEAR(s.socketBw, 30.0, 1e-9);
+    EXPECT_GT(s.memLatency, 0.0);
+
+    // A second immediate read covers an empty window: fallbacks.
+    CounterSample s2 = pc.sample(0);
+    EXPECT_DOUBLE_EQ(s2.socketBw, 0.0);
+}
+
+TEST(PerfCounters, ReadersAreIndependent)
+{
+    mem::MemSystemConfig cfg;
+    cfg.socket.peakBw = 100.0;
+    mem::MemSystem mem(cfg);
+    PerfCounters a(mem), b(mem);
+
+    mem.beginTick();
+    mem.addFlow(1, {0, 0, 0, 0}, 20.0);
+    mem.resolve(100 * sim::usec);
+    EXPECT_NEAR(a.sample(0).socketBw, 20.0, 1e-9);
+
+    mem.beginTick();
+    mem.addFlow(1, {0, 0, 0, 0}, 40.0);
+    mem.resolve(100 * sim::usec);
+    EXPECT_NEAR(a.sample(0).socketBw, 40.0, 1e-9);
+    EXPECT_NEAR(b.sample(0).socketBw, 30.0, 1e-9);
+}
+
+TEST(PerfCounters, SaturationWindow)
+{
+    mem::MemSystemConfig cfg;
+    cfg.socket.peakBw = 100.0;
+    cfg.socket.distressThreshold = 0.8;
+    mem::MemSystem mem(cfg);
+    mem.setSncEnabled(true);
+    PerfCounters pc(mem);
+    mem.beginTick();
+    mem.addFlow(1, {0, 1, 0, 1}, 100.0);  // saturate subdomain 1
+    mem.resolve(100 * sim::usec);
+    mem.beginTick();
+    mem.resolve(100 * sim::usec);
+    EXPECT_NEAR(pc.sample(0).saturation, 0.5, 1e-9);
+}

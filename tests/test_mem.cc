@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the memory-system building blocks: latency curve,
+ * controller arbitration, backpressure, and the UPI link.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mem/backpressure.hh"
+#include "mem/controller.hh"
+#include "mem/latency_curve.hh"
+#include "mem/upi.hh"
+#include "sim/types.hh"
+
+using namespace kelp;
+using namespace kelp::mem;
+
+TEST(LatencyCurve, UnloadedEqualsBase)
+{
+    LatencyCurve c(90.0, 4.0);
+    EXPECT_NEAR(c.at(0.0), 90.0, 1e-9);
+    EXPECT_DOUBLE_EQ(c.base(), 90.0);
+}
+
+TEST(LatencyCurve, InflationAt95MatchesParameter)
+{
+    LatencyCurve c(90.0, 4.0);
+    EXPECT_NEAR(c.inflation(0.95), 4.0, 1e-9);
+    EXPECT_NEAR(c.at(0.95), 360.0, 1e-6);
+}
+
+TEST(LatencyCurve, ClampsAboveNinetyFive)
+{
+    LatencyCurve c(90.0, 4.0);
+    EXPECT_NEAR(c.at(1.0), c.at(0.95), 1e-9);
+    EXPECT_NEAR(c.at(5.0), c.at(0.95), 1e-9);
+}
+
+TEST(LatencyCurve, GentleAtLowLoad)
+{
+    LatencyCurve c(90.0, 4.0);
+    EXPECT_LT(c.inflation(0.3), 1.05);
+    EXPECT_LT(c.inflation(0.5), 1.15);
+}
+
+TEST(LatencyCurve, BadParamsPanic)
+{
+    EXPECT_DEATH(LatencyCurve(0.0, 4.0), "positive");
+    EXPECT_DEATH(LatencyCurve(90.0, 0.5), ">= 1");
+}
+
+/** Monotonicity property across utilizations. */
+class LatencyCurveMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LatencyCurveMonotone, NonDecreasing)
+{
+    LatencyCurve c(90.0, GetParam());
+    double prev = 0.0;
+    for (double u = 0.0; u <= 1.0; u += 0.01) {
+        double lat = c.at(u);
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inflations, LatencyCurveMonotone,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0, 8.0));
+
+namespace {
+
+Controller
+makeController(sim::GiBps capacity = 50.0)
+{
+    return Controller(0, 0, capacity, LatencyCurve(90.0, 4.0));
+}
+
+} // namespace
+
+TEST(Controller, UnderSubscribedFullGrant)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    mc.addDemand(1, 10.0, false, 0.0);
+    mc.addDemand(2, 20.0, false, 0.0);
+    mc.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(mc.grant(1).fraction, 1.0);
+    EXPECT_DOUBLE_EQ(mc.grant(1).delivered, 10.0);
+    EXPECT_DOUBLE_EQ(mc.grant(2).delivered, 20.0);
+    EXPECT_DOUBLE_EQ(mc.totalDelivered(), 30.0);
+    EXPECT_NEAR(mc.utilization(), 0.6, 1e-9);
+}
+
+TEST(Controller, OversubscribedProportionalShare)
+{
+    Controller mc = makeController(50.0);
+    mc.beginTick();
+    mc.addDemand(1, 60.0, false, 0.0);
+    mc.addDemand(2, 40.0, false, 0.0);
+    mc.resolve(1e-4);
+    EXPECT_NEAR(mc.grant(1).delivered, 30.0, 1e-9);
+    EXPECT_NEAR(mc.grant(2).delivered, 20.0, 1e-9);
+    EXPECT_NEAR(mc.grant(1).fraction, 0.5, 1e-9);
+    EXPECT_NEAR(mc.totalDelivered(), 50.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mc.utilization(), 1.0);
+}
+
+TEST(Controller, LatencyGrowsWithLoad)
+{
+    Controller mc = makeController(50.0);
+    mc.beginTick();
+    mc.addDemand(1, 10.0, false, 0.0);
+    mc.resolve(1e-4);
+    double light = mc.latency();
+    mc.beginTick();
+    mc.addDemand(1, 45.0, false, 0.0);
+    mc.resolve(1e-4);
+    double heavy = mc.latency();
+    EXPECT_GT(heavy, light);
+}
+
+TEST(Controller, LatencyExtraAddsToGrant)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    mc.addDemand(1, 10.0, false, 70.0);
+    mc.addDemand(2, 10.0, false, 0.0);
+    mc.resolve(1e-4);
+    EXPECT_NEAR(mc.grant(1).latency - mc.grant(2).latency, 70.0, 1e-9);
+}
+
+TEST(Controller, MergesFlowsOfSameRequestor)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    mc.addDemand(1, 10.0, false, 0.0);
+    mc.addDemand(1, 15.0, false, 0.0);
+    mc.resolve(1e-4);
+    EXPECT_NEAR(mc.grant(1).delivered, 25.0, 1e-9);
+}
+
+TEST(Controller, UnknownRequestorGetsNeutralGrant)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    mc.resolve(1e-4);
+    Grant g = mc.grant(99);
+    EXPECT_DOUBLE_EQ(g.delivered, 0.0);
+    EXPECT_DOUBLE_EQ(g.fraction, 1.0);
+}
+
+TEST(Controller, ZeroDemandIgnored)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    mc.addDemand(1, 0.0, false, 0.0);
+    mc.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(mc.totalDelivered(), 0.0);
+}
+
+TEST(Controller, NegativeDemandPanics)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    EXPECT_DEATH(mc.addDemand(1, -1.0, false, 0.0), "negative");
+}
+
+TEST(Controller, BeginTickClearsState)
+{
+    Controller mc = makeController();
+    mc.beginTick();
+    mc.addDemand(1, 10.0, false, 0.0);
+    mc.resolve(1e-4);
+    mc.beginTick();
+    mc.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(mc.totalDelivered(), 0.0);
+    EXPECT_DOUBLE_EQ(mc.grant(1).delivered, 0.0);
+}
+
+TEST(Controller, CountersAccumulate)
+{
+    Controller mc = makeController();
+    for (int i = 0; i < 10; ++i) {
+        mc.beginTick();
+        mc.addDemand(1, 25.0, false, 0.0);
+        mc.resolve(1e-4);
+    }
+    sim::IntervalAccumulator::Snapshot s;
+    EXPECT_NEAR(mc.bwAccum().readSince(s, 0.0), 25.0, 1e-9);
+}
+
+TEST(Controller, RequestPriorityProtectsHighPriority)
+{
+    Controller mc = makeController(50.0);
+    mc.setArbitration(Arbitration::RequestPriority);
+    mc.beginTick();
+    mc.addDemand(1, 10.0, true, 0.0);   // high priority
+    mc.addDemand(2, 100.0, false, 0.0); // aggressor
+    mc.resolve(1e-4);
+    // High priority gets full bandwidth at near-unloaded latency.
+    EXPECT_NEAR(mc.grant(1).delivered, 10.0, 1e-9);
+    EXPECT_LT(mc.grant(1).latency, 100.0);
+    // Low priority absorbs all the loss and the queueing latency.
+    EXPECT_NEAR(mc.grant(2).delivered, 40.0, 1e-9);
+    EXPECT_GT(mc.grant(2).latency, mc.grant(1).latency);
+}
+
+TEST(Controller, RequestPriorityLowLatencyAtAnyLoad)
+{
+    // The hardware what-if must shield high-priority latency even
+    // when the controller is busy but not oversubscribed.
+    Controller mc = makeController(50.0);
+    mc.setArbitration(Arbitration::RequestPriority);
+    mc.beginTick();
+    mc.addDemand(1, 5.0, true, 0.0);
+    mc.addDemand(2, 40.0, false, 0.0);  // 90% load, undersubscribed
+    mc.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(mc.grant(1).delivered, 5.0);
+    EXPECT_LT(mc.grant(1).latency, mc.grant(2).latency);
+    EXPECT_LT(mc.grant(1).latency, 100.0);
+}
+
+TEST(Controller, RequestPriorityFairWhenUnderSubscribed)
+{
+    Controller mc = makeController(50.0);
+    mc.setArbitration(Arbitration::RequestPriority);
+    mc.beginTick();
+    mc.addDemand(1, 10.0, true, 0.0);
+    mc.addDemand(2, 20.0, false, 0.0);
+    mc.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(mc.grant(1).delivered, 10.0);
+    EXPECT_DOUBLE_EQ(mc.grant(2).delivered, 20.0);
+}
+
+TEST(Controller, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(makeController(0.0), "capacity");
+}
+
+TEST(Backpressure, BelowThresholdNoDistress)
+{
+    BackpressureUnit bp(0.8, 0.5);
+    bp.update(0.5, 1e-4);
+    EXPECT_DOUBLE_EQ(bp.assertedFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(bp.coreThrottle(), 1.0);
+}
+
+TEST(Backpressure, FullSaturationFullDistress)
+{
+    BackpressureUnit bp(0.8, 0.5);
+    bp.update(1.0, 1e-4);
+    EXPECT_DOUBLE_EQ(bp.assertedFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(bp.coreThrottle(), 0.5);
+}
+
+TEST(Backpressure, LinearDutyCycle)
+{
+    BackpressureUnit bp(0.8, 0.4);
+    bp.update(0.9, 1e-4);
+    EXPECT_NEAR(bp.assertedFraction(), 0.5, 1e-9);
+    EXPECT_NEAR(bp.coreThrottle(), 0.8, 1e-9);
+}
+
+TEST(Backpressure, FastAssertedAccumulates)
+{
+    BackpressureUnit bp(0.8, 0.5);
+    bp.update(1.0, 1.0);
+    bp.update(0.5, 1.0);
+    sim::IntervalAccumulator::Snapshot s;
+    EXPECT_NEAR(bp.fastAsserted().readSince(s, 0.0), 0.5, 1e-9);
+}
+
+TEST(Backpressure, BadParamsPanic)
+{
+    EXPECT_DEATH(BackpressureUnit(0.0, 0.5), "threshold");
+    EXPECT_DEATH(BackpressureUnit(1.5, 0.5), "threshold");
+    EXPECT_DEATH(BackpressureUnit(0.8, 1.0), "strength");
+}
+
+TEST(Upi, GrantFractionUnderSubscribed)
+{
+    UpiLink upi(40.0, 70.0, 0.5);
+    upi.beginTick();
+    upi.addDemand(20.0);
+    upi.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(upi.grantFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(upi.utilization(), 0.5);
+}
+
+TEST(Upi, GrantFractionOversubscribed)
+{
+    UpiLink upi(40.0, 70.0, 0.5);
+    upi.beginTick();
+    upi.addDemand(80.0);
+    upi.resolve(1e-4);
+    EXPECT_NEAR(upi.grantFraction(), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(upi.utilization(), 1.0);
+}
+
+TEST(Upi, RemoteLatencyGrowsWithLoad)
+{
+    UpiLink upi(40.0, 70.0, 0.5);
+    upi.beginTick();
+    upi.addDemand(4.0);
+    upi.resolve(1e-4);
+    double light = upi.remoteLatency();
+    EXPECT_NEAR(light, 70.0, 2.0);
+    upi.beginTick();
+    upi.addDemand(38.0);
+    upi.resolve(1e-4);
+    EXPECT_GT(upi.remoteLatency(), light * 2.0);
+}
+
+TEST(Upi, CoherenceInflationRampsToFullTax)
+{
+    UpiLink upi(40.0, 70.0, 1.0);
+    upi.beginTick();
+    upi.addDemand(20.0);
+    upi.resolve(1e-4);
+    // Congestion utilization = 20 / (0.8 * 40) = 0.625.
+    EXPECT_NEAR(upi.coherenceInflation(),
+                1.0 + std::pow(20.0 / 32.0, 1.5), 1e-9);
+    upi.beginTick();
+    upi.addDemand(40.0);
+    upi.resolve(1e-4);
+    EXPECT_NEAR(upi.coherenceInflation(), 2.0, 1e-9);
+}
+
+TEST(Upi, CongestionUtilizationLeadsNominal)
+{
+    UpiLink upi(40.0, 70.0, 1.0);
+    upi.beginTick();
+    upi.addDemand(32.0);
+    upi.resolve(1e-4);
+    EXPECT_NEAR(upi.utilization(), 0.8, 1e-9);
+    EXPECT_NEAR(upi.congestionUtilization(), 1.0, 1e-9);
+    upi.beginTick();
+    upi.addDemand(16.0);
+    upi.resolve(1e-4);
+    EXPECT_NEAR(upi.congestionUtilization(), 0.5, 1e-9);
+}
+
+TEST(Upi, DemandResetsEachTick)
+{
+    UpiLink upi(40.0, 70.0, 0.5);
+    upi.beginTick();
+    upi.addDemand(40.0);
+    upi.resolve(1e-4);
+    upi.beginTick();
+    upi.resolve(1e-4);
+    EXPECT_DOUBLE_EQ(upi.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(upi.coherenceInflation(), 1.0);
+}
+
+TEST(Upi, BadParamsPanic)
+{
+    EXPECT_DEATH(UpiLink(0.0, 70.0, 0.5), "positive");
+    EXPECT_DEATH(UpiLink(40.0, 70.0, -1.0), "tax");
+}

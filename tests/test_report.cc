@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the experiment reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/report.hh"
+
+using namespace kelp::exp;
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"a", "longheader"});
+    t.addRow({"xx", "1"});
+    t.addRow({"y", "22"});
+    std::string out = t.render();
+    // Header line, separator, two rows.
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4);
+    // Every data line is as wide as the widest row.
+    EXPECT_NE(out.find("a   longheader"), std::string::npos);
+    EXPECT_NE(out.find("xx  1"), std::string::npos);
+}
+
+TEST(Report, TableRejectsRaggedRows)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}
+
+TEST(Report, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.0, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Report, PctFormatsFractions)
+{
+    EXPECT_EQ(pct(0.5, 0), "50%");
+    EXPECT_EQ(pct(0.123, 1), "12.3%");
+    EXPECT_EQ(pct(1.0, 0), "100%");
+}

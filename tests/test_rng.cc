@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+using kelp::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng r(0);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform(5.0, 10.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 10.0);
+    }
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(13);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    Rng r(1);
+    EXPECT_DEATH((void)r.below(0), "n > 0");
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative)
+{
+    Rng r(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.gaussian(10.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LogNormalPositive)
+{
+    Rng r(29);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(r.logNormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(37);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(41);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng p1(41), p2(41);
+    Rng a = p1.split(7);
+    Rng b = p2.split(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+/** Chi-squared-ish bucket uniformity over seeds. */
+class RngUniformity : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngUniformity, BucketsBalanced)
+{
+    Rng r(GetParam());
+    const int buckets = 10;
+    const int n = 50000;
+    int count[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        ++count[static_cast<int>(r.uniform() * buckets)];
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(count[b], n / buckets, n / buckets * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(1, 42, 1234, 99999,
+                                           0xdeadbeef));

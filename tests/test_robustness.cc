@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Robustness and property tests: conservation invariants under
+ * randomized load, and failure/perturbation injection (aggressors
+ * arriving, leaving, and ramping mid-run; controllers facing empty
+ * or extreme configurations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hh"
+#include "kelp/kelp_controller.hh"
+#include "kelp/manager.hh"
+#include "mem/mem_system.hh"
+#include "node/platform.hh"
+#include "sim/rng.hh"
+#include "workload/batch_task.hh"
+
+using namespace kelp;
+
+namespace {
+
+constexpr sim::Time dt = 100 * sim::usec;
+
+} // namespace
+
+/** Randomized flow sets must never violate conservation laws. */
+class MemConservation : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MemConservation, DeliveredNeverExceedsCapacity)
+{
+    sim::Rng rng(GetParam());
+    mem::MemSystemConfig cfg;
+    cfg.socket.peakBw = 100.0;
+    mem::MemSystem mem(cfg);
+    mem.setSncEnabled(rng.chance(0.5));
+
+    for (int tick = 0; tick < 50; ++tick) {
+        mem.beginTick();
+        int flows = 1 + static_cast<int>(rng.below(12));
+        double total_demand = 0.0;
+        for (int f = 0; f < flows; ++f) {
+            mem::Route route;
+            route.reqSocket = static_cast<int>(rng.below(2));
+            route.reqSub = static_cast<int>(rng.below(2));
+            route.homeSocket = static_cast<int>(rng.below(2));
+            route.homeSub = static_cast<int>(rng.below(2));
+            double demand = rng.uniform(0.0, 40.0);
+            total_demand += demand;
+            mem.addFlow(f, route, demand, rng.chance(0.3));
+        }
+        mem.resolve(dt);
+
+        for (int s = 0; s < 2; ++s) {
+            for (int d = 0; d < 2; ++d) {
+                const auto &mc = mem.controller(s, d);
+                // Delivery is capped by capacity (plus fp slack).
+                EXPECT_LE(mc.totalDelivered(), 50.0 + 1e-6);
+                EXPECT_GE(mc.utilization(), 0.0);
+                EXPECT_LE(mc.utilization(), 1.0);
+            }
+            EXPECT_GE(mem.saturation(s), 0.0);
+            EXPECT_LE(mem.saturation(s), 1.0);
+            EXPECT_GT(mem.coreThrottle(s), 0.0);
+            EXPECT_LE(mem.coreThrottle(s), 1.0);
+        }
+        // Per-requestor grants never exceed their demands.
+        for (int f = 0; f < flows; ++f) {
+            mem::Grant g = mem.grant(f);
+            EXPECT_GE(g.fraction, 0.0);
+            EXPECT_LE(g.fraction, 1.0 + 1e-9);
+            EXPECT_GE(g.latency, 0.0);
+        }
+        (void)total_demand;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemConservation,
+                         ::testing::Values(1, 7, 42, 1337, 99991));
+
+TEST(Robustness, AggressorArrivalAndDeparture)
+{
+    // The controller must re-open the taps after an aggressor leaves.
+    node::Node node(node::platformFor(accel::Kind::CloudTpu));
+    node.setSncEnabled(true);
+    auto ml = node.groups().create("ml", hal::Priority::High).id();
+    auto cpu = node.groups().create("batch", hal::Priority::Low).id();
+    node.knobs().setCores(ml, 0, 0, 4);
+    node.knobs().setPrefetchersEnabled(ml, 4);
+
+    wl::HostPhaseParams agg =
+        wl::cpuParams(wl::CpuWorkload::DramAggressor);
+    auto &task = node.add(std::make_unique<wl::BatchTask>(
+        "agg", cpu, 10, agg));
+    task.setHomeSocket(0);
+
+    runtime::Bindings bind{&node, ml, cpu, 0};
+    auto spec = node::platformFor(accel::Kind::CloudTpu);
+    runtime::ConfigLimits limits{0, 8, 1, 12};
+    runtime::ResourceState init{0, 10, 10};
+    runtime::KelpController ctl(
+        bind, runtime::defaultProfile(wl::MlWorkload::Cnn1, spec),
+        limits, init);
+
+    auto run_rounds = [&](int rounds) {
+        for (int r = 0; r < rounds; ++r) {
+            for (int t = 0; t < 100; ++t)
+                node.tick(t * dt, dt);
+            ctl.sample(r);
+        }
+    };
+
+    run_rounds(10);  // heavy phase: prefetchers get cut
+    int throttled_pf = ctl.state().prefetcherNumL;
+    EXPECT_LT(throttled_pf, 10);
+
+    task.setThreads(1);  // the aggressor all but leaves
+    run_rounds(20);
+    EXPECT_GT(ctl.state().prefetcherNumL, throttled_pf);
+    EXPECT_GT(ctl.state().coreNumH, 0);  // backfill resumed
+}
+
+TEST(Robustness, AggressorRampIsTracked)
+{
+    // Ramping load must monotonically tighten the knobs.
+    node::Node node(node::platformFor(accel::Kind::CloudTpu));
+    node.setSncEnabled(true);
+    auto ml = node.groups().create("ml", hal::Priority::High).id();
+    auto cpu = node.groups().create("batch", hal::Priority::Low).id();
+    node.knobs().setCores(ml, 0, 0, 4);
+    node.knobs().setPrefetchersEnabled(ml, 4);
+    auto &task = node.add(std::make_unique<wl::BatchTask>(
+        "agg", cpu, 2, wl::cpuParams(wl::CpuWorkload::DramAggressor)));
+    task.setHomeSocket(0);
+
+    runtime::Bindings bind{&node, ml, cpu, 0};
+    auto spec = node::platformFor(accel::Kind::CloudTpu);
+    runtime::KelpController ctl(
+        bind, runtime::defaultProfile(wl::MlWorkload::Cnn1, spec),
+        {0, 8, 1, 12}, {0, 12, 12});
+
+    std::vector<int> pf_at_load;
+    for (int threads : {2, 6, 12}) {
+        task.setThreads(threads);
+        for (int r = 0; r < 8; ++r) {
+            for (int t = 0; t < 100; ++t)
+                node.tick(t * dt, dt);
+            ctl.sample(r);
+        }
+        pf_at_load.push_back(ctl.state().prefetcherNumL);
+    }
+    EXPECT_GE(pf_at_load[0], pf_at_load[1]);
+    EXPECT_GE(pf_at_load[1], pf_at_load[2]);
+    EXPECT_LT(pf_at_load[2], 12);
+}
+
+TEST(Robustness, ControllerSurvivesIdleSystem)
+{
+    // No CPU tasks at all: sampling must be a stable no-op that
+    // simply boosts to the limits and stays there.
+    node::Node node(node::platformFor(accel::Kind::TpuV1));
+    node.setSncEnabled(true);
+    auto ml = node.groups().create("ml", hal::Priority::High).id();
+    auto cpu = node.groups().create("batch", hal::Priority::Low).id();
+    node.knobs().setCores(ml, 0, 0, 4);
+
+    runtime::Bindings bind{&node, ml, cpu, 0};
+    auto spec = node::platformFor(accel::Kind::TpuV1);
+    runtime::KelpController ctl(
+        bind, runtime::defaultProfile(wl::MlWorkload::Rnn1, spec),
+        {0, 4, 1, 8}, {0, 4, 4});
+    for (int r = 0; r < 20; ++r) {
+        for (int t = 0; t < 50; ++t)
+            node.tick(t * dt, dt);
+        ctl.sample(r);
+    }
+    EXPECT_EQ(ctl.state().coreNumL, 8);
+    EXPECT_EQ(ctl.state().prefetcherNumL, 8);
+    EXPECT_EQ(ctl.state().coreNumH, 4);
+}
+
+TEST(Robustness, MinimumCoreFloorRespected)
+{
+    // Even an absurdly heavy aggressor cannot push the low-priority
+    // allocation below one core (Algorithm 2's floor).
+    node::Node node(node::platformFor(accel::Kind::TpuV1));
+    node.setSncEnabled(true);
+    auto ml = node.groups().create("ml", hal::Priority::High).id();
+    auto cpu = node.groups().create("batch", hal::Priority::Low).id();
+    node.knobs().setCores(ml, 0, 0, 4);
+    wl::HostPhaseParams agg =
+        wl::cpuParams(wl::CpuWorkload::DramAggressor);
+    agg.bwPerCore = 40.0;  // pathological
+    auto &task = node.add(std::make_unique<wl::BatchTask>(
+        "agg", cpu, 16, agg));
+    task.setHomeSocket(0);
+
+    runtime::Bindings bind{&node, ml, cpu, 0};
+    auto spec = node::platformFor(accel::Kind::TpuV1);
+    runtime::KelpController ctl(
+        bind, runtime::defaultProfile(wl::MlWorkload::Rnn1, spec),
+        {0, 4, 1, 8}, {0, 8, 8});
+    for (int r = 0; r < 30; ++r) {
+        for (int t = 0; t < 50; ++t)
+            node.tick(t * dt, dt);
+        ctl.sample(r);
+    }
+    EXPECT_GE(ctl.state().coreNumL, 1);
+    EXPECT_EQ(ctl.state().prefetcherNumL, 0);
+}
+
+TEST(Robustness, DeterministicAcrossRuns)
+{
+    // Identical configurations must reproduce bit-identical results.
+    exp::RunConfig cfg;
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 3;
+    cfg.config = exp::ConfigKind::KP;
+    cfg.warmup = 10.0;
+    cfg.measure = 10.0;
+    cfg.samplePeriod = 2.0;
+    exp::RunResult a = exp::runScenario(cfg);
+    exp::RunResult b = exp::runScenario(cfg);
+    EXPECT_DOUBLE_EQ(a.mlPerf, b.mlPerf);
+    EXPECT_DOUBLE_EQ(a.cpuThroughput, b.cpuThroughput);
+    EXPECT_DOUBLE_EQ(a.avgSaturation, b.avgSaturation);
+}
+
+TEST(Robustness, SeedChangesInferenceArrivals)
+{
+    exp::RunConfig cfg;
+    cfg.ml = wl::MlWorkload::Rnn1;
+    cfg.openLoopQps = 500.0;
+    cfg.config = exp::ConfigKind::BL;
+    cfg.warmup = 5.0;
+    cfg.measure = 10.0;
+    exp::RunResult a = exp::runScenario(cfg);
+    cfg.seed = 999;
+    exp::RunResult b = exp::runScenario(cfg);
+    // Same distribution, different sample path.
+    EXPECT_NE(a.mlTailP95, b.mlTailP95);
+    EXPECT_NEAR(a.mlPerf, b.mlPerf, a.mlPerf * 0.05);
+}

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the Kelp runtime: Algorithm 1 decisions, Algorithm 2
+ * configuration, the controllers, profiles, and the manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kelp/baseline.hh"
+#include "kelp/configurator.hh"
+#include "kelp/core_throttle.hh"
+#include "kelp/kelp_controller.hh"
+#include "kelp/manager.hh"
+#include "kelp/profile.hh"
+#include "node/node.hh"
+#include "node/platform.hh"
+#include "workload/batch_task.hh"
+
+using namespace kelp;
+using namespace kelp::runtime;
+
+namespace {
+
+AppProfile
+testProfile()
+{
+    AppProfile p;
+    p.workload = "test";
+    p.socketBw = {70.0, 45.0};
+    p.latency = {150.0, 110.0};
+    p.saturation = {0.10, 0.02};
+    p.hiSubBw = {25.0, 12.0};
+    return p;
+}
+
+} // namespace
+
+TEST(Watermarks, HighLowBands)
+{
+    Watermarks w{10.0, 5.0};
+    EXPECT_TRUE(w.isHigh(11.0));
+    EXPECT_FALSE(w.isHigh(10.0));
+    EXPECT_TRUE(w.isLow(4.0));
+    EXPECT_FALSE(w.isLow(5.0));
+    EXPECT_FALSE(w.isHigh(7.0));
+    EXPECT_FALSE(w.isLow(7.0));
+}
+
+TEST(Algorithm1, QuietSystemBoostsBoth)
+{
+    KelpMeasurements m{30.0, 100.0, 0.0, 5.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionH, Action::Boost);
+    EXPECT_EQ(d.actionL, Action::Boost);
+}
+
+TEST(Algorithm1, HighSocketBwThrottlesLow)
+{
+    KelpMeasurements m{80.0, 100.0, 0.0, 5.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionL, Action::Throttle);
+    EXPECT_EQ(d.actionH, Action::Boost);  // hi subdomain still quiet
+}
+
+TEST(Algorithm1, HighLatencyThrottlesBoth)
+{
+    KelpMeasurements m{30.0, 200.0, 0.0, 5.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionH, Action::Throttle);
+    EXPECT_EQ(d.actionL, Action::Throttle);
+}
+
+TEST(Algorithm1, HighSaturationThrottlesLowOnly)
+{
+    KelpMeasurements m{30.0, 100.0, 0.5, 5.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionL, Action::Throttle);
+    EXPECT_EQ(d.actionH, Action::Boost);
+}
+
+TEST(Algorithm1, HighHiSubBwThrottlesBackfill)
+{
+    KelpMeasurements m{30.0, 100.0, 0.0, 30.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionH, Action::Throttle);
+}
+
+TEST(Algorithm1, MiddleBandIsNop)
+{
+    KelpMeasurements m{55.0, 130.0, 0.05, 18.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionH, Action::Nop);
+    EXPECT_EQ(d.actionL, Action::Nop);
+}
+
+TEST(Algorithm1, BoostRequiresAllSignalsLow)
+{
+    // Saturation in the middle band blocks the low-priority boost.
+    KelpMeasurements m{30.0, 100.0, 0.05, 5.0};
+    KelpDecision d = decideActions(testProfile(), m);
+    EXPECT_EQ(d.actionL, Action::Nop);
+    EXPECT_EQ(d.actionH, Action::Boost);
+}
+
+TEST(Algorithm2, ThrottleHalvesPrefetchersFirst)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{0, 12, 12};
+    c.configLoPriority(Action::Throttle, s);
+    EXPECT_EQ(s.prefetcherNumL, 6);
+    EXPECT_EQ(s.coreNumL, 12);
+    c.configLoPriority(Action::Throttle, s);
+    EXPECT_EQ(s.prefetcherNumL, 3);
+    c.configLoPriority(Action::Throttle, s);
+    c.configLoPriority(Action::Throttle, s);
+    EXPECT_EQ(s.prefetcherNumL, 0);
+    EXPECT_EQ(s.coreNumL, 12);
+}
+
+TEST(Algorithm2, CoresShedAfterPrefetchersExhausted)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{0, 12, 0};
+    c.configLoPriority(Action::Throttle, s);
+    EXPECT_EQ(s.coreNumL, 11);
+    // Floor at minCoreL.
+    s.coreNumL = 1;
+    c.configLoPriority(Action::Throttle, s);
+    EXPECT_EQ(s.coreNumL, 1);
+}
+
+TEST(Algorithm2, BoostRestoresPrefetchersBeforeCores)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{0, 6, 2};
+    c.configLoPriority(Action::Boost, s);
+    EXPECT_EQ(s.prefetcherNumL, 3);
+    EXPECT_EQ(s.coreNumL, 6);
+    s.prefetcherNumL = 6;  // all prefetchers on
+    c.configLoPriority(Action::Boost, s);
+    EXPECT_EQ(s.coreNumL, 7);
+}
+
+TEST(Algorithm2, BoostCapsAtMax)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{0, 12, 12};
+    c.configLoPriority(Action::Boost, s);
+    EXPECT_EQ(s.coreNumL, 12);
+    EXPECT_EQ(s.prefetcherNumL, 12);
+}
+
+TEST(Algorithm2, HiPriorityOneCoreAtATime)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{3, 12, 12};
+    c.configHiPriority(Action::Boost, s);
+    EXPECT_EQ(s.coreNumH, 4);
+    c.configHiPriority(Action::Throttle, s);
+    c.configHiPriority(Action::Throttle, s);
+    EXPECT_EQ(s.coreNumH, 2);
+}
+
+TEST(Algorithm2, HiPriorityLimits)
+{
+    Configurator c({0, 2, 1, 12});
+    ResourceState s{2, 12, 12};
+    c.configHiPriority(Action::Boost, s);
+    EXPECT_EQ(s.coreNumH, 2);
+    s.coreNumH = 0;
+    c.configHiPriority(Action::Throttle, s);
+    EXPECT_EQ(s.coreNumH, 0);
+}
+
+TEST(Algorithm2, NopChangesNothing)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{3, 7, 5};
+    c.configHiPriority(Action::Nop, s);
+    c.configLoPriority(Action::Nop, s);
+    EXPECT_EQ(s.coreNumH, 3);
+    EXPECT_EQ(s.coreNumL, 7);
+    EXPECT_EQ(s.prefetcherNumL, 5);
+}
+
+TEST(Algorithm2, PrefetcherInvariant)
+{
+    Configurator c({0, 8, 1, 12});
+    ResourceState s{0, 3, 8};  // more prefetchers than cores
+    c.configLoPriority(Action::Nop, s);
+    EXPECT_LE(s.prefetcherNumL, s.coreNumL);
+}
+
+TEST(Algorithm2, BadLimitsPanic)
+{
+    EXPECT_DEATH(Configurator({5, 2, 1, 12}), "hi-priority");
+    EXPECT_DEATH(Configurator({0, 2, 8, 4}), "lo-priority");
+}
+
+TEST(Profile, DefaultsScaleWithPlatform)
+{
+    auto spec = node::platformFor(accel::Kind::CloudTpu);
+    AppProfile p = defaultProfile(wl::MlWorkload::Cnn1, spec);
+    EXPECT_NEAR(p.socketBw.hi, 0.70 * 115.2, 0.1);
+    EXPECT_GT(p.latency.hi, spec.mem.socket.baseLatency);
+    EXPECT_GT(p.saturation.hi, p.saturation.lo);
+    // Below the distress threshold: throttle before global
+    // backpressure fires.
+    EXPECT_LT(p.socketBw.hi,
+              spec.mem.socket.distressThreshold * 115.2);
+}
+
+TEST(Profile, Cnn3ToleratesOwnSaturation)
+{
+    // CNN3's parameter server saturates its own subdomain in bursts:
+    // its profile must tolerate more saturation and latency than the
+    // in-feed workloads, but cap backfill tightly (its subdomain has
+    // no bandwidth to spare).
+    auto spec = node::platformFor(accel::Kind::Gpu);
+    AppProfile cnn3 = defaultProfile(wl::MlWorkload::Cnn3, spec);
+    auto tpu = node::platformFor(accel::Kind::TpuV1);
+    AppProfile rnn1 = defaultProfile(wl::MlWorkload::Rnn1, tpu);
+    EXPECT_GT(cnn3.saturation.hi, rnn1.saturation.hi);
+    EXPECT_GT(cnn3.latency.hi / spec.mem.socket.baseLatency,
+              rnn1.latency.hi / tpu.mem.socket.baseLatency);
+    EXPECT_LT(cnn3.hiSubBw.hi / spec.mem.socket.peakBw,
+              rnn1.hiSubBw.hi / tpu.mem.socket.peakBw);
+}
+
+TEST(Profile, CoreThrottleIsLooser)
+{
+    auto spec = node::platformFor(accel::Kind::CloudTpu);
+    AppProfile kelp_p = defaultProfile(wl::MlWorkload::Cnn1, spec);
+    AppProfile ct = coreThrottleProfile(wl::MlWorkload::Cnn1, spec);
+    EXPECT_GT(ct.socketBw.hi, kelp_p.socketBw.hi);
+    EXPECT_GT(ct.latency.hi, kelp_p.latency.hi);
+}
+
+namespace {
+
+/** A node with an ML group (sub 0) and a CPU group (sub 1). */
+struct RuntimeFixture
+{
+    node::Node node{node::platformFor(accel::Kind::TpuV1)};
+    sim::GroupId ml, cpu;
+    wl::BatchTask *aggressor = nullptr;
+
+    explicit RuntimeFixture(int aggressor_threads = 8,
+                            bool split_ml = false)
+    {
+        node.setSncEnabled(true);
+        ml = node.groups().create("ml", hal::Priority::High).id();
+        cpu = node.groups().create("batch", hal::Priority::Low).id();
+        if (split_ml) {
+            // CoreThrottle-style placement: ML spread across the
+            // socket, leaving both halves open for the CPU mask.
+            node.knobs().setCores(ml, 0, 0, 2);
+            node.knobs().setCores(ml, 0, 1, 2);
+        } else {
+            node.knobs().setCores(ml, 0, 0, 4);
+        }
+        node.knobs().setPrefetchersEnabled(ml, 4);
+        wl::HostPhaseParams p;
+        p.cpuFrac = 0.05;
+        p.bwPerCore = 9.0;
+        p.latencySensitivity = 0.15;
+        p.prefetch = {0.5, 0.75};
+        p.llcFootprintMb = 512.0;
+        p.llcHitMax = 0.02;
+        aggressor = &node.add(std::make_unique<wl::BatchTask>(
+            "agg", cpu, aggressor_threads, p));
+    }
+
+    void
+    runTicks(int ticks)
+    {
+        for (int i = 0; i < ticks; ++i)
+            node.tick(i * 1e-4, 1e-4);
+    }
+};
+
+} // namespace
+
+TEST(KelpController, ThrottlesUnderSaturation)
+{
+    RuntimeFixture f(8);  // 72 GiB/s demand on a 38.4 GiB/s MC
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    ConfigLimits limits{0, 4, 1, 8};
+    ResourceState init{0, 8, 8};
+    KelpController ctl(bind, testProfile(), limits, init);
+
+    f.runTicks(200);
+    ctl.sample(0.02);
+    EXPECT_EQ(ctl.lastDecision().actionL, Action::Throttle);
+    EXPECT_EQ(ctl.state().prefetcherNumL, 4);
+    // Knobs actually applied to the group (backfilled cores keep
+    // their prefetchers).
+    EXPECT_EQ(f.node.groups().get(f.cpu).prefetchersEnabled(),
+              ctl.state().prefetcherNumL + ctl.state().coreNumH);
+}
+
+TEST(KelpController, ConvergesToRelievedSaturation)
+{
+    RuntimeFixture f(8);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    KelpController ctl(bind, testProfile(), {0, 4, 1, 8},
+                       {0, 8, 8});
+    double last_sat = 1.0;
+    for (int round = 0; round < 12; ++round) {
+        f.runTicks(100);
+        ctl.sample(round);
+        last_sat = f.node.memSystem().saturation(0);
+    }
+    // Prefetchers (and possibly cores) got cut until the distress
+    // signal cleared.
+    EXPECT_LT(ctl.state().prefetcherNumL, 8);
+    EXPECT_LT(last_sat, 0.6);
+}
+
+TEST(KelpController, BoostsQuietSystem)
+{
+    RuntimeFixture f(1);  // tiny aggressor
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    KelpController ctl(bind, testProfile(), {0, 4, 1, 8},
+                       {0, 4, 1});
+    for (int round = 0; round < 12; ++round) {
+        f.runTicks(100);
+        ctl.sample(round);
+    }
+    EXPECT_EQ(ctl.state().coreNumL, 8);
+    EXPECT_GT(ctl.state().coreNumH, 0);  // backfill grew
+}
+
+TEST(KelpController, KpsdNeverBackfills)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    KelpController ctl(bind, testProfile(), {0, 0, 1, 8},
+                       {0, 4, 4});
+    for (int round = 0; round < 10; ++round) {
+        f.runTicks(100);
+        ctl.sample(round);
+    }
+    EXPECT_EQ(ctl.state().coreNumH, 0);
+    EXPECT_STREQ(ctl.name(), "KP-SD");
+}
+
+TEST(KelpController, NameReflectsBackfill)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    KelpController kp(bind, testProfile(), {0, 4, 1, 8}, {0, 4, 4});
+    EXPECT_STREQ(kp.name(), "KP");
+}
+
+TEST(CoreThrottle, ShedsCoresUnderPressure)
+{
+    RuntimeFixture f(10, true);
+    f.node.setSncEnabled(false);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    CoreThrottleController ctl(bind, testProfile(), 1, 12, 12);
+    for (int round = 0; round < 6; ++round) {
+        f.runTicks(100);
+        ctl.sample(round);
+    }
+    EXPECT_LT(ctl.cores(), 12);
+    EXPECT_GE(ctl.cores(), 1);
+}
+
+TEST(CoreThrottle, RecoversWhenQuiet)
+{
+    RuntimeFixture f(1, true);
+    f.node.setSncEnabled(false);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    CoreThrottleController ctl(bind, testProfile(), 1, 12, 2);
+    for (int round = 0; round < 12; ++round) {
+        f.runTicks(100);
+        ctl.sample(round);
+    }
+    EXPECT_EQ(ctl.cores(), 12);
+}
+
+TEST(Baseline, TouchesNothing)
+{
+    RuntimeFixture f(4);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    BaselineController ctl(bind);
+    int cores_before = f.node.groups().get(f.cpu).cores().total();
+    ctl.sample(0.0);
+    EXPECT_EQ(f.node.groups().get(f.cpu).cores().total(),
+              cores_before);
+    EXPECT_STREQ(ctl.name(), "BL");
+}
+
+TEST(Manager, SamplesAtPeriod)
+{
+    RuntimeFixture f(4);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto ctl = std::make_unique<BaselineController>(bind);
+    RuntimeManager mgr(std::move(ctl), 0.01);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+    e.run(0.055);
+    EXPECT_EQ(mgr.samples(), 5u);
+}
+
+TEST(Manager, TracksParameterAverages)
+{
+    RuntimeFixture f(8);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto ctl = std::make_unique<KelpController>(
+        bind, testProfile(), ConfigLimits{0, 4, 1, 8},
+        ResourceState{0, 8, 8});
+    RuntimeManager mgr(std::move(ctl), 0.01);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+    e.run(0.1);
+    EXPECT_GT(mgr.avgLoCores(), 0.0);
+    EXPECT_LT(mgr.avgLoPrefetchers(), 8.0);  // some throttling seen
+}

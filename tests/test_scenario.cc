@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Integration tests: full scenarios through the experiment harness.
+ * These run shortened simulations (seconds of simulated time) and
+ * assert the paper's qualitative behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/evaluation.hh"
+#include "exp/scenario.hh"
+
+using namespace kelp;
+using namespace kelp::exp;
+
+namespace {
+
+/** Shortened timing for test runs. */
+RunConfig
+quick(wl::MlWorkload ml, ConfigKind kind)
+{
+    RunConfig cfg;
+    cfg.ml = ml;
+    cfg.config = kind;
+    cfg.warmup = 10.0;
+    cfg.measure = 10.0;
+    cfg.samplePeriod = 1.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Scenario, StandaloneCnn1MatchesStepTime)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::BL);
+    RunResult r = runScenario(cfg);
+    // Standalone step = max(2.9 accel-overlapped... in-feed 3.2) +
+    // 0.15 pcie = 3.35 ms -> ~298 steps/s.
+    double step = wl::mlDesc(wl::MlWorkload::Cnn1)
+                      .step.standaloneDuration();
+    EXPECT_NEAR(r.mlPerf, 1.0 / step, 1.0 / step * 0.02);
+    EXPECT_DOUBLE_EQ(r.cpuThroughput, 0.0);
+}
+
+TEST(Scenario, StandaloneRnn1HasStableTail)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Rnn1, ConfigKind::BL);
+    RunResult r = runScenario(cfg);
+    EXPECT_GT(r.mlPerf, 100.0);  // hundreds of QPS
+    EXPECT_GT(r.mlTailP95, 1e-3);
+    EXPECT_LT(r.mlTailP95, 50e-3);
+}
+
+TEST(Scenario, AggressorDegradesBaseline)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::BL);
+    RunResult alone = runScenario(cfg);
+    cfg.cpu = wl::CpuWorkload::DramAggressor;
+    cfg.cpuThreadsOverride = 14;
+    RunResult mixed = runScenario(cfg);
+    EXPECT_LT(mixed.mlPerf, alone.mlPerf * 0.7);
+    EXPECT_GT(mixed.avgSocketBw, alone.avgSocketBw);
+}
+
+TEST(Scenario, KelpProtectsAgainstAggressor)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::BL);
+    cfg.cpu = wl::CpuWorkload::DramAggressor;
+    cfg.cpuThreadsOverride = 14;
+    cfg.warmup = 20.0;
+    RunResult bl = runScenario(cfg);
+    cfg.config = ConfigKind::KP;
+    RunResult kp = runScenario(cfg);
+    EXPECT_GT(kp.mlPerf, bl.mlPerf * 1.2);
+}
+
+TEST(Scenario, SubdomainIsolationBeatsBaseline)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::BL);
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 5;
+    cfg.warmup = 20.0;
+    RunResult bl = runScenario(cfg);
+    cfg.config = ConfigKind::KPSD;
+    RunResult kpsd = runScenario(cfg);
+    EXPECT_GT(kpsd.mlPerf, bl.mlPerf);
+    // Isolation costs low-priority throughput.
+    EXPECT_LT(kpsd.cpuThroughput, bl.cpuThroughput);
+}
+
+TEST(Scenario, BackfillRecoversThroughput)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::KPSD);
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 5;
+    cfg.warmup = 30.0;
+    RunResult kpsd = runScenario(cfg);
+    cfg.config = ConfigKind::KP;
+    RunResult kp = runScenario(cfg);
+    EXPECT_GT(kp.cpuThroughput, kpsd.cpuThroughput);
+    EXPECT_GT(kp.avgHiBackfill, 0.0);
+    EXPECT_DOUBLE_EQ(kpsd.avgHiBackfill, 0.0);
+}
+
+TEST(Scenario, ForcedPrefetcherSweepReducesSaturation)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::KPSD);
+    cfg.cpu = wl::CpuWorkload::DramAggressor;
+    cfg.aggressorLevel = wl::AggressorLevel::High;
+    cfg.forcedPrefetcherFraction = 1.0;
+    RunResult all_on = runScenario(cfg);
+    cfg.forcedPrefetcherFraction = 0.0;
+    RunResult all_off = runScenario(cfg);
+    EXPECT_GT(all_on.avgSaturation, all_off.avgSaturation);
+    EXPECT_GT(all_off.mlPerf, all_on.mlPerf);
+}
+
+TEST(Scenario, FineGrainedWhatIfDominates)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::BL);
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 5;
+    cfg.warmup = 20.0;
+    RunResult bl = runScenario(cfg);
+    cfg.config = ConfigKind::FG;
+    RunResult fg = runScenario(cfg);
+    // Hardware QoS protects the ML task without software throttling,
+    // at CPU throughput close to Baseline (Section VI-D's estimate).
+    EXPECT_GT(fg.mlPerf, bl.mlPerf * 1.15);
+    EXPECT_GT(fg.cpuThroughput, bl.cpuThroughput * 0.80);
+}
+
+TEST(Scenario, SerialInferenceTraceWorks)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Rnn1, ConfigKind::BL);
+    cfg.serialInference = true;
+    cfg.warmup = 2.0;
+    Scenario s = buildScenario(cfg);
+    int events = 0;
+    s.inferTask->setTraceSink([&](const wl::TraceEvent &) {
+        ++events;
+    });
+    s.engine->run(1.0);
+    // Serial request stream: ~1/4.75ms requests x 15 segments.
+    EXPECT_GT(events, 2000);
+}
+
+TEST(Scenario, RemoteAggressorWorseThanLocalOnCloudTpu)
+{
+    RunConfig cfg = quick(wl::MlWorkload::Cnn1, ConfigKind::BL);
+    cfg.cpu = wl::CpuWorkload::DramAggressor;
+    cfg.cpuThreadsOverride = 14;
+    RunResult local = runScenario(cfg);
+    cfg.aggressorThreadsLocal = 0.5;
+    cfg.aggressorDataLocal = 0.5;
+    RunResult remote = runScenario(cfg);
+    EXPECT_LT(remote.mlPerf, local.mlPerf);
+}
+
+TEST(Scenario, StandaloneReferenceIsCached)
+{
+    RunResult a = standaloneReference(wl::MlWorkload::Cnn2);
+    RunResult b = standaloneReference(wl::MlWorkload::Cnn2);
+    EXPECT_DOUBLE_EQ(a.mlPerf, b.mlPerf);
+    EXPECT_GT(a.mlPerf, 0.0);
+}
+
+TEST(Scenario, ConfigNames)
+{
+    EXPECT_STREQ(configName(ConfigKind::BL), "BL");
+    EXPECT_STREQ(configName(ConfigKind::CT), "CT");
+    EXPECT_STREQ(configName(ConfigKind::KPSD), "KP-SD");
+    EXPECT_STREQ(configName(ConfigKind::KP), "KP");
+    EXPECT_STREQ(configName(ConfigKind::FG), "FG");
+}
+
+TEST(Evaluation, MixGridShape)
+{
+    auto mixes = evaluationMixes();
+    EXPECT_EQ(mixes.size(), 12u);  // 4 ML x 3 CPU
+    EXPECT_EQ(configIndex(ConfigKind::BL), 0);
+    EXPECT_EQ(configIndex(ConfigKind::KP), 3);
+}
+
+TEST(Evaluation, EfficiencyMath)
+{
+    MixResult r;
+    r.mlPerf[0] = 100.0;  // BL
+    r.cpuTput[0] = 10.0;
+    r.mlPerf[1] = 120.0;  // CT: +20% ML
+    r.cpuTput[1] = 8.0;   // -20% CPU
+    EXPECT_NEAR(efficiency(r, ConfigKind::CT), 1.0, 1e-9);
+    // Free lunch: gain with no loss maps to the sentinel.
+    r.mlPerf[2] = 120.0;
+    r.cpuTput[2] = 10.0;
+    EXPECT_GT(efficiency(r, ConfigKind::KPSD), 50.0);
+}
+
+TEST(Evaluation, NonGridConfigPanics)
+{
+    EXPECT_DEATH(configIndex(ConfigKind::FG), "grid");
+}

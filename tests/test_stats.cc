@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace kelp::sim;
+
+TEST(OnlineStats, Empty)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue)
+{
+    OnlineStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, Reset)
+{
+    OnlineStats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(OnlineStats, NegativeValues)
+{
+    OnlineStats s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Ewma, FirstSamplePrimes)
+{
+    Ewma e(0.25);
+    EXPECT_FALSE(e.primed());
+    e.add(10.0);
+    EXPECT_TRUE(e.primed());
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstant)
+{
+    Ewma e(0.25);
+    for (int i = 0; i < 100; ++i)
+        e.add(7.0);
+    EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, SmoothingWeight)
+{
+    Ewma e(0.5);
+    e.add(0.0);
+    e.add(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(Ewma, Reset)
+{
+    Ewma e(0.5);
+    e.add(10.0);
+    e.reset(0.0);
+    EXPECT_FALSE(e.primed());
+    e.add(4.0);
+    EXPECT_DOUBLE_EQ(e.value(), 4.0);
+}
+
+TEST(Ewma, BadAlphaPanics)
+{
+    EXPECT_DEATH(Ewma(0.0), "alpha");
+    EXPECT_DEATH(Ewma(1.5), "alpha");
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(95.0), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValue)
+{
+    LatencyHistogram h;
+    h.add(0.005);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.percentile(50.0), 0.005, 0.005 * 0.05);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.005);
+}
+
+TEST(LatencyHistogram, MeanExact)
+{
+    LatencyHistogram h;
+    h.add(0.001);
+    h.add(0.003);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.002);
+}
+
+TEST(LatencyHistogram, Reset)
+{
+    LatencyHistogram h;
+    h.add(0.001);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(95.0), 0.0);
+}
+
+TEST(LatencyHistogram, ClampsOutOfRange)
+{
+    LatencyHistogram h(1e-6, 1.0);
+    h.add(1e-12);
+    h.add(100.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_LE(h.percentile(100.0), 1.2);
+}
+
+TEST(LatencyHistogram, BadParamsPanic)
+{
+    EXPECT_DEATH(LatencyHistogram(0.0, 1.0), "parameters");
+    EXPECT_DEATH(LatencyHistogram(1.0, 0.5), "parameters");
+    EXPECT_DEATH(LatencyHistogram(1e-6, 1.0, 1.0), "parameters");
+}
+
+/** Percentile accuracy against a sorted reference, across
+ * distributions. */
+class HistogramAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(HistogramAccuracy, MatchesSortedReference)
+{
+    auto [dist, pct] = GetParam();
+    Rng rng(1234 + dist);
+    LatencyHistogram h(1e-6, 10.0);
+    std::vector<double> ref;
+    for (int i = 0; i < 20000; ++i) {
+        double x = 0.0;
+        switch (dist) {
+          case 0:
+            x = rng.exponential(0.004);
+            break;
+          case 1:
+            x = rng.uniform(0.001, 0.050);
+            break;
+          case 2:
+            x = rng.logNormal(-6.0, 0.8);
+            break;
+        }
+        h.add(x);
+        ref.push_back(x);
+    }
+    std::sort(ref.begin(), ref.end());
+    double exact = ref[static_cast<size_t>(pct / 100.0 *
+                                           (ref.size() - 1))];
+    // Log-bucketed histogram: a few percent of relative error.
+    EXPECT_NEAR(h.percentile(pct), exact, exact * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndPercentiles, HistogramAccuracy,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(50.0, 90.0, 95.0, 99.0)));
+
+TEST(IntervalAccumulator, AverageLevel)
+{
+    IntervalAccumulator acc;
+    acc.accumulate(10.0, 2.0);
+    acc.accumulate(20.0, 2.0);
+    IntervalAccumulator::Snapshot s;
+    EXPECT_DOUBLE_EQ(acc.readSince(s, 0.0), 15.0);
+}
+
+TEST(IntervalAccumulator, DeltaReads)
+{
+    IntervalAccumulator acc;
+    IntervalAccumulator::Snapshot s;
+    acc.accumulate(10.0, 1.0);
+    EXPECT_DOUBLE_EQ(acc.readSince(s, 0.0), 10.0);
+    acc.accumulate(30.0, 1.0);
+    EXPECT_DOUBLE_EQ(acc.readSince(s, 0.0), 30.0);
+}
+
+TEST(IntervalAccumulator, IndependentReaders)
+{
+    IntervalAccumulator acc;
+    IntervalAccumulator::Snapshot a, b;
+    acc.accumulate(10.0, 1.0);
+    EXPECT_DOUBLE_EQ(acc.readSince(a, 0.0), 10.0);
+    acc.accumulate(20.0, 1.0);
+    EXPECT_DOUBLE_EQ(acc.readSince(a, 0.0), 20.0);
+    EXPECT_DOUBLE_EQ(acc.readSince(b, 0.0), 15.0);
+}
+
+TEST(IntervalAccumulator, FallbackWhenNoTimeElapsed)
+{
+    IntervalAccumulator acc;
+    IntervalAccumulator::Snapshot s;
+    EXPECT_DOUBLE_EQ(acc.readSince(s, 42.0), 42.0);
+}
+
+TEST(IntervalAccumulator, NegativeIntervalPanics)
+{
+    IntervalAccumulator acc;
+    EXPECT_DEATH(acc.accumulate(1.0, -1.0), "negative");
+}
+
+TEST(IntervalAccumulator, TotalsTrack)
+{
+    IntervalAccumulator acc;
+    acc.accumulate(5.0, 2.0);
+    EXPECT_DOUBLE_EQ(acc.integral(), 10.0);
+    EXPECT_DOUBLE_EQ(acc.elapsed(), 2.0);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the telemetry time-series module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/engine.hh"
+#include "trace/telemetry.hh"
+
+using namespace kelp;
+using namespace kelp::trace;
+
+TEST(TimeSeries, RecordsInOrder)
+{
+    TimeSeries s("x");
+    s.record(0.0, 1.0);
+    s.record(1.0, 2.0);
+    s.record(1.0, 3.0);  // equal time allowed
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.last(), 3.0);
+}
+
+TEST(TimeSeries, OutOfOrderPanics)
+{
+    TimeSeries s("x");
+    s.record(2.0, 1.0);
+    EXPECT_DEATH(s.record(1.0, 1.0), "order");
+}
+
+TEST(TimeSeries, MeanOverWindow)
+{
+    TimeSeries s("x");
+    for (int i = 0; i < 10; ++i)
+        s.record(i, i);
+    EXPECT_DOUBLE_EQ(s.meanOver(2.0, 4.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.meanOver(0.0, 9.0), 4.5);
+    EXPECT_DOUBLE_EQ(s.meanOver(100.0, 200.0), 0.0);
+}
+
+TEST(TimeSeries, MaxOverWindow)
+{
+    TimeSeries s("x");
+    s.record(0.0, 5.0);
+    s.record(1.0, -2.0);
+    s.record(2.0, 3.0);
+    EXPECT_DOUBLE_EQ(s.maxOver(1.0, 2.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.maxOver(1.0, 1.5), -2.0);
+    EXPECT_DOUBLE_EQ(s.maxOver(5.0, 6.0), 0.0);
+}
+
+TEST(TimeSeries, EmptyBehaviour)
+{
+    TimeSeries s("x");
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.last(), 0.0);
+    EXPECT_DOUBLE_EQ(s.meanOver(0.0, 1.0), 0.0);
+}
+
+TEST(Telemetry, SeriesByNameIsStable)
+{
+    Telemetry t;
+    TimeSeries &a = t.series("alpha");
+    TimeSeries &b = t.series("alpha");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(t.find("alpha"), &a);
+    EXPECT_EQ(t.find("missing"), nullptr);
+}
+
+TEST(Telemetry, ProbesSampleOnDemand)
+{
+    Telemetry t;
+    double v = 1.0;
+    t.addProbe("v", [&]() { return v; });
+    t.sampleProbes(0.0);
+    v = 2.0;
+    t.sampleProbes(1.0);
+    const TimeSeries *s = t.find("v");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->size(), 2u);
+    EXPECT_DOUBLE_EQ(s->values()[0], 1.0);
+    EXPECT_DOUBLE_EQ(s->values()[1], 2.0);
+}
+
+TEST(Telemetry, AttachSamplesOnCadence)
+{
+    Telemetry t;
+    int calls = 0;
+    t.addProbe("ticks", [&]() { return ++calls; });
+    sim::Engine e(1e-3);
+    t.attach(e, 0.01);
+    e.run(0.05);
+    EXPECT_EQ(calls, 5);
+    EXPECT_EQ(t.find("ticks")->size(), 5u);
+}
+
+TEST(Telemetry, CsvHeaderAndAlignment)
+{
+    Telemetry t;
+    t.series("a").record(0.0, 1.0);
+    t.series("a").record(2.0, 3.0);
+    t.series("b").record(1.0, 9.0);
+    std::string csv = t.toCsv();
+    std::istringstream in(csv);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "time,a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0,1,0");  // b has no sample yet
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,1,9");  // a carried forward
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,3,9");
+}
+
+TEST(Telemetry, WriteCsvRoundTrips)
+{
+    Telemetry t;
+    t.series("s").record(0.0, 42.0);
+    std::string path = ::testing::TempDir() + "/kelp_telemetry.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "time,s");
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, WriteCsvFailsOnBadPath)
+{
+    Telemetry t;
+    EXPECT_FALSE(t.writeCsv("/nonexistent/dir/file.csv"));
+}
+
+TEST(Telemetry, NullProbePanics)
+{
+    Telemetry t;
+    EXPECT_DEATH(t.addProbe("x", nullptr), "null");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the ASCII timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/timeline.hh"
+
+using namespace kelp;
+using namespace kelp::trace;
+
+namespace {
+
+wl::TraceEvent
+ev(wl::SegmentKind kind, double start, double end, int iter = 0)
+{
+    return {kind, start, end, iter};
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+} // namespace
+
+TEST(Timeline, EmptyEventsRenderNothing)
+{
+    EXPECT_EQ(renderTimeline({}), "");
+}
+
+TEST(Timeline, ThreeLanesWithGlyphs)
+{
+    std::vector<wl::TraceEvent> events = {
+        ev(wl::SegmentKind::Host, 0.0, 1.0),
+        ev(wl::SegmentKind::Pcie, 1.0, 2.0),
+        ev(wl::SegmentKind::Accel, 2.0, 3.0),
+    };
+    TimelineOptions opts;
+    opts.width = 30;
+    std::string out = renderTimeline(events, opts);
+    auto rows = lines(out);
+    ASSERT_EQ(rows.size(), 4u);  // span + 3 lanes
+    EXPECT_NE(rows[1].find('C'), std::string::npos);
+    EXPECT_NE(rows[2].find('-'), std::string::npos);
+    EXPECT_NE(rows[3].find('T'), std::string::npos);
+    // Host occupies the first third, accel the last.
+    EXPECT_EQ(rows[1].find('C'), rows[1].find_first_of('C'));
+    EXPECT_LT(rows[1].rfind('C'), rows[3].find('T') + 10);
+}
+
+TEST(Timeline, ProportionalWidths)
+{
+    std::vector<wl::TraceEvent> events = {
+        ev(wl::SegmentKind::Host, 0.0, 3.0),
+        ev(wl::SegmentKind::Accel, 3.0, 4.0),
+    };
+    TimelineOptions opts;
+    opts.width = 40;
+    std::string out = renderTimeline(events, opts);
+    auto rows = lines(out);
+    size_t host = std::count(rows[1].begin(), rows[1].end(), 'C');
+    size_t accel = std::count(rows[3].begin(), rows[3].end(), 'T');
+    // 3:1 duration ratio within rounding.
+    EXPECT_NEAR(static_cast<double>(host) / accel, 3.0, 0.5);
+}
+
+TEST(Timeline, TinySegmentsStillVisible)
+{
+    std::vector<wl::TraceEvent> events = {
+        ev(wl::SegmentKind::Host, 0.0, 10.0),
+        ev(wl::SegmentKind::Pcie, 10.0, 10.001),
+    };
+    std::string out = renderTimeline(events);
+    auto rows = lines(out);
+    EXPECT_NE(rows[2].find('-'), std::string::npos);
+}
+
+TEST(Timeline, CustomGlyphsAndLabels)
+{
+    std::vector<wl::TraceEvent> events = {
+        ev(wl::SegmentKind::Host, 0.0, 1.0),
+    };
+    TimelineOptions opts;
+    opts.hostGlyph = '#';
+    opts.hostLabel = "BEAM";
+    std::string out = renderTimeline(events, opts);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find("BEAM"), std::string::npos);
+}
+
+TEST(Timeline, BadWidthPanics)
+{
+    std::vector<wl::TraceEvent> events = {
+        ev(wl::SegmentKind::Host, 0.0, 1.0),
+    };
+    TimelineOptions opts;
+    opts.width = 0;
+    EXPECT_DEATH(renderTimeline(events, opts), "width");
+}
+
+TEST(Timeline, LastEventsTail)
+{
+    std::vector<wl::TraceEvent> events;
+    for (int i = 0; i < 10; ++i)
+        events.push_back(ev(wl::SegmentKind::Host, i, i + 1, i));
+    auto tail = lastEvents(events, 3);
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail[0].iteration, 7);
+    EXPECT_EQ(lastEvents(events, 50).size(), 10u);
+}

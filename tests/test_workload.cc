@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the workload performance model: host-phase speeds,
+ * demand, and the batch task.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/batch_task.hh"
+#include "workload/task.hh"
+
+using namespace kelp;
+using namespace kelp::wl;
+
+namespace {
+
+HostPhaseParams
+phase(double cpu_frac = 0.5, double lat_sens = 1.0)
+{
+    HostPhaseParams p;
+    p.cpuFrac = cpu_frac;
+    p.latencySensitivity = lat_sens;
+    p.bwPerCore = 2.0;
+    p.prefetch = {0.4, 0.6};
+    return p;
+}
+
+ExecEnv
+standaloneEnv()
+{
+    ExecEnv env;
+    env.effCores = 4.0;
+    env.latencyNs = 90.0;
+    env.baseLatencyNs = 90.0;
+    return env;
+}
+
+} // namespace
+
+TEST(HostSpeeds, StandaloneIsUnity)
+{
+    HostSpeeds s = hostSpeeds(phase(), standaloneEnv(), 1.0);
+    EXPECT_NEAR(s.speed, 1.0, 1e-9);
+    EXPECT_NEAR(s.demandSpeed, 1.0, 1e-9);
+}
+
+TEST(HostSpeeds, LatencyInflationSlowsStallPortion)
+{
+    ExecEnv env = standaloneEnv();
+    env.latencyNs = 180.0;  // 2x
+    double s = hostSpeed(phase(0.5), env, 1.0);
+    // rel time = 0.5 + 0.5*2 = 1.5
+    EXPECT_NEAR(s, 1.0 / 1.5, 1e-9);
+}
+
+TEST(HostSpeeds, CpuHeavyPhaseLessExposed)
+{
+    ExecEnv env = standaloneEnv();
+    env.latencyNs = 270.0;
+    double stall_heavy = hostSpeed(phase(0.1), env, 1.0);
+    double cpu_heavy = hostSpeed(phase(0.8), env, 1.0);
+    EXPECT_GT(cpu_heavy, stall_heavy);
+}
+
+TEST(HostSpeeds, LatencySensitivityDamps)
+{
+    ExecEnv env = standaloneEnv();
+    env.latencyNs = 270.0;  // 3x
+    double sensitive = hostSpeed(phase(0.2, 1.0), env, 1.0);
+    double streaming = hostSpeed(phase(0.2, 0.15), env, 1.0);
+    EXPECT_GT(streaming, sensitive * 1.5);
+}
+
+TEST(HostSpeeds, MissRatioInflatesStall)
+{
+    ExecEnv env = standaloneEnv();
+    env.missRatio = 2.0;
+    double s = hostSpeed(phase(0.5), env, 1.0);
+    EXPECT_NEAR(s, 1.0 / 1.5, 1e-9);
+}
+
+TEST(HostSpeeds, DisabledPrefetchersExposeStall)
+{
+    ExecEnv env = standaloneEnv();
+    env.pfFraction = 0.0;
+    double s = hostSpeed(phase(0.5), env, 1.0);
+    // stall factor = 1 / (1 - 0.6) = 2.5
+    EXPECT_NEAR(s, 1.0 / (0.5 + 0.5 * 2.5), 1e-9);
+}
+
+TEST(HostSpeeds, ThrottleStretchesMemoryOnly)
+{
+    ExecEnv env = standaloneEnv();
+    env.throttle = 0.5;
+    double s = hostSpeed(phase(0.5), env, 1.0);
+    EXPECT_NEAR(s, 1.0 / (0.5 + 0.5 / 0.5), 1e-9);
+    // A pure-compute phase is nearly immune.
+    double compute = hostSpeed(phase(0.95), env, 1.0);
+    EXPECT_GT(compute, 0.9);
+}
+
+TEST(HostSpeeds, BandwidthStarvationCaps)
+{
+    ExecEnv env = standaloneEnv();
+    env.bwFraction = 0.5;
+    HostSpeeds s = hostSpeeds(phase(0.5), env, 1.0);
+    EXPECT_NEAR(s.speed, 0.5, 1e-9);
+    // Offered pressure stays at the latency-view speed.
+    EXPECT_NEAR(s.demandSpeed, 1.0, 1e-9);
+}
+
+TEST(HostSpeeds, StreamingDemandSurvivesThrottle)
+{
+    // Section VI-B: prefetcher-driven pressure persists under core
+    // throttling for low-latency-sensitivity code.
+    ExecEnv env = standaloneEnv();
+    env.throttle = 0.5;
+    HostSpeeds streaming = hostSpeeds(phase(0.05, 0.15), env, 1.0);
+    HostSpeeds pointer = hostSpeeds(phase(0.05, 1.0), env, 1.0);
+    EXPECT_GT(streaming.demandSpeed, 0.8);
+    EXPECT_LT(pointer.demandSpeed, 0.6);
+}
+
+TEST(HostSpeeds, SmtFactorScalesBoth)
+{
+    ExecEnv env = standaloneEnv();
+    env.smtFactor = 0.8;
+    HostSpeeds s = hostSpeeds(phase(), env, 1.0);
+    EXPECT_NEAR(s.speed, 0.8, 1e-9);
+    EXPECT_NEAR(s.demandSpeed, 0.8, 1e-9);
+}
+
+TEST(HostDemand, ScalesWithCoresAndSpeed)
+{
+    HostPhaseParams p = phase();
+    EXPECT_NEAR(hostDemand(p, 4.0, 1.0, 1.0, 1.0), 8.0, 1e-9);
+    EXPECT_NEAR(hostDemand(p, 4.0, 0.5, 1.0, 1.0), 4.0, 1e-9);
+    EXPECT_NEAR(hostDemand(p, 2.0, 1.0, 1.0, 1.0), 4.0, 1e-9);
+}
+
+TEST(HostDemand, MissRatioScalesTraffic)
+{
+    HostPhaseParams p = phase();
+    EXPECT_NEAR(hostDemand(p, 1.0, 1.0, 2.0, 1.0), 4.0, 1e-9);
+}
+
+TEST(HostDemand, PrefetchersAddTraffic)
+{
+    HostPhaseParams p = phase();
+    double on = hostDemand(p, 1.0, 1.0, 1.0, 1.0);
+    double off = hostDemand(p, 1.0, 1.0, 1.0, 0.0);
+    EXPECT_NEAR(on / off, 1.4, 1e-9);
+}
+
+/** Speed is monotone non-increasing in latency, for any phase. */
+class SpeedMonotoneInLatency
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(SpeedMonotoneInLatency, Holds)
+{
+    auto [cpu_frac, lat_sens] = GetParam();
+    ExecEnv env = standaloneEnv();
+    double prev = 1e9;
+    for (double lat = 90.0; lat <= 600.0; lat += 30.0) {
+        env.latencyNs = lat;
+        double s = hostSpeed(phase(cpu_frac, lat_sens), env, 1.0);
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PhaseShapes, SpeedMonotoneInLatency,
+    ::testing::Combine(::testing::Values(0.05, 0.3, 0.6, 0.9),
+                       ::testing::Values(0.15, 0.5, 1.0)));
+
+TEST(Task, DataPlacementValidated)
+{
+    BatchTask t("t", 0, 1, phase());
+    EXPECT_NO_THROW(t.setDataPlacement({{0, 0, 0.5}, {1, 0, 0.5}}));
+    EXPECT_DEATH(t.setDataPlacement({{0, 0, 0.5}}), "sum to 1");
+}
+
+TEST(Task, DemandBasisDamped)
+{
+    BatchTask t("t", 0, 1, phase());
+    EXPECT_DOUBLE_EQ(t.demandBasis(), 1.0);
+    ExecEnv env = standaloneEnv();
+    env.latencyNs = 450.0;  // 5x -> speed 1/3
+    t.advance(1e-4, env);
+    double after_one = t.demandBasis();
+    EXPECT_LT(after_one, 1.0);
+    EXPECT_GT(after_one, 1.0 / 3.0);  // damped, not instant
+    for (int i = 0; i < 20; ++i)
+        t.advance(1e-4, env);
+    EXPECT_NEAR(t.demandBasis(), 1.0 / 3.0, 0.02);
+}
+
+TEST(BatchTask, StandaloneRate)
+{
+    BatchTask t("t", 0, 4, phase());
+    ExecEnv env = standaloneEnv();
+    env.effCores = 4.0;
+    t.advance(1.0, env);
+    EXPECT_NEAR(t.completedWork(), 4.0, 1e-9);
+}
+
+TEST(BatchTask, LimitedByCores)
+{
+    BatchTask t("t", 0, 8, phase());
+    ExecEnv env = standaloneEnv();
+    env.effCores = 2.0;
+    t.advance(1.0, env);
+    EXPECT_NEAR(t.completedWork(), 2.0, 1e-9);
+}
+
+TEST(BatchTask, ThroughputSince)
+{
+    BatchTask t("t", 0, 2, phase());
+    ExecEnv env = standaloneEnv();
+    env.effCores = 2.0;
+    double cursor = 0.0;
+    t.advance(1.0, env);
+    EXPECT_NEAR(t.throughputSince(cursor, 1.0), 2.0, 1e-9);
+    t.advance(2.0, env);
+    EXPECT_NEAR(t.throughputSince(cursor, 2.0), 2.0, 1e-9);
+}
+
+TEST(BatchTask, SetThreads)
+{
+    BatchTask t("t", 0, 2, phase());
+    t.setThreads(6);
+    EXPECT_EQ(t.threadsWanted(), 6);
+    EXPECT_DEATH(t.setThreads(0), "thread");
+}
+
+TEST(BatchTask, DemandUsesPhaseParams)
+{
+    BatchTask t("t", 0, 4, phase());
+    ExecEnv env = standaloneEnv();
+    env.effCores = 4.0;
+    EXPECT_NEAR(t.bwDemand(env), 8.0, 1e-9);
+}

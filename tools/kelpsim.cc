@@ -1,0 +1,207 @@
+/**
+ * @file
+ * kelpsim: command-line driver for single experiments.
+ *
+ * Runs one workload mix under one runtime configuration and reports
+ * the normalized results; optionally records a telemetry CSV of the
+ * controller's knobs and the hardware signals over the run.
+ *
+ * Examples:
+ *   kelpsim --ml=cnn1 --cpu=stitch --instances=4 --config=kp
+ *   kelpsim --ml=rnn1 --cpu=cpuml --threads=12 --config=ct
+ *   kelpsim --ml=cnn2 --cpu=dram --level=high --config=kpsd \
+ *           --telemetry=run.csv
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "exp/scenario.hh"
+#include "hal/counters.hh"
+#include "sim/log.hh"
+#include "sim/options.hh"
+#include "trace/telemetry.hh"
+
+using namespace kelp;
+
+namespace {
+
+wl::MlWorkload
+parseMl(const std::string &name)
+{
+    if (name == "rnn1")
+        return wl::MlWorkload::Rnn1;
+    if (name == "cnn1")
+        return wl::MlWorkload::Cnn1;
+    if (name == "cnn2")
+        return wl::MlWorkload::Cnn2;
+    if (name == "cnn3")
+        return wl::MlWorkload::Cnn3;
+    sim::fatal("unknown ML workload '", name,
+               "' (rnn1|cnn1|cnn2|cnn3)");
+}
+
+wl::CpuWorkload
+parseCpu(const std::string &name)
+{
+    if (name == "stream")
+        return wl::CpuWorkload::Stream;
+    if (name == "stitch")
+        return wl::CpuWorkload::Stitch;
+    if (name == "cpuml")
+        return wl::CpuWorkload::Cpuml;
+    if (name == "llc")
+        return wl::CpuWorkload::LlcAggressor;
+    if (name == "dram")
+        return wl::CpuWorkload::DramAggressor;
+    sim::fatal("unknown CPU workload '", name,
+               "' (stream|stitch|cpuml|llc|dram)");
+}
+
+exp::ConfigKind
+parseConfig(const std::string &name)
+{
+    if (name == "bl")
+        return exp::ConfigKind::BL;
+    if (name == "ct")
+        return exp::ConfigKind::CT;
+    if (name == "kpsd" || name == "kp-sd")
+        return exp::ConfigKind::KPSD;
+    if (name == "kp")
+        return exp::ConfigKind::KP;
+    if (name == "fg")
+        return exp::ConfigKind::FG;
+    sim::fatal("unknown config '", name, "' (bl|ct|kpsd|kp|fg)");
+}
+
+wl::AggressorLevel
+parseLevel(const std::string &name)
+{
+    if (name == "low" || name == "l")
+        return wl::AggressorLevel::Low;
+    if (name == "medium" || name == "m")
+        return wl::AggressorLevel::Medium;
+    if (name == "high" || name == "h")
+        return wl::AggressorLevel::High;
+    sim::fatal("unknown aggressor level '", name, "' (low|medium|high)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::Options opts("kelpsim",
+                      "run one colocation experiment on a simulated "
+                      "accelerated node");
+    opts.addString("ml", "cnn1", "ML workload: rnn1|cnn1|cnn2|cnn3");
+    opts.addString("cpu", "",
+                   "colocated CPU workload: "
+                   "stream|stitch|cpuml|llc|dram (empty = standalone)");
+    opts.addString("config", "kp", "runtime: bl|ct|kpsd|kp|fg");
+    opts.addInt("instances", 1, "CPU workload instances");
+    opts.addInt("threads", 0, "CPU thread-count override (0 = auto)");
+    opts.addString("level", "high",
+                   "dram aggressor level: low|medium|high");
+    opts.addDouble("warmup", 80.0, "warmup simulated seconds");
+    opts.addDouble("measure", 60.0, "measured simulated seconds");
+    opts.addDouble("period", 4.0, "controller sampling period, s");
+    opts.addInt("seed", 12345, "random seed");
+    opts.addString("telemetry", "",
+                   "write knob/signal time series to this CSV file");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    exp::RunConfig cfg;
+    cfg.ml = parseMl(opts.getString("ml"));
+    cfg.config = parseConfig(opts.getString("config"));
+    if (!opts.getString("cpu").empty())
+        cfg.cpu = parseCpu(opts.getString("cpu"));
+    cfg.cpuInstances = static_cast<int>(opts.getInt("instances"));
+    cfg.cpuThreadsOverride = static_cast<int>(opts.getInt("threads"));
+    cfg.aggressorLevel = parseLevel(opts.getString("level"));
+    cfg.warmup = opts.getDouble("warmup");
+    cfg.measure = opts.getDouble("measure");
+    cfg.samplePeriod = opts.getDouble("period");
+    cfg.seed = static_cast<uint64_t>(opts.getInt("seed"));
+
+    exp::RunResult ref = exp::standaloneReference(cfg.ml);
+
+    std::string csv = opts.getString("telemetry");
+    exp::RunResult r;
+    if (csv.empty()) {
+        r = exp::runScenario(cfg);
+    } else {
+        // Instrumented run: sample knobs and hardware signals.
+        exp::Scenario s = exp::buildScenario(cfg);
+        trace::Telemetry tel;
+        auto counters = std::make_shared<hal::PerfCounters>(
+            s.node->memSystem());
+        auto sample = std::make_shared<hal::CounterSample>();
+        tel.addProbe("socket_bw_gibps", [counters, sample,
+                                         &node = *s.node]() {
+            *sample = counters->sample(0);
+            (void)node;
+            return sample->socketBw;
+        });
+        tel.addProbe("mem_latency_ns",
+                     [sample]() { return sample->memLatency; });
+        tel.addProbe("saturation",
+                     [sample]() { return sample->saturation; });
+        if (s.manager) {
+            auto *mgr = s.manager.get();
+            tel.addProbe("lo_cores", [mgr]() {
+                return mgr->controller().params().loCores;
+            });
+            tel.addProbe("lo_prefetchers", [mgr]() {
+                return mgr->controller().params().loPrefetchers;
+            });
+            tel.addProbe("hi_backfill", [mgr]() {
+                return mgr->controller().params().hiBackfillCores;
+            });
+        }
+        tel.attach(*s.engine, cfg.samplePeriod);
+
+        s.engine->run(cfg.warmup);
+        double ml0 = s.mlTask->completedWork();
+        std::vector<double> cpu0;
+        for (auto *t : s.cpuTasks)
+            cpu0.push_back(t->completedWork());
+        if (s.inferTask)
+            s.inferTask->resetLatency();
+        s.engine->run(cfg.measure);
+
+        r.mlPerf = (s.mlTask->completedWork() - ml0) / cfg.measure;
+        if (s.inferTask)
+            r.mlTailP95 = s.inferTask->latency().percentile(95.0);
+        for (size_t i = 0; i < s.cpuTasks.size(); ++i) {
+            r.cpuThroughput +=
+                (s.cpuTasks[i]->completedWork() - cpu0[i]) /
+                cfg.measure;
+        }
+        if (s.manager) {
+            r.avgLoCores = s.manager->avgLoCores();
+            r.avgLoPrefetchers = s.manager->avgLoPrefetchers();
+            r.avgHiBackfill = s.manager->avgHiBackfill();
+        }
+        if (!tel.writeCsv(csv))
+            sim::fatal("cannot write telemetry to ", csv);
+        std::printf("telemetry written to %s\n", csv.c_str());
+    }
+
+    std::printf("%s %s%s under %s:\n", wl::mlName(cfg.ml),
+                cfg.cpu ? "+ " : "(standalone)",
+                cfg.cpu ? wl::cpuName(*cfg.cpu) : "",
+                exp::configName(cfg.config));
+    std::printf("  ML performance : %.2f /s (%.0f%% of standalone)\n",
+                r.mlPerf, 100.0 * r.mlPerf / ref.mlPerf);
+    if (r.mlTailP95 > 0.0) {
+        std::printf("  p95 latency    : %.2f ms (standalone %.2f)\n",
+                    1e3 * r.mlTailP95, 1e3 * ref.mlTailP95);
+    }
+    std::printf("  CPU throughput : %.2f units/s\n", r.cpuThroughput);
+    std::printf("  knobs (avg)    : lo cores %.1f, prefetchers %.1f, "
+                "backfill %.1f\n",
+                r.avgLoCores, r.avgLoPrefetchers, r.avgHiBackfill);
+    return 0;
+}
