@@ -11,6 +11,7 @@
 #include "kelp/profile.hh"
 #include "node/platform.hh"
 #include "sim/log.hh"
+#include "sim/rng.hh"
 
 namespace kelp {
 namespace exp {
@@ -175,6 +176,26 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
     runtime::AppProfile profile =
         runtime::defaultProfile(cfg.ml, node.spec());
 
+    // Chaos runs interpose the fault injector between the controller
+    // and the HAL; placement-time knob writes above/below go straight
+    // to the real knobs (the scheduler's setup is not under test).
+    runtime::Hardening hardening;
+    if (cfg.faults.any()) {
+        sim::Rng faultRng(cfg.faultSeed);
+        s.faultyCounters = std::make_unique<hal::FaultyCounterSource>(
+            std::make_unique<hal::PerfCounters>(node.memSystem()),
+            cfg.faults, faultRng.split(1));
+        s.faultyKnobs = std::make_unique<hal::FaultyKnobSink>(
+            knobs, cfg.faults, faultRng.split(2));
+        bind.counters = s.faultyCounters.get();
+        bind.knobs = s.faultyKnobs.get();
+
+        hardening.enabled = cfg.hardened;
+        hardening.maxBwGibps = 3.0 * node.spec().mem.socket.peakBw;
+        hardening.maxLatencyNs =
+            10.0 * node.spec().mem.socket.baseLatency;
+    }
+
     std::unique_ptr<runtime::Controller> controller;
 
     switch (cfg.config) {
@@ -219,7 +240,7 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
                 std::make_unique<runtime::CoreThrottleController>(
                     bind,
                     runtime::coreThrottleProfile(cfg.ml, node.spec()),
-                    1, max_cores, max_cores);
+                    1, max_cores, max_cores, hardening);
         }
         break;
       }
@@ -259,7 +280,7 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
             } else {
                 controller =
                     std::make_unique<runtime::KelpController>(
-                        bind, profile, limits, initial);
+                        bind, profile, limits, initial, hardening);
             }
         }
         break;
@@ -269,6 +290,11 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
     if (controller) {
         s.manager = std::make_unique<runtime::RuntimeManager>(
             std::move(controller), cfg.samplePeriod);
+        if (hardening.enabled) {
+            runtime::WatchdogConfig wd;
+            wd.enabled = true;
+            s.manager->setWatchdog(wd);
+        }
         s.manager->attach(*s.engine);
     }
 }
@@ -331,6 +357,8 @@ runScenario(const RunConfig &cfg)
         r.avgLoCores = s.manager->avgLoCores();
         r.avgLoPrefetchers = s.manager->avgLoPrefetchers();
         r.avgHiBackfill = s.manager->avgHiBackfill();
+        r.timeInFailSafe = s.manager->timeInFailSafe();
+        r.failSafeEntries = s.manager->failSafeEntries();
     }
     hal::CounterSample cs = counters.sample(0);
     r.avgSaturation = cs.saturation;

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "hal/fault_injector.hh"
 #include "kelp/manager.hh"
 #include "node/node.hh"
 #include "sim/engine.hh"
@@ -86,6 +87,25 @@ struct RunConfig
     sim::Time samplePeriod = 4.0;
 
     uint64_t seed = 12345;
+
+    /**
+     * HAL fault injection (chaos experiments). An all-zero plan (the
+     * default) bypasses the injection layer entirely, so fault-free
+     * runs are bit-identical to builds without this feature.
+     */
+    hal::FaultPlan faults;
+
+    /** Seed of the fault-injection streams (independent of `seed` so
+     * the same workload can be replayed under different faults). */
+    uint64_t faultSeed = 1;
+
+    /**
+     * Under an active fault plan: true runs the hardened controller
+     * (sample guard + actuation retry + watchdog fail-safe), false
+     * the naive one, which trusts every read and forgets failed
+     * writes. Ignored when `faults` is all-zero.
+     */
+    bool hardened = true;
 };
 
 /** Normalized results of a run. */
@@ -105,6 +125,10 @@ struct RunResult
     double avgLoPrefetchers = 0.0;
     double avgHiBackfill = 0.0;
 
+    /** Watchdog telemetry (fault-injection runs; 0 otherwise). */
+    double timeInFailSafe = 0.0;
+    uint64_t failSafeEntries = 0;
+
     /** Mean memory saturation over the measurement window. */
     double avgSaturation = 0.0;
 
@@ -122,6 +146,10 @@ struct Scenario
     std::unique_ptr<node::Node> node;
     std::unique_ptr<sim::Engine> engine;
     std::unique_ptr<runtime::RuntimeManager> manager;
+
+    /** Fault-injecting HAL wrappers (fault-injection runs only). */
+    std::unique_ptr<hal::FaultyCounterSource> faultyCounters;
+    std::unique_ptr<hal::FaultyKnobSink> faultyKnobs;
 
     wl::Task *mlTask = nullptr;
     wl::MlInferTask *inferTask = nullptr;

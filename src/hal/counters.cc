@@ -20,6 +20,9 @@ PerfCounters::sample(sim::SocketId socket)
 
     CounterSample out;
     out.socketBw = c.bw.readSince(cur.bw, 0.0);
+    // The cursor now sits at the accumulator's total elapsed time:
+    // the window-end timestamp of this read.
+    out.windowEnd = cur.bw.time;
     out.memLatency =
         c.latency.readSince(cur.lat, mem_.baseLatency());
     out.saturation = mem_.fastAsserted(socket).readSince(cur.sat, 0.0);

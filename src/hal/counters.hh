@@ -29,6 +29,14 @@ namespace hal {
 /** One sampling window's worth of measurements for a socket. */
 struct CounterSample
 {
+    /**
+     * End of the sampling window on the hardware clock, seconds.
+     * Healthy telemetry always advances this between reads (real
+     * counter reads are timestamped); a repeated value marks a
+     * stale/cached read and a zero one a dropped read.
+     */
+    double windowEnd = 0.0;
+
     /** Average socket memory bandwidth over the window, GiB/s. */
     sim::GiBps socketBw = 0.0;
 
@@ -45,8 +53,23 @@ struct CounterSample
     std::array<sim::Nanoseconds, 2> subdomainLat = {0.0, 0.0};
 };
 
+/**
+ * Abstract telemetry backend. Controllers read through this interface
+ * so the measurement side can be swapped (simulated uncore counters,
+ * real MSRs, or a fault-injecting wrapper) without touching the
+ * control logic.
+ */
+class CounterSource
+{
+  public:
+    virtual ~CounterSource() = default;
+
+    /** Read all counters for a socket since this reader's last read. */
+    virtual CounterSample sample(sim::SocketId socket) = 0;
+};
+
 /** Windowed reader over the memory system's counters. */
-class PerfCounters
+class PerfCounters : public CounterSource
 {
   public:
     explicit PerfCounters(const mem::MemSystem &mem);
@@ -55,7 +78,7 @@ class PerfCounters
      * Read all counters for a socket, returning averages over the
      * window since the previous read (or since construction).
      */
-    CounterSample sample(sim::SocketId socket);
+    CounterSample sample(sim::SocketId socket) override;
 
   private:
     struct SocketCursors

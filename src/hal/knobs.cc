@@ -12,7 +12,7 @@ ResourceKnobs::ResourceKnobs(GroupRegistry &registry)
 {
 }
 
-void
+bool
 ResourceKnobs::setCores(sim::GroupId group, sim::SocketId socket,
                         sim::SubdomainId sub, int count)
 {
@@ -30,6 +30,7 @@ ResourceKnobs::setCores(sim::GroupId group, sim::SocketId socket,
     // Prefetcher enablement can never exceed the cores held.
     g.prefetchersEnabled_ =
         std::min(g.prefetchersEnabled_, g.cores_.total());
+    return true;
 }
 
 int
@@ -47,14 +48,15 @@ ResourceKnobs::adjustCores(sim::GroupId group, sim::SocketId socket,
     return target;
 }
 
-void
+bool
 ResourceKnobs::setPrefetchersEnabled(sim::GroupId group, int count)
 {
     TaskGroup &g = registry_.get(group);
     g.prefetchersEnabled_ = std::clamp(count, 0, g.cores_.total());
+    return true;
 }
 
-void
+bool
 ResourceKnobs::setCatWays(sim::GroupId group, int ways)
 {
     KELP_ASSERT(ways >= 0, "negative CAT ways");
@@ -62,6 +64,7 @@ ResourceKnobs::setCatWays(sim::GroupId group, int ways)
     // Validation against the per-domain way budget happens where the
     // LLC is apportioned (the domain membership depends on SNC mode).
     g.catWays_ = ways;
+    return true;
 }
 
 void

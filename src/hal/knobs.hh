@@ -17,18 +17,43 @@
 namespace kelp {
 namespace hal {
 
+/**
+ * Abstract actuation backend. Controllers write knobs through this
+ * interface so actuation can be swapped (simulated registry, real
+ * MSR/cgroup writes, or a fault-injecting wrapper). Every mutator
+ * reports whether the write landed: real MSR and cgroup writes can
+ * fail transiently, and hardened controllers retry on failure.
+ */
+class KnobSink
+{
+  public:
+    virtual ~KnobSink() = default;
+
+    /** Set the cores a group holds in (socket, subdomain). */
+    virtual bool setCores(sim::GroupId group, sim::SocketId socket,
+                          sim::SubdomainId sub, int count) = 0;
+
+    /** Set how many of the group's cores keep prefetchers enabled. */
+    virtual bool setPrefetchersEnabled(sim::GroupId group,
+                                       int count) = 0;
+
+    /** Dedicate LLC ways to the group via CAT (0 = shared pool). */
+    virtual bool setCatWays(sim::GroupId group, int ways) = 0;
+};
+
 /** Mutating interface over a GroupRegistry. */
-class ResourceKnobs
+class ResourceKnobs : public KnobSink
 {
   public:
     explicit ResourceKnobs(GroupRegistry &registry);
 
     /**
      * Set the number of cores a group holds in (socket, subdomain).
-     * Fails fatally if the subdomain would be oversubscribed.
+     * Fails fatally if the subdomain would be oversubscribed;
+     * otherwise the write always lands (returns true).
      */
-    void setCores(sim::GroupId group, sim::SocketId socket,
-                  sim::SubdomainId sub, int count);
+    bool setCores(sim::GroupId group, sim::SocketId socket,
+                  sim::SubdomainId sub, int count) override;
 
     /** Adjust a group's cores in (socket, subdomain) by delta,
      * clamped to [0, free]. Returns the applied new count. */
@@ -37,10 +62,10 @@ class ResourceKnobs
 
     /** Set how many of the group's cores keep prefetchers enabled
      * (clamped to [0, total cores]). */
-    void setPrefetchersEnabled(sim::GroupId group, int count);
+    bool setPrefetchersEnabled(sim::GroupId group, int count) override;
 
     /** Dedicate LLC ways to the group via CAT (0 = shared pool). */
-    void setCatWays(sim::GroupId group, int ways);
+    bool setCatWays(sim::GroupId group, int ways) override;
 
     /** Bind the group's memory allocation to (socket, subdomain). */
     void setMemBinding(sim::GroupId group, sim::SocketId socket,

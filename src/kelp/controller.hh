@@ -14,6 +14,8 @@
 #ifndef KELP_RUNTIME_CONTROLLER_HH
 #define KELP_RUNTIME_CONTROLLER_HH
 
+#include "hal/counters.hh"
+#include "hal/knobs.hh"
 #include "node/node.hh"
 #include "sim/types.hh"
 
@@ -38,6 +40,55 @@ struct Bindings
 
     /** Socket the accelerated task runs on. */
     sim::SocketId socket = 0;
+
+    /** Telemetry backend override; null = the node's counters. */
+    hal::CounterSource *counters = nullptr;
+
+    /** Actuation backend override; null = the node's knobs. */
+    hal::KnobSink *knobs = nullptr;
+};
+
+/**
+ * Degraded-operation settings for the sampling controllers. Disabled
+ * by default: the hardened paths must reduce to the paper's exact
+ * behaviour so clean-telemetry runs stay bit-identical.
+ */
+struct Hardening
+{
+    bool enabled = false;
+
+    /** EWMA weight applied to accepted measurements. */
+    double ewmaAlpha = 0.5;
+
+    /** Reject samples further than this factor from the smoothed
+     * estimate (in either direction), once the filter is primed. */
+    double outlierFactor = 3.0;
+
+    /** Physical plausibility bounds (validation). */
+    double maxBwGibps = 1000.0;
+    double maxLatencyNs = 5000.0;
+
+    /** Retry backoff cap for failed knob writes, in samples. */
+    int maxBackoff = 8;
+
+    /**
+     * Consecutive failed enforcement attempts before actuation is
+     * reported unhealthy to the watchdog. Transient write failures
+     * are fully masked by the retry loop (the controller re-enforces
+     * every period anyway); only a persistent outage should push the
+     * node into fail-safe.
+     */
+    int actuationFailStreak = 3;
+};
+
+/** Per-sample health report consumed by the manager's watchdog. */
+struct SampleHealth
+{
+    /** Last telemetry read passed validation/outlier checks. */
+    bool sampleValid = true;
+
+    /** All knob writes have landed (no retry pending). */
+    bool actuationOk = true;
 };
 
 /** Snapshot of the knob settings a controller manages. */
@@ -69,6 +120,21 @@ class Controller
 
     /** Configuration name (BL / CT / KP-SD / KP). */
     virtual const char *name() const = 0;
+
+    /** Health of the most recent sample (watchdog input). */
+    virtual SampleHealth lastHealth() const { return {}; }
+
+    /**
+     * Enter or leave fail-safe mode. In fail-safe a controller pins
+     * its knobs to a statically safe configuration and stops
+     * closed-loop actuation; telemetry is still read (and validated)
+     * so the watchdog can observe recovery. Default: no-op for
+     * controllers with nothing to pin (Baseline).
+     */
+    virtual void setFailSafe(bool on) { (void)on; }
+
+    /** True while the controller is pinned to its fail-safe config. */
+    virtual bool failSafe() const { return false; }
 
   protected:
     Bindings bind_;

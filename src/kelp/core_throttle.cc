@@ -11,46 +11,130 @@ CoreThrottleController::CoreThrottleController(const Bindings &bindings,
                                                AppProfile profile,
                                                int min_cores,
                                                int max_cores,
-                                               int initial_cores)
+                                               int initial_cores,
+                                               const Hardening &hardening)
     : Controller(bindings), profile_(std::move(profile)),
       minCores_(min_cores), maxCores_(max_cores),
       cores_(std::clamp(initial_cores, min_cores, max_cores)),
-      counters_(bindings.node->memSystem())
+      counters_(bindings.counters), knobs_(bindings.knobs),
+      hardening_(hardening), guard_(hardening)
 {
     KELP_ASSERT(min_cores >= 1 && max_cores >= min_cores,
                 "bad CoreThrottle core limits");
-    enforce();
+    if (!counters_) {
+        ownedCounters_ = std::make_unique<hal::PerfCounters>(
+            bindings.node->memSystem());
+        counters_ = ownedCounters_.get();
+    }
+    if (!knobs_)
+        knobs_ = &bindings.node->knobs();
+    health_.actuationOk = enforce();
+    enforcePending_ = !health_.actuationOk;
 }
 
 void
 CoreThrottleController::sample(sim::Time now)
 {
     (void)now;
-    hal::CounterSample s = counters_.sample(bind_.socket);
+    hal::CounterSample s = counters_->sample(bind_.socket);
 
-    // One core at a time, driven by socket bandwidth and latency:
-    // the coarse-granularity feedback loop prior work uses.
-    if (profile_.socketBw.isHigh(s.socketBw) ||
-        profile_.latency.isHigh(s.memLatency)) {
-        cores_ = std::max(cores_ - 1, minCores_);
-    } else if (profile_.socketBw.isLow(s.socketBw) &&
-               profile_.latency.isLow(s.memLatency)) {
-        cores_ = std::min(cores_ + 1, maxCores_);
+    bool valid = true;
+    if (hardening_.enabled) {
+        valid = guard_.accept(s);
+        if (valid)
+            s = guard_.smoothed();
     }
-    enforce();
+    health_.sampleValid = valid;
+
+    if (valid && !failSafe_) {
+        // One core at a time, driven by socket bandwidth and latency:
+        // the coarse-granularity feedback loop prior work uses.
+        if (profile_.socketBw.isHigh(s.socketBw) ||
+            profile_.latency.isHigh(s.memLatency)) {
+            cores_ = std::max(cores_ - 1, minCores_);
+        } else if (profile_.socketBw.isLow(s.socketBw) &&
+                   profile_.latency.isLow(s.memLatency)) {
+            cores_ = std::min(cores_ + 1, maxCores_);
+        }
+    }
+    actuate();
 }
 
 void
+CoreThrottleController::actuate()
+{
+    if (!hardening_.enabled) {
+        health_.actuationOk = enforce();
+        enforcePending_ = !health_.actuationOk;
+        return;
+    }
+    if (retryWait_ > 0) {
+        // Stale config, but no new evidence: the verdict holds.
+        --retryWait_;
+        return;
+    }
+    if (enforce()) {
+        enforcePending_ = false;
+        backoff_ = 1;
+        failedAttempts_ = 0;
+    } else {
+        enforcePending_ = true;
+        retryWait_ = backoff_;
+        backoff_ = std::min(backoff_ * 2, hardening_.maxBackoff);
+        ++failedAttempts_;
+    }
+    // Only a streak of failed attempts counts as an outage; the retry
+    // loop absorbs transient failures.
+    health_.actuationOk =
+        failedAttempts_ < hardening_.actuationFailStreak;
+}
+
+void
+CoreThrottleController::setFailSafe(bool on)
+{
+    if (on == failSafe_)
+        return;
+    failSafe_ = on;
+    if (on) {
+        // No subdomain isolation to lean on: the only configuration
+        // that is safe for the accelerated task with no telemetry is
+        // the minimum low-priority footprint.
+        cores_ = minCores_;
+    } else {
+        guard_.reset();
+    }
+    backoff_ = 1;
+    retryWait_ = 0;
+    failedAttempts_ = 0;
+    bool ok = enforce();
+    enforcePending_ = !ok;
+    if (hardening_.enabled) {
+        failedAttempts_ = ok ? 0 : 1;
+        health_.actuationOk =
+            failedAttempts_ < hardening_.actuationFailStreak;
+    } else {
+        health_.actuationOk = ok;
+    }
+}
+
+bool
 CoreThrottleController::enforce()
 {
     // SNC is off under CT; spread the mask across both halves so the
     // allocation is subdomain-agnostic.
-    auto &knobs = bind_.node->knobs();
-    knobs.setCores(bind_.cpuGroup, bind_.socket, 0, cores_ / 2);
-    knobs.setCores(bind_.cpuGroup, bind_.socket, 1,
-                   cores_ - cores_ / 2);
+    bool ok = true;
+    if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 0,
+                          cores_ / 2)) {
+        ok = false;
+    }
+    if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 1,
+                          cores_ - cores_ / 2)) {
+        ok = false;
+    }
     // CT never touches prefetchers: all cores keep them enabled.
-    knobs.setPrefetchersEnabled(bind_.cpuGroup, cores_);
+    if (!knobs_->setPrefetchersEnabled(bind_.cpuGroup, cores_))
+        ok = false;
+    return ok;
 }
 
 ControllerParams

@@ -6,14 +6,24 @@
  * managed by shrinking the CPU mask of low-priority tasks; LLC
  * interference is handled with a dedicated CAT partition for the
  * accelerated task. NUMA subdomains are not used.
+ *
+ * With Hardening enabled the same degraded-telemetry defences as the
+ * Kelp controller apply: sample validation + smoothing, actuation
+ * retry with backoff, and a watchdog-driven fail-safe that pins the
+ * low-priority mask to its minimum (without subdomains there is no
+ * isolation to fall back on, so the safe floor is the smallest
+ * low-priority footprint).
  */
 
 #ifndef KELP_RUNTIME_CORE_THROTTLE_HH
 #define KELP_RUNTIME_CORE_THROTTLE_HH
 
+#include <memory>
+
 #include "hal/counters.hh"
 #include "kelp/controller.hh"
 #include "kelp/profile.hh"
+#include "kelp/sample_guard.hh"
 
 namespace kelp {
 namespace runtime {
@@ -29,10 +39,12 @@ class CoreThrottleController : public Controller
      * @param min_cores Fewest low-priority cores.
      * @param max_cores Most low-priority cores.
      * @param initial_cores Starting allocation.
+     * @param hardening Degraded-operation settings (off by default).
      */
     CoreThrottleController(const Bindings &bindings, AppProfile profile,
                            int min_cores, int max_cores,
-                           int initial_cores);
+                           int initial_cores,
+                           const Hardening &hardening = {});
 
     void sample(sim::Time now) override;
 
@@ -40,16 +52,33 @@ class CoreThrottleController : public Controller
 
     const char *name() const override { return "CT"; }
 
+    SampleHealth lastHealth() const override { return health_; }
+
+    void setFailSafe(bool on) override;
+    bool failSafe() const override { return failSafe_; }
+
     int cores() const { return cores_; }
 
   private:
-    void enforce();
+    bool enforce();
+    void actuate();
 
     AppProfile profile_;
     int minCores_;
     int maxCores_;
     int cores_;
-    hal::PerfCounters counters_;
+    std::unique_ptr<hal::CounterSource> ownedCounters_;
+    hal::CounterSource *counters_;
+    hal::KnobSink *knobs_;
+
+    Hardening hardening_;
+    SampleGuard guard_;
+    SampleHealth health_;
+    bool failSafe_ = false;
+    bool enforcePending_ = false;
+    int backoff_ = 1;
+    int retryWait_ = 0;
+    int failedAttempts_ = 0;
 };
 
 } // namespace runtime

@@ -1,9 +1,30 @@
 #include "kelp/kelp_controller.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace kelp {
 namespace runtime {
+
+namespace {
+
+/**
+ * Hysteresis: an opposite-action flip (Throttle <-> Boost) must pass
+ * through a NOP cycle, so one noisy sample cannot reverse the
+ * controller's direction outright.
+ */
+Action
+damped(Action prev, Action next)
+{
+    if ((prev == Action::Throttle && next == Action::Boost) ||
+        (prev == Action::Boost && next == Action::Throttle)) {
+        return Action::Nop;
+    }
+    return next;
+}
+
+} // namespace
 
 KelpDecision
 decideActions(const AppProfile &profile, const KelpMeasurements &m)
@@ -42,53 +63,169 @@ decideActions(const AppProfile &profile, const KelpMeasurements &m)
 KelpController::KelpController(const Bindings &bindings,
                                AppProfile profile,
                                const ConfigLimits &limits,
-                               const ResourceState &initial)
+                               const ResourceState &initial,
+                               const Hardening &hardening)
     : Controller(bindings), profile_(std::move(profile)),
       configurator_(limits), state_(initial),
-      counters_(bindings.node->memSystem())
+      counters_(bindings.counters), knobs_(bindings.knobs),
+      hardening_(hardening), guard_(hardening)
 {
     KELP_ASSERT(bind_.cpuGroup != sim::invalidId,
                 "Kelp needs a low-priority group to manage");
-    enforce();
+    if (!counters_) {
+        ownedCounters_ = std::make_unique<hal::PerfCounters>(
+            bindings.node->memSystem());
+        counters_ = ownedCounters_.get();
+    }
+    if (!knobs_)
+        knobs_ = &bindings.node->knobs();
+    health_.actuationOk = enforce();
+    enforcePending_ = !health_.actuationOk;
 }
 
 void
 KelpController::sample(sim::Time now)
 {
     (void)now;
-    hal::CounterSample s = counters_.sample(bind_.socket);
+    hal::CounterSample s = counters_->sample(bind_.socket);
 
-    KelpMeasurements m;
-    m.bwS = s.socketBw;
-    // Under subdomains the latency that matters to the accelerated
-    // task is its own subdomain's: the saturated low-priority
-    // controller would otherwise dominate the socket average and
-    // block backfilling forever.
-    m.latS = bind_.node->sncEnabled() ? s.subdomainLat[0]
-                                      : s.memLatency;
-    m.satS = s.saturation;
-    // The high-priority subdomain is subdomain 0 by convention (the
-    // ML task is bound there at placement time).
-    m.bwH = s.subdomainBw[0];
+    bool valid = true;
+    if (hardening_.enabled) {
+        valid = guard_.accept(s);
+        // Decide on the smoothed estimate, not the raw read.
+        if (valid)
+            s = guard_.smoothed();
+    }
+    health_.sampleValid = valid;
 
-    lastDecision_ = decideActions(profile_, m);
-    configurator_.configHiPriority(lastDecision_.actionH, state_);
-    configurator_.configLoPriority(lastDecision_.actionL, state_);
-    enforce();
+    if (valid && !failSafe_) {
+        KelpMeasurements m;
+        m.bwS = s.socketBw;
+        // Under subdomains the latency that matters to the
+        // accelerated task is its own subdomain's: the saturated
+        // low-priority controller would otherwise dominate the socket
+        // average and block backfilling forever.
+        m.latS = bind_.node->sncEnabled() ? s.subdomainLat[0]
+                                          : s.memLatency;
+        m.satS = s.saturation;
+        // The high-priority subdomain is subdomain 0 by convention
+        // (the ML task is bound there at placement time).
+        m.bwH = s.subdomainBw[0];
+
+        KelpDecision d = decideActions(profile_, m);
+        if (hardening_.enabled) {
+            d.actionH = damped(prevH_, d.actionH);
+            d.actionL = damped(prevL_, d.actionL);
+            prevH_ = d.actionH;
+            prevL_ = d.actionL;
+        }
+        lastDecision_ = d;
+        configurator_.configHiPriority(d.actionH, state_);
+        configurator_.configLoPriority(d.actionL, state_);
+    }
+    actuate();
 }
 
 void
+KelpController::actuate()
+{
+    if (!hardening_.enabled) {
+        // Paper behaviour: enforce every sample, no retry.
+        health_.actuationOk = enforce();
+        enforcePending_ = !health_.actuationOk;
+        return;
+    }
+    if (retryWait_ > 0) {
+        // Backing off after a failed write; the config is stale but
+        // no new evidence either way, so the health verdict holds.
+        --retryWait_;
+        return;
+    }
+    if (enforce()) {
+        enforcePending_ = false;
+        backoff_ = 1;
+        failedAttempts_ = 0;
+    } else {
+        enforcePending_ = true;
+        retryWait_ = backoff_;
+        backoff_ = std::min(backoff_ * 2, hardening_.maxBackoff);
+        ++failedAttempts_;
+    }
+    // Transient write failures are absorbed by the retry loop; only a
+    // persistent outage (a streak of failed attempts) is reported to
+    // the watchdog as unhealthy actuation.
+    health_.actuationOk =
+        failedAttempts_ < hardening_.actuationFailStreak;
+}
+
+ResourceState
+KelpController::failSafeState() const
+{
+    // Static KP-SD partitioning: backfill fully withdrawn, the
+    // low-priority subdomain fully populated with prefetchers on.
+    // The subdomain boundary alone protects the accelerated task, no
+    // telemetry required -- which is exactly why it is the safe
+    // floor when telemetry cannot be trusted.
+    ResourceState fs;
+    fs.coreNumH = configurator_.limits().minCoreH;
+    fs.coreNumL = configurator_.limits().maxCoreL;
+    fs.prefetcherNumL = fs.coreNumL;
+    return fs;
+}
+
+void
+KelpController::setFailSafe(bool on)
+{
+    if (on == failSafe_)
+        return;
+    failSafe_ = on;
+    if (on) {
+        state_ = failSafeState();
+        lastDecision_ = KelpDecision{};
+    } else {
+        // Re-arm the feedback loop from the fail-safe config with
+        // fresh filter state: the smoothed estimate is stale.
+        guard_.reset();
+        prevH_ = Action::Nop;
+        prevL_ = Action::Nop;
+    }
+    backoff_ = 1;
+    retryWait_ = 0;
+    failedAttempts_ = 0;
+    bool ok = enforce();
+    enforcePending_ = !ok;
+    if (hardening_.enabled) {
+        // Keep the streak semantics: one failed attempt at the mode
+        // switch is not yet a reportable outage.
+        failedAttempts_ = ok ? 0 : 1;
+        health_.actuationOk =
+            failedAttempts_ < hardening_.actuationFailStreak;
+    } else {
+        health_.actuationOk = ok;
+    }
+}
+
+bool
 KelpController::enforce()
 {
-    auto &knobs = bind_.node->knobs();
     // Low-priority cores: coreNumL in the low-priority subdomain (1),
     // coreNumH backfilled into the high-priority subdomain (0).
-    knobs.setCores(bind_.cpuGroup, bind_.socket, 1, state_.coreNumL);
-    knobs.setCores(bind_.cpuGroup, bind_.socket, 0, state_.coreNumH);
+    bool ok = true;
+    if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 1,
+                          state_.coreNumL)) {
+        ok = false;
+    }
+    if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 0,
+                          state_.coreNumH)) {
+        ok = false;
+    }
     // Backfilled cores keep their prefetchers; the managed count
     // applies to the low-priority subdomain's cores.
-    knobs.setPrefetchersEnabled(
-        bind_.cpuGroup, state_.prefetcherNumL + state_.coreNumH);
+    if (!knobs_->setPrefetchersEnabled(
+            bind_.cpuGroup, state_.prefetcherNumL + state_.coreNumH)) {
+        ok = false;
+    }
+    return ok;
 }
 
 ControllerParams

@@ -16,15 +16,28 @@
  *
  * The Kelp Subdomain (KP-SD) configuration is the same controller
  * with backfilling disabled (maxCoreH = 0).
+ *
+ * With Hardening enabled the controller degrades gracefully under
+ * broken telemetry and actuation: samples are validated, outliers
+ * rejected and the rest EWMA-smoothed (SampleGuard); opposite-action
+ * flips pass through a NOP cycle (hysteresis); failed knob writes are
+ * retried with exponential backoff; and a watchdog (RuntimeManager)
+ * can pin the controller to a fail-safe config -- static KP-SD
+ * partitioning with prefetchers on and backfill withdrawn, the
+ * configuration that protects the accelerated task with no feedback
+ * loop at all.
  */
 
 #ifndef KELP_RUNTIME_KELP_CONTROLLER_HH
 #define KELP_RUNTIME_KELP_CONTROLLER_HH
 
+#include <memory>
+
 #include "hal/counters.hh"
 #include "kelp/configurator.hh"
 #include "kelp/controller.hh"
 #include "kelp/profile.hh"
+#include "kelp/sample_guard.hh"
 
 namespace kelp {
 namespace runtime {
@@ -54,14 +67,18 @@ class KelpController : public Controller
 {
   public:
     /**
-     * @param bindings Node, groups, and socket to manage.
+     * @param bindings Node, groups, socket, and optional HAL backend
+     *        overrides to manage.
      * @param profile Watermark profile of the accelerated task.
      * @param limits Resource bounds (maxCoreH = 0 yields KP-SD).
      * @param initial Starting resource state.
+     * @param hardening Degraded-operation settings (disabled by
+     *        default: identical behaviour to the paper's runtime).
      */
     KelpController(const Bindings &bindings, AppProfile profile,
                    const ConfigLimits &limits,
-                   const ResourceState &initial);
+                   const ResourceState &initial,
+                   const Hardening &hardening = {});
 
     void sample(sim::Time now) override;
 
@@ -73,21 +90,53 @@ class KelpController : public Controller
         return configurator_.limits().maxCoreH > 0 ? "KP" : "KP-SD";
     }
 
+    SampleHealth lastHealth() const override { return health_; }
+
+    void setFailSafe(bool on) override;
+    bool failSafe() const override { return failSafe_; }
+
+    /** The configuration fail-safe mode pins (inspection/tests). */
+    ResourceState failSafeState() const;
+
     /** Current managed state (inspection). */
     const ResourceState &state() const { return state_; }
 
     /** Last decision taken (inspection). */
     const KelpDecision &lastDecision() const { return lastDecision_; }
 
+    /** Samples rejected by the guard so far (inspection). */
+    uint64_t rejectedSamples() const { return guard_.rejected(); }
+
   private:
-    /** EnforceConfig(): push state into the HAL knobs. */
-    void enforce();
+    /** EnforceConfig(): push state into the HAL knobs. Returns true
+     * when every write landed. */
+    bool enforce();
+
+    /** Enforce with the hardened retry/backoff machinery. */
+    void actuate();
 
     AppProfile profile_;
     Configurator configurator_;
     ResourceState state_;
-    hal::PerfCounters counters_;
+    std::unique_ptr<hal::CounterSource> ownedCounters_;
+    hal::CounterSource *counters_;
+    hal::KnobSink *knobs_;
     KelpDecision lastDecision_;
+
+    Hardening hardening_;
+    SampleGuard guard_;
+    SampleHealth health_;
+    bool failSafe_ = false;
+
+    /** Retry-with-backoff state for failed knob writes. */
+    bool enforcePending_ = false;
+    int backoff_ = 1;
+    int retryWait_ = 0;
+    int failedAttempts_ = 0;
+
+    /** Last emitted actions, for hysteresis. */
+    Action prevH_ = Action::Nop;
+    Action prevL_ = Action::Nop;
 };
 
 } // namespace runtime

@@ -20,10 +20,51 @@ RuntimeManager::attach(sim::Engine &engine)
 }
 
 void
+RuntimeManager::setWatchdog(const WatchdogConfig &cfg)
+{
+    KELP_ASSERT(cfg.faultThreshold > 0 && cfg.recoverThreshold > 0,
+                "watchdog thresholds must be positive");
+    watchdog_ = cfg;
+}
+
+void
+RuntimeManager::superviseHealth(sim::Time now)
+{
+    SampleHealth h = controller_->lastHealth();
+    if (h.sampleValid && h.actuationOk) {
+        ++consecutiveGood_;
+        consecutiveBad_ = 0;
+    } else {
+        ++consecutiveBad_;
+        consecutiveGood_ = 0;
+    }
+
+    if (!failSafe_ && consecutiveBad_ >= watchdog_.faultThreshold) {
+        failSafe_ = true;
+        ++entries_;
+        modeTrace_.push_back({now, true});
+        controller_->setFailSafe(true);
+        consecutiveBad_ = 0;
+    } else if (failSafe_ &&
+               consecutiveGood_ >= watchdog_.recoverThreshold) {
+        failSafe_ = false;
+        ++exits_;
+        modeTrace_.push_back({now, false});
+        controller_->setFailSafe(false);
+        consecutiveGood_ = 0;
+    }
+
+    if (failSafe_)
+        timeInFailSafe_ += period_;
+}
+
+void
 RuntimeManager::onSample(sim::Time now)
 {
     controller_->sample(now);
     ++samples_;
+    if (watchdog_.enabled)
+        superviseHealth(now);
     ControllerParams p = controller_->params();
     loCores_.add(p.loCores);
     loPrefetchers_.add(p.loPrefetchers);
@@ -33,19 +74,22 @@ RuntimeManager::onSample(sim::Time now)
 double
 RuntimeManager::avgLoCores() const
 {
-    return loCores_.mean();
+    // Guard the zero-sample read explicitly: the averages must be a
+    // plain 0.0 before the first sample, independent of how the
+    // underlying accumulator treats an empty window.
+    return samples_ == 0 ? 0.0 : loCores_.mean();
 }
 
 double
 RuntimeManager::avgLoPrefetchers() const
 {
-    return loPrefetchers_.mean();
+    return samples_ == 0 ? 0.0 : loPrefetchers_.mean();
 }
 
 double
 RuntimeManager::avgHiBackfill() const
 {
-    return hiBackfill_.mean();
+    return samples_ == 0 ? 0.0 : hiBackfill_.mean();
 }
 
 } // namespace runtime

@@ -9,12 +9,20 @@
  * The manager also time-averages the controller's parameters so
  * experiments can reproduce the parameter plots (Figures 11 and 12)
  * without re-instrumenting each controller.
+ *
+ * An optional watchdog supervises controller health: after N
+ * consecutive invalid samples or actuation failures it drops the
+ * controller into its fail-safe configuration, and re-arms it once
+ * telemetry and actuation have been healthy for M consecutive
+ * samples. Mode transitions are counted and recorded with their
+ * timestamps so degraded runs are auditable and reproducible.
  */
 
 #ifndef KELP_RUNTIME_MANAGER_HH
 #define KELP_RUNTIME_MANAGER_HH
 
 #include <memory>
+#include <vector>
 
 #include "kelp/controller.hh"
 #include "sim/engine.hh"
@@ -22,6 +30,18 @@
 
 namespace kelp {
 namespace runtime {
+
+/** Watchdog thresholds (disabled by default). */
+struct WatchdogConfig
+{
+    bool enabled = false;
+
+    /** Consecutive unhealthy samples before entering fail-safe. */
+    int faultThreshold = 3;
+
+    /** Consecutive healthy samples before re-arming. */
+    int recoverThreshold = 3;
+};
 
 /** Drives one controller at a fixed sampling period. */
 class RuntimeManager
@@ -45,17 +65,48 @@ class RuntimeManager
     /** Samples taken so far. */
     uint64_t samples() const { return samples_; }
 
-    /** Time-averaged low-priority core count. */
+    /** Time-averaged low-priority core count (0 before the first
+     * sample). */
     double avgLoCores() const;
 
-    /** Time-averaged enabled-prefetcher count. */
+    /** Time-averaged enabled-prefetcher count (0 before the first
+     * sample). */
     double avgLoPrefetchers() const;
 
-    /** Time-averaged backfill core count. */
+    /** Time-averaged backfill core count (0 before the first
+     * sample). */
     double avgHiBackfill() const;
+
+    /** Arm (or disarm) the fail-safe watchdog. */
+    void setWatchdog(const WatchdogConfig &cfg);
+    const WatchdogConfig &watchdog() const { return watchdog_; }
+
+    /** True while the supervised controller is held in fail-safe. */
+    bool inFailSafe() const { return failSafe_; }
+
+    /** Fail-safe entry/exit counts (telemetry). */
+    uint64_t failSafeEntries() const { return entries_; }
+    uint64_t failSafeExits() const { return exits_; }
+
+    /** Total sampled time spent in fail-safe mode, seconds. */
+    double timeInFailSafe() const { return timeInFailSafe_; }
+
+    /** One watchdog mode transition. */
+    struct ModeChange
+    {
+        sim::Time time;
+        bool failSafe;
+    };
+
+    /** All transitions, in order (deterministic per seed). */
+    const std::vector<ModeChange> &modeTrace() const
+    {
+        return modeTrace_;
+    }
 
   private:
     void onSample(sim::Time now);
+    void superviseHealth(sim::Time now);
 
     std::unique_ptr<Controller> controller_;
     sim::Time period_;
@@ -63,6 +114,15 @@ class RuntimeManager
     sim::OnlineStats loCores_;
     sim::OnlineStats loPrefetchers_;
     sim::OnlineStats hiBackfill_;
+
+    WatchdogConfig watchdog_;
+    bool failSafe_ = false;
+    int consecutiveBad_ = 0;
+    int consecutiveGood_ = 0;
+    uint64_t entries_ = 0;
+    uint64_t exits_ = 0;
+    double timeInFailSafe_ = 0.0;
+    std::vector<ModeChange> modeTrace_;
 };
 
 } // namespace runtime

@@ -1,0 +1,143 @@
+#include "kelp/sample_guard.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kelp {
+namespace runtime {
+
+namespace {
+
+/**
+ * Below this bandwidth (GiB/s) relative outlier checks are
+ * ill-conditioned and skipped. The floor must exceed the traffic a
+ * single actuation step can add from zero (backfilling one core into
+ * an idle subdomain jumps its bandwidth by several GiB/s -- a
+ * legitimate consequence of the controller's own action, not a
+ * telemetry glitch), while staying far below the order-of-magnitude
+ * excursions the spike check exists to catch.
+ */
+constexpr double kBwFloor = 10.0;
+
+} // namespace
+
+SampleGuard::SampleGuard(const Hardening &cfg)
+    : cfg_(cfg)
+{
+}
+
+bool
+SampleGuard::validate(const hal::CounterSample &s) const
+{
+    auto bad_bw = [this](double bw) {
+        return !std::isfinite(bw) || bw < 0.0 ||
+               bw > cfg_.maxBwGibps;
+    };
+    auto bad_lat = [this](double lat) {
+        // A real memory access can never complete in zero time: the
+        // all-zero sample of a dropped counter read fails here.
+        return !std::isfinite(lat) || lat <= 0.0 ||
+               lat > cfg_.maxLatencyNs;
+    };
+    if (bad_bw(s.socketBw) || bad_lat(s.memLatency))
+        return false;
+    // Noise can push a duty cycle slightly past 1; spikes push it far
+    // past. Accept the former (it is clamped when folded).
+    if (!std::isfinite(s.saturation) || s.saturation < 0.0 ||
+        s.saturation > 1.3) {
+        return false;
+    }
+    for (int d = 0; d < 2; ++d) {
+        if (bad_bw(s.subdomainBw[d]))
+            return false;
+        // A fully idle subdomain reports zero latency (no accesses
+        // in the window), so only negative/non-finite/implausibly
+        // large values are invalid here; the zero-latency dropout
+        // signature is caught at socket level above.
+        if (!std::isfinite(s.subdomainLat[d]) ||
+            s.subdomainLat[d] < 0.0 ||
+            s.subdomainLat[d] > cfg_.maxLatencyNs) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+SampleGuard::isOutlier(const hal::CounterSample &s) const
+{
+    if (!primed_)
+        return false;
+    // Only upward excursions are rejected: sharp legitimate drops
+    // (an aggressor departing, a phase change) must pass through or
+    // the controller would never re-open the taps.
+    const double f = cfg_.outlierFactor;
+    if (s.socketBw > f * std::max(smooth_.socketBw, kBwFloor))
+        return true;
+    if (s.memLatency > f * smooth_.memLatency)
+        return true;
+    if (s.subdomainBw[0] > f * std::max(smooth_.subdomainBw[0],
+                                        kBwFloor)) {
+        return true;
+    }
+    if (s.subdomainLat[0] > f * smooth_.subdomainLat[0])
+        return true;
+    return false;
+}
+
+void
+SampleGuard::fold(const hal::CounterSample &s)
+{
+    if (!primed_) {
+        smooth_ = s;
+        smooth_.saturation = std::min(smooth_.saturation, 1.0);
+        primed_ = true;
+        return;
+    }
+    const double a = cfg_.ewmaAlpha;
+    auto mix = [a](double &acc, double x) {
+        acc += a * (x - acc);
+    };
+    mix(smooth_.socketBw, s.socketBw);
+    mix(smooth_.memLatency, s.memLatency);
+    mix(smooth_.saturation, std::min(s.saturation, 1.0));
+    for (int d = 0; d < 2; ++d) {
+        mix(smooth_.subdomainBw[d], s.subdomainBw[d]);
+        mix(smooth_.subdomainLat[d], s.subdomainLat[d]);
+    }
+}
+
+bool
+SampleGuard::accept(const hal::CounterSample &raw)
+{
+    // Staleness runs before any other check: the hardware clock
+    // advances between any two healthy reads, so a repeated (or
+    // rewound) window-end timestamp marks a stuck/cached sample. A
+    // converged system legitimately reports identical *measurements*
+    // window after window -- the timestamp is what distinguishes
+    // fresh-but-steady telemetry from a wedged source.
+    bool stale = raw.windowEnd <= lastWindowEnd_;
+    if (!stale)
+        lastWindowEnd_ = raw.windowEnd;
+
+    if (stale || !validate(raw) || isOutlier(raw)) {
+        ++rejected_;
+        return false;
+    }
+    fold(raw);
+    return true;
+}
+
+void
+SampleGuard::reset()
+{
+    // The smoothed estimate is stale after a fail-safe episode, but
+    // lastWindowEnd_ survives: telemetry time never rewinds, and
+    // forgetting it would let one cached sample slip through right
+    // after recovery.
+    primed_ = false;
+    smooth_ = hal::CounterSample{};
+}
+
+} // namespace runtime
+} // namespace kelp

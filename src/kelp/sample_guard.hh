@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Telemetry sample guard: validation, stuck detection, outlier
+ * rejection, and EWMA smoothing for hardened controllers.
+ *
+ * Production counters fail in recognizable ways: a dropped uncore
+ * read comes back zeroed (a real memory latency can never be zero),
+ * a wedged/cached source stops advancing its read timestamp (healthy
+ * hardware time never stands still, even when the measurements are
+ * steady), and a glitched read is off by an order of magnitude. The
+ * guard filters each raw CounterSample through those checks and
+ * maintains a smoothed estimate of every signal, so a controller
+ * acting on guard output neither reacts to garbage nor oscillates on
+ * noise.
+ */
+
+#ifndef KELP_RUNTIME_SAMPLE_GUARD_HH
+#define KELP_RUNTIME_SAMPLE_GUARD_HH
+
+#include <cstdint>
+
+#include "hal/counters.hh"
+#include "kelp/controller.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** Validating, smoothing filter over raw counter samples. */
+class SampleGuard
+{
+  public:
+    explicit SampleGuard(const Hardening &cfg);
+
+    /**
+     * Feed one raw sample. Returns true when the sample passed
+     * validation and was folded into the smoothed estimate; false
+     * when it was rejected (the smoothed estimate is unchanged).
+     */
+    bool accept(const hal::CounterSample &raw);
+
+    /** Current smoothed estimate (meaningful once primed()). */
+    const hal::CounterSample &smoothed() const { return smooth_; }
+
+    /** True once at least one sample has been accepted. */
+    bool primed() const { return primed_; }
+
+    /** Forget the smoothed estimate (after a fail-safe episode it is
+     * stale by definition). The staleness clock survives: telemetry
+     * time never rewinds. */
+    void reset();
+
+    /** Rejected-sample count (inspection). */
+    uint64_t rejected() const { return rejected_; }
+
+  private:
+    bool validate(const hal::CounterSample &s) const;
+    bool isOutlier(const hal::CounterSample &s) const;
+    void fold(const hal::CounterSample &s);
+
+    Hardening cfg_;
+    hal::CounterSample smooth_;
+    bool primed_ = false;
+    double lastWindowEnd_ = -1.0;
+    uint64_t rejected_ = 0;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_SAMPLE_GUARD_HH

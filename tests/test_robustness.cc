@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "exp/scenario.hh"
+#include "hal/fault_injector.hh"
 #include "kelp/kelp_controller.hh"
 #include "kelp/manager.hh"
 #include "mem/mem_system.hh"
@@ -243,4 +246,240 @@ TEST(Robustness, SeedChangesInferenceArrivals)
     // Same distribution, different sample path.
     EXPECT_NE(a.mlTailP95, b.mlTailP95);
     EXPECT_NEAR(a.mlPerf, b.mlPerf, a.mlPerf * 0.05);
+}
+
+// ---------------------------------------------------------------------
+// Controller-under-fault coverage: a hardened KP controller behind
+// HAL fault injectors, supervised by the manager's watchdog.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * A TpuV1 node with one DRAM aggressor, a hardened KP controller
+ * reading through a FaultyCounterSource and actuating through a
+ * FaultyKnobSink (both initially fault-free), and a watchdog-armed
+ * manager sampling every 10 ms. Tests script fault phases by swapping
+ * the injector plans mid-run.
+ */
+struct FaultHarness
+{
+    node::Node node{node::platformFor(accel::Kind::TpuV1)};
+    sim::GroupId ml, cpu;
+    runtime::ConfigLimits limits{0, 4, 1, 8};
+    std::unique_ptr<hal::FaultyCounterSource> counters;
+    std::unique_ptr<hal::FaultyKnobSink> knobs;
+    std::unique_ptr<runtime::RuntimeManager> mgr;
+    runtime::KelpController *ctl = nullptr;
+    sim::Engine engine{1e-4};
+
+    explicit FaultHarness(int aggressor_threads = 8)
+    {
+        node.setSncEnabled(true);
+        ml = node.groups().create("ml", hal::Priority::High).id();
+        cpu = node.groups().create("batch", hal::Priority::Low).id();
+        node.knobs().setCores(ml, 0, 0, 4);
+        node.knobs().setPrefetchersEnabled(ml, 4);
+        auto &task = node.add(std::make_unique<wl::BatchTask>(
+            "agg", cpu, aggressor_threads,
+            wl::cpuParams(wl::CpuWorkload::DramAggressor)));
+        task.setHomeSocket(0);
+
+        sim::Rng rng(7);
+        counters = std::make_unique<hal::FaultyCounterSource>(
+            std::make_unique<hal::PerfCounters>(node.memSystem()),
+            hal::FaultPlan{}, rng.split(1));
+        knobs = std::make_unique<hal::FaultyKnobSink>(
+            node.knobs(), hal::FaultPlan{}, rng.split(2));
+
+        runtime::Bindings bind{&node, ml, cpu, 0, counters.get(),
+                               knobs.get()};
+        runtime::Hardening hard;
+        hard.enabled = true;
+        auto spec = node::platformFor(accel::Kind::TpuV1);
+        auto owned = std::make_unique<runtime::KelpController>(
+            bind, runtime::defaultProfile(wl::MlWorkload::Rnn1, spec),
+            limits, runtime::ResourceState{0, 8, 8}, hard);
+        ctl = owned.get();
+        mgr = std::make_unique<runtime::RuntimeManager>(
+            std::move(owned), 0.01);
+        runtime::WatchdogConfig wd;
+        wd.enabled = true;  // thresholds 3 / 3
+        mgr->setWatchdog(wd);
+        node.attach(engine);
+        mgr->attach(engine);
+    }
+
+    /** Applied (not just targeted) knob state never escapes the
+     * configured ML-protection limits. */
+    void
+    checkAppliedWithinLimits()
+    {
+        const auto &group = node.groups().get(cpu);
+        EXPECT_LE(group.cores().inSubdomain(0, 0), limits.maxCoreH);
+        EXPECT_LE(group.cores().inSubdomain(0, 1), limits.maxCoreL);
+        EXPECT_GE(group.cores().inSubdomain(0, 1), limits.minCoreL);
+        EXPECT_LE(group.prefetchersEnabled(),
+                  limits.maxCoreL + limits.maxCoreH);
+        // The ML task's own placement is never touched.
+        EXPECT_EQ(node.groups().get(ml).cores().inSubdomain(0, 0), 4);
+    }
+};
+
+} // namespace
+
+TEST(ControllerUnderFault, CounterDropoutTripsFailSafeAndRecovers)
+{
+    FaultHarness h;
+    h.engine.run(0.055);  // clean: primes the guard
+    EXPECT_FALSE(h.mgr->inFailSafe());
+
+    // Telemetry goes completely dark mid-run.
+    hal::FaultPlan dark;
+    dark.dropProb = 1.0;
+    h.counters->setPlan(dark);
+    h.engine.run(0.03);  // 3 consecutive invalid samples
+    EXPECT_TRUE(h.mgr->inFailSafe());
+    EXPECT_TRUE(h.ctl->failSafe());
+    EXPECT_EQ(h.mgr->failSafeEntries(), 1u);
+    // Pinned to the static KP-SD floor: backfill withdrawn, the
+    // low-priority subdomain fully populated, prefetchers on.
+    EXPECT_EQ(h.ctl->state().coreNumH, h.limits.minCoreH);
+    EXPECT_EQ(h.ctl->state().coreNumL, h.limits.maxCoreL);
+    EXPECT_EQ(h.ctl->state().prefetcherNumL, h.limits.maxCoreL);
+    h.checkAppliedWithinLimits();
+
+    // Held down while telemetry stays dark.
+    h.engine.run(0.05);
+    EXPECT_TRUE(h.mgr->inFailSafe());
+    EXPECT_EQ(h.mgr->failSafeExits(), 0u);
+
+    // Telemetry returns: re-armed after the recovery streak.
+    h.counters->setPlan(hal::FaultPlan{});
+    h.engine.run(0.035);
+    EXPECT_FALSE(h.mgr->inFailSafe());
+    EXPECT_FALSE(h.ctl->failSafe());
+    EXPECT_EQ(h.mgr->failSafeExits(), 1u);
+    EXPECT_GT(h.mgr->timeInFailSafe(), 0.0);
+
+    // Closed-loop control resumed: the controller moves off the
+    // fail-safe config under a saturating aggressor.
+    h.engine.run(0.1);
+    EXPECT_LT(h.ctl->state().prefetcherNumL, h.limits.maxCoreL);
+}
+
+TEST(ControllerUnderFault, StuckSaturationSignalTripsFailSafe)
+{
+    FaultHarness h;
+    h.engine.run(0.055);
+    EXPECT_FALSE(h.mgr->inFailSafe());
+
+    // The counter wedges: every read repeats the last good sample
+    // bit-for-bit (saturation included), which real windowed
+    // hardware averages never do.
+    hal::FaultPlan wedge;
+    wedge.stuckProb = 1.0;
+    h.counters->setPlan(wedge);
+    h.engine.run(0.07);
+    EXPECT_TRUE(h.mgr->inFailSafe());
+    EXPECT_GE(h.ctl->rejectedSamples(), 3u);
+    h.checkAppliedWithinLimits();
+
+    h.counters->setPlan(hal::FaultPlan{});
+    h.engine.run(0.05);
+    EXPECT_FALSE(h.mgr->inFailSafe());
+    EXPECT_EQ(h.mgr->failSafeExits(), 1u);
+}
+
+TEST(ControllerUnderFault, ActuationStormTripsFailSafeAndRecovers)
+{
+    FaultHarness h;
+    h.engine.run(0.055);
+    EXPECT_FALSE(h.mgr->inFailSafe());
+
+    // Every knob write is lost: retry backoff escalates, the failed-
+    // attempt streak crosses the threshold, the watchdog trips.
+    hal::FaultPlan storm;
+    storm.knobFailProb = 1.0;
+    h.knobs->setPlan(storm);
+    h.engine.run(0.1);
+    EXPECT_TRUE(h.mgr->inFailSafe());
+    EXPECT_GE(h.mgr->failSafeEntries(), 1u);
+    // Nothing lands while the storm persists, so the applied state
+    // is the last successfully-enforced one: still within limits.
+    h.checkAppliedWithinLimits();
+
+    // Writes work again: the pinned fail-safe config lands, health
+    // recovers, and the loop re-arms.
+    h.knobs->setPlan(hal::FaultPlan{});
+    h.engine.run(0.15);
+    EXPECT_FALSE(h.mgr->inFailSafe());
+    EXPECT_GE(h.mgr->failSafeExits(), 1u);
+    // Once re-armed and enforcing cleanly, the applied state tracks
+    // the controller's target exactly.
+    const auto &group = h.node.groups().get(h.cpu);
+    EXPECT_EQ(group.cores().inSubdomain(0, 1),
+              h.ctl->state().coreNumL);
+    EXPECT_EQ(group.cores().inSubdomain(0, 0),
+              h.ctl->state().coreNumH);
+    EXPECT_EQ(group.prefetchersEnabled(),
+              h.ctl->state().prefetcherNumL + h.ctl->state().coreNumH);
+}
+
+TEST(ControllerUnderFault, NoViolatingConfigEverApplied)
+{
+    FaultHarness h;
+    // A sustained mixed fault storm: telemetry corruption plus torn
+    // and delayed actuation, heavy enough to trip the watchdog
+    // repeatedly.
+    hal::FaultPlan mixed;
+    mixed.dropProb = 0.3;
+    mixed.stuckProb = 0.1;
+    mixed.noiseProb = 0.3;
+    mixed.spikeProb = 0.1;
+    mixed.knobFailProb = 0.3;
+    mixed.knobDelayProb = 0.2;
+    h.counters->setPlan(mixed);
+    h.knobs->setPlan(mixed);
+
+    h.engine.run(0.005);  // keep run boundaries mid-period
+    for (int period = 0; period < 80; ++period) {
+        h.engine.run(0.01);
+        h.checkAppliedWithinLimits();
+    }
+    EXPECT_EQ(h.mgr->samples(), 80u);
+}
+
+TEST(ControllerUnderFault, ModeTraceDeterministicAcrossRuns)
+{
+    // Same workload seed + same fault seed => identical fail-safe
+    // transition trace and bit-identical results, end to end through
+    // the scenario layer.
+    exp::RunConfig cfg;
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 3;
+    cfg.config = exp::ConfigKind::KP;
+    cfg.warmup = 5.0;
+    cfg.measure = 10.0;
+    cfg.samplePeriod = 0.5;
+    cfg.faults.dropProb = 0.6;
+    cfg.faults.knobFailProb = 0.3;
+    cfg.faultSeed = 11;
+
+    auto run = [&cfg]() {
+        exp::Scenario s = exp::buildScenario(cfg);
+        s.engine->run(cfg.warmup + cfg.measure);
+        return std::make_pair(s.manager->modeTrace(),
+                              s.mlTask->completedWork());
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_GE(a.first.size(), 1u);  // the storm actually tripped it
+    ASSERT_EQ(a.first.size(), b.first.size());
+    for (size_t i = 0; i < a.first.size(); ++i) {
+        EXPECT_EQ(a.first[i].time, b.first[i].time);
+        EXPECT_EQ(a.first[i].failSafe, b.first[i].failSafe);
+    }
+    EXPECT_DOUBLE_EQ(a.second, b.second);
 }

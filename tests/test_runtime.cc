@@ -420,3 +420,225 @@ TEST(Manager, TracksParameterAverages)
     EXPECT_GT(mgr.avgLoCores(), 0.0);
     EXPECT_LT(mgr.avgLoPrefetchers(), 8.0);  // some throttling seen
 }
+
+TEST(Manager, AveragesAreZeroBeforeFirstSample)
+{
+    // A manager that has never sampled must report zeroed averages,
+    // not a divide-by-zero artifact.
+    RuntimeFixture f(4);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto ctl = std::make_unique<BaselineController>(bind);
+    RuntimeManager mgr(std::move(ctl), 0.01);
+    EXPECT_EQ(mgr.samples(), 0u);
+    EXPECT_EQ(mgr.avgLoCores(), 0.0);
+    EXPECT_EQ(mgr.avgLoPrefetchers(), 0.0);
+    EXPECT_EQ(mgr.avgHiBackfill(), 0.0);
+    EXPECT_EQ(mgr.timeInFailSafe(), 0.0);
+}
+
+namespace {
+
+hal::CounterSample
+plausibleSample(double t, double jitter = 0.0)
+{
+    hal::CounterSample s;
+    s.windowEnd = t;
+    s.socketBw = 50.0 + jitter;
+    s.memLatency = 120.0 + jitter;
+    s.saturation = 0.05;
+    s.subdomainBw = {20.0 + jitter, 30.0};
+    s.subdomainLat = {110.0, 130.0};
+    return s;
+}
+
+Hardening
+testHardening()
+{
+    Hardening h;
+    h.enabled = true;
+    return h;
+}
+
+/**
+ * Controller whose health report is scripted directly, isolating the
+ * manager's watchdog logic from any real feedback loop.
+ */
+class ScriptedController : public Controller
+{
+  public:
+    explicit ScriptedController(const Bindings &bindings)
+        : Controller(bindings)
+    {
+    }
+
+    void sample(sim::Time now) override { (void)now; }
+    ControllerParams params() const override { return {}; }
+    const char *name() const override { return "scripted"; }
+    SampleHealth lastHealth() const override { return health; }
+    void setFailSafe(bool on) override { failSafe_ = on; }
+    bool failSafe() const override { return failSafe_; }
+
+    SampleHealth health;
+
+  private:
+    bool failSafe_ = false;
+};
+
+} // namespace
+
+TEST(SampleGuard, RejectsDropoutAndStaleSamples)
+{
+    SampleGuard g(testHardening());
+    EXPECT_TRUE(g.accept(plausibleSample(1.0)));
+    EXPECT_TRUE(g.primed());
+
+    // Dropout: the zeroed sample (latency 0, timestamp 0) is
+    // impossible on healthy hardware.
+    EXPECT_FALSE(g.accept(hal::CounterSample{}));
+
+    // A wedged/cached source repeats its timestamp: rejected even
+    // though the measurements themselves look plausible.
+    hal::CounterSample frozen = plausibleSample(2.0);
+    EXPECT_TRUE(g.accept(frozen));
+    EXPECT_FALSE(g.accept(frozen));
+    EXPECT_FALSE(g.accept(frozen));
+    EXPECT_EQ(g.rejected(), 3u);
+
+    // Identical measurements under a *fresh* timestamp are a
+    // converged system, not a fault.
+    hal::CounterSample steady = frozen;
+    steady.windowEnd = 3.0;
+    EXPECT_TRUE(g.accept(steady));
+}
+
+TEST(SampleGuard, RejectsUpwardOutliersOnly)
+{
+    SampleGuard g(testHardening());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(g.accept(plausibleSample(1.0 + i, 0.1 * i)));
+
+    // A 10x latency spike is rejected against the smoothed estimate.
+    hal::CounterSample spike = plausibleSample(5.0);
+    spike.memLatency *= 10.0;
+    EXPECT_FALSE(g.accept(spike));
+
+    // A sharp legitimate *drop* (the aggressor left) must pass, or
+    // the controller could never re-open the taps.
+    hal::CounterSample quiet = plausibleSample(6.0);
+    quiet.socketBw = 2.0;
+    quiet.subdomainBw[0] = 1.0;
+    EXPECT_TRUE(g.accept(quiet));
+}
+
+TEST(SampleGuard, SmoothsAcceptedSamples)
+{
+    Hardening h = testHardening();
+    h.ewmaAlpha = 0.5;
+    SampleGuard g(h);
+    hal::CounterSample a = plausibleSample(1.0);
+    a.socketBw = 40.0;
+    EXPECT_TRUE(g.accept(a));
+    EXPECT_DOUBLE_EQ(g.smoothed().socketBw, 40.0);  // first primes
+
+    hal::CounterSample b = plausibleSample(2.0);
+    b.socketBw = 60.0;
+    EXPECT_TRUE(g.accept(b));
+    EXPECT_DOUBLE_EQ(g.smoothed().socketBw, 50.0);  // halfway
+
+    g.reset();
+    EXPECT_FALSE(g.primed());
+
+    // After a reset the staleness clock survives: a cached sample
+    // from before the reset is still rejected...
+    EXPECT_FALSE(g.accept(b));
+    // ...and fresh telemetry re-primes the filter.
+    EXPECT_TRUE(g.accept(plausibleSample(3.0)));
+    EXPECT_TRUE(g.primed());
+}
+
+TEST(Watchdog, EntersAfterConsecutiveBadAndRecovers)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);
+    WatchdogConfig wd;
+    wd.enabled = true;  // thresholds 3 / 3
+    mgr.setWatchdog(wd);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+
+    // Half-period offsets keep run() boundaries away from the exact
+    // sampling instants (floating-point tick accumulation).
+    e.run(0.035);  // 3 healthy samples
+    EXPECT_FALSE(mgr.inFailSafe());
+
+    ctl->health.sampleValid = false;
+    e.run(0.02);  // 2 bad: below the threshold
+    EXPECT_FALSE(mgr.inFailSafe());
+    e.run(0.01);  // 3rd consecutive bad: fail-safe
+    EXPECT_TRUE(mgr.inFailSafe());
+    EXPECT_TRUE(ctl->failSafe());
+    EXPECT_EQ(mgr.failSafeEntries(), 1u);
+
+    ctl->health.sampleValid = true;
+    e.run(0.02);  // 2 good: still held
+    EXPECT_TRUE(mgr.inFailSafe());
+    e.run(0.01);  // 3rd consecutive good: re-armed
+    EXPECT_FALSE(mgr.inFailSafe());
+    EXPECT_FALSE(ctl->failSafe());
+    EXPECT_EQ(mgr.failSafeExits(), 1u);
+    EXPECT_GT(mgr.timeInFailSafe(), 0.0);
+
+    // The transition trace records both edges in order.
+    ASSERT_EQ(mgr.modeTrace().size(), 2u);
+    EXPECT_TRUE(mgr.modeTrace()[0].failSafe);
+    EXPECT_FALSE(mgr.modeTrace()[1].failSafe);
+    EXPECT_LT(mgr.modeTrace()[0].time, mgr.modeTrace()[1].time);
+}
+
+TEST(Watchdog, InterruptedBadStreakDoesNotTrip)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);
+    WatchdogConfig wd;
+    wd.enabled = true;
+    mgr.setWatchdog(wd);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+
+    // bad, bad, good, bad, bad, good, ... never 3 in a row. The
+    // initial half-period keeps run() boundaries mid-period.
+    e.run(0.005);
+    for (int i = 0; i < 4; ++i) {
+        ctl->health.actuationOk = false;
+        e.run(0.02);
+        ctl->health.actuationOk = true;
+        e.run(0.01);
+    }
+    EXPECT_FALSE(mgr.inFailSafe());
+    EXPECT_EQ(mgr.failSafeEntries(), 0u);
+    EXPECT_TRUE(mgr.modeTrace().empty());
+}
+
+TEST(Watchdog, DisabledNeverIntervenes)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);  // watchdog off
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+    ctl->health.sampleValid = false;
+    e.run(0.1);
+    EXPECT_FALSE(mgr.inFailSafe());
+    EXPECT_EQ(mgr.failSafeEntries(), 0u);
+}

@@ -18,6 +18,7 @@
 
 #include "exp/scenario.hh"
 #include "hal/counters.hh"
+#include "hal/fault_injector.hh"
 #include "sim/log.hh"
 #include "sim/options.hh"
 #include "trace/telemetry.hh"
@@ -107,6 +108,14 @@ main(int argc, char **argv)
     opts.addDouble("measure", 60.0, "measured simulated seconds");
     opts.addDouble("period", 4.0, "controller sampling period, s");
     opts.addInt("seed", 12345, "random seed");
+    opts.addString("faults", "",
+                   "HAL fault plan, e.g. "
+                   "drop=0.1,stuck=0.05,noise=0.1,spike=0.02,"
+                   "knobfail=0.2,knobdelay=0.1 (empty = no faults)");
+    opts.addInt("fault-seed", 1, "fault-injection random seed");
+    opts.addBool("naive", false,
+                 "disable controller hardening and the fail-safe "
+                 "watchdog under --faults");
     opts.addString("telemetry", "",
                    "write knob/signal time series to this CSV file");
     if (!opts.parse(argc, argv))
@@ -124,6 +133,9 @@ main(int argc, char **argv)
     cfg.measure = opts.getDouble("measure");
     cfg.samplePeriod = opts.getDouble("period");
     cfg.seed = static_cast<uint64_t>(opts.getInt("seed"));
+    cfg.faults = hal::FaultPlan::parse(opts.getString("faults"));
+    cfg.faultSeed = static_cast<uint64_t>(opts.getInt("fault-seed"));
+    cfg.hardened = !opts.getBool("naive");
 
     exp::RunResult ref = exp::standaloneReference(cfg.ml);
 
@@ -183,6 +195,8 @@ main(int argc, char **argv)
             r.avgLoCores = s.manager->avgLoCores();
             r.avgLoPrefetchers = s.manager->avgLoPrefetchers();
             r.avgHiBackfill = s.manager->avgHiBackfill();
+            r.timeInFailSafe = s.manager->timeInFailSafe();
+            r.failSafeEntries = s.manager->failSafeEntries();
         }
         if (!tel.writeCsv(csv))
             sim::fatal("cannot write telemetry to ", csv);
@@ -203,5 +217,12 @@ main(int argc, char **argv)
     std::printf("  knobs (avg)    : lo cores %.1f, prefetchers %.1f, "
                 "backfill %.1f\n",
                 r.avgLoCores, r.avgLoPrefetchers, r.avgHiBackfill);
+    if (cfg.faults.any()) {
+        std::printf("  faults         : %s controller, fail-safe "
+                    "entries %llu, time in fail-safe %.0f s\n",
+                    cfg.hardened ? "hardened" : "naive",
+                    static_cast<unsigned long long>(r.failSafeEntries),
+                    r.timeInFailSafe);
+    }
     return 0;
 }
