@@ -1,0 +1,142 @@
+#include "exp/lifecycle.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/log.hh"
+#include "workload/batch_task.hh"
+
+namespace kelp {
+namespace exp {
+
+const char *
+churnEventName(ChurnEventKind k)
+{
+    switch (k) {
+      case ChurnEventKind::Arrival:
+        return "arrival";
+      case ChurnEventKind::Finish:
+        return "finish";
+      case ChurnEventKind::Crash:
+        return "crash";
+    }
+    return "?";
+}
+
+LifecycleEngine::LifecycleEngine(node::Node &node, sim::GroupId group,
+                                 const ChurnConfig &cfg)
+    : node_(node), group_(group), cfg_(cfg), rng_(cfg.seed)
+{
+    KELP_ASSERT(cfg_.arrivalRate > 0.0,
+                "churn arrival rate must be positive");
+    KELP_ASSERT(cfg_.maxLive > 0, "churn maxLive must be positive");
+    KELP_ASSERT(cfg_.checkPeriod > 0.0,
+                "churn check period must be positive");
+    nextArrival_ = rng_.exponential(1.0 / cfg_.arrivalRate);
+}
+
+void
+LifecycleEngine::attach(sim::Engine &engine)
+{
+    engine.every(cfg_.checkPeriod,
+                 [this](sim::Time now) { poll(now); });
+}
+
+void
+LifecycleEngine::spawn(sim::Time now)
+{
+    // Weighted archetype pick: one uniform draw against the mix's
+    // cumulative weights.
+    const auto &mix = wl::churnMix();
+    double total = 0.0;
+    for (const auto &a : mix)
+        total += a.weight;
+    double pick = rng_.uniform(0.0, total);
+    const wl::ChurnArchetype *arch = &mix.back();
+    for (const auto &a : mix) {
+        if (pick < a.weight) {
+            arch = &a;
+            break;
+        }
+        pick -= a.weight;
+    }
+
+    int span = arch->maxThreads - arch->minThreads + 1;
+    int threads = arch->minThreads +
+                  static_cast<int>(rng_.below(span));
+    double lifetime =
+        rng_.exponential(arch->meanLifetime * cfg_.lifetimeScale);
+    bool will_crash = rng_.chance(cfg_.crashProb);
+
+    double llc_mb =
+        node_.topology().config().llcMbPerSocket;
+    auto task = std::make_unique<wl::BatchTask>(
+        "churn." + std::to_string(arrivals_), group_, threads,
+        wl::cpuParams(arch->kind, llc_mb));
+    wl::Task &placed = node_.addTask(std::move(task));
+    placed.setHomeSocket(0);
+
+    Live l;
+    l.taskId = placed.id();
+    l.threads = threads;
+    l.deadline = now + lifetime;
+    l.willCrash = will_crash;
+    live_.push_back(l);
+
+    ++arrivals_;
+    log_.push_back({now, ChurnEventKind::Arrival, l.taskId, threads});
+}
+
+void
+LifecycleEngine::poll(sim::Time now)
+{
+    // Retire first so a departure's cores are already free when the
+    // same poll admits a replacement.
+    for (auto it = live_.begin(); it != live_.end();) {
+        if (it->deadline > now) {
+            ++it;
+            continue;
+        }
+        wl::Task *t = node_.taskById(it->taskId);
+        KELP_ASSERT(t, "churned task vanished from the node");
+        // A task the SLO ladder suspended still ages toward its
+        // deadline; retirement wins over suspension.
+        t->setLifeState(it->willCrash ? wl::LifeState::Crashed
+                                      : wl::LifeState::Finished);
+        if (it->willCrash) {
+            ++crashes_;
+            log_.push_back({now, ChurnEventKind::Crash, it->taskId,
+                            it->threads});
+        } else {
+            ++finishes_;
+            log_.push_back({now, ChurnEventKind::Finish, it->taskId,
+                            it->threads});
+        }
+        it = live_.erase(it);
+    }
+
+    // Admit every arrival whose Poisson timestamp has passed. The
+    // inter-arrival stream always advances -- a rejected arrival is
+    // lost, not queued -- so the arrival process stays independent
+    // of admission decisions and the log stays seed-deterministic.
+    while (nextArrival_ <= now) {
+        if (static_cast<int>(live_.size()) < cfg_.maxLive)
+            spawn(now);
+        else
+            ++rejected_;
+        nextArrival_ += rng_.exponential(1.0 / cfg_.arrivalRate);
+    }
+}
+
+std::vector<int>
+LifecycleEngine::liveTasks() const
+{
+    std::vector<int> ids;
+    ids.reserve(live_.size());
+    for (const auto &l : live_)
+        ids.push_back(l.taskId);
+    return ids;
+}
+
+} // namespace exp
+} // namespace kelp

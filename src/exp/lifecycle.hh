@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Task lifecycle engine: dynamic colocation churn.
+ *
+ * The paper evaluates static colocations -- a fixed antagonist mix
+ * placed before time zero. The production setting it targets
+ * (Section II) is a fleet where batch work arrives, finishes, and
+ * crashes continuously. The lifecycle engine reproduces that regime
+ * deterministically: seeded Poisson arrivals draw batch antagonists
+ * from the workload catalog's churn mix, each arrival gets an
+ * exponentially-distributed lifetime and a Bernoulli crash flag, and
+ * a periodic poll retires tasks whose time is up. Every event is
+ * appended to an ordered log so two runs with the same seed and
+ * config produce byte-identical histories.
+ *
+ * Tasks are placed into the low-priority group; the controllers'
+ * dynamic-membership path re-reads the live population every sample
+ * and re-sizes the managed knobs accordingly. Retired tasks are not
+ * erased from the node (ids stay stable, completed work stays
+ * reportable); they simply stop holding cores and generating traffic.
+ */
+
+#ifndef KELP_EXP_LIFECYCLE_HH
+#define KELP_EXP_LIFECYCLE_HH
+
+#include <vector>
+
+#include "node/node.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+
+namespace kelp {
+namespace exp {
+
+/** Churn parameters. Disabled by default: the static paper path. */
+struct ChurnConfig
+{
+    bool enabled = false;
+
+    /** Mean task arrivals per second (Poisson process). */
+    double arrivalRate = 1.0 / 20.0;
+
+    /** Multiplier on the catalog archetypes' mean lifetimes. */
+    double lifetimeScale = 1.0;
+
+    /** Probability an arriving task eventually crashes instead of
+     * finishing cleanly. */
+    double crashProb = 0.1;
+
+    /** Cap on concurrently-live churned tasks; arrivals beyond it
+     * are rejected (and counted). */
+    int maxLive = 4;
+
+    /** Seed of the churn streams (independent of the run seed). */
+    uint64_t seed = 99;
+
+    /** How often the engine polls for departures/arrivals. */
+    sim::Time checkPeriod = 0.5;
+};
+
+enum class ChurnEventKind { Arrival, Finish, Crash };
+
+const char *churnEventName(ChurnEventKind k);
+
+/** One entry of the deterministic event log. */
+struct ChurnEvent
+{
+    sim::Time time = 0.0;
+    ChurnEventKind kind = ChurnEventKind::Arrival;
+
+    /** Node-assigned task id. */
+    int task = 0;
+
+    /** Threads the task runs. */
+    int threads = 0;
+};
+
+/** Drives seeded arrival/departure/crash events against a node. */
+class LifecycleEngine
+{
+  public:
+    /**
+     * @param node Node churned tasks are placed on.
+     * @param group Low-priority group the tasks join.
+     * @param cfg Churn parameters (must be enabled).
+     */
+    LifecycleEngine(node::Node &node, sim::GroupId group,
+                    const ChurnConfig &cfg);
+
+    /** Register the periodic poll with an engine. */
+    void attach(sim::Engine &engine);
+
+    /** One poll: retire due tasks, then admit pending arrivals
+     * (exposed so tests can step the engine by hand). */
+    void poll(sim::Time now);
+
+    /** Ordered, deterministic event history. */
+    const std::vector<ChurnEvent> &eventLog() const { return log_; }
+
+    /** Currently-live churned task ids. */
+    std::vector<int> liveTasks() const;
+
+    uint64_t arrivals() const { return arrivals_; }
+    uint64_t finishes() const { return finishes_; }
+    uint64_t crashes() const { return crashes_; }
+
+    /** Arrivals rejected by the maxLive admission cap. */
+    uint64_t rejected() const { return rejected_; }
+
+    const ChurnConfig &config() const { return cfg_; }
+
+  private:
+    struct Live
+    {
+        int taskId = 0;
+        int threads = 0;
+        sim::Time deadline = 0.0;
+        bool willCrash = false;
+    };
+
+    void spawn(sim::Time now);
+
+    node::Node &node_;
+    sim::GroupId group_;
+    ChurnConfig cfg_;
+    sim::Rng rng_;
+    sim::Time nextArrival_ = 0.0;
+    std::vector<Live> live_;
+    std::vector<ChurnEvent> log_;
+    uint64_t arrivals_ = 0;
+    uint64_t finishes_ = 0;
+    uint64_t crashes_ = 0;
+    uint64_t rejected_ = 0;
+};
+
+} // namespace exp
+} // namespace kelp
+
+#endif // KELP_EXP_LIFECYCLE_HH

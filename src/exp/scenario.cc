@@ -198,6 +198,9 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
 
     std::unique_ptr<runtime::Controller> controller;
 
+    // Rebuild recipe for crash/restart recovery (Kelp configs only).
+    std::function<std::unique_ptr<runtime::Controller>()> make_kelp;
+
     switch (cfg.config) {
       case ConfigKind::BL:
         // Everything floats; contention is unmanaged.
@@ -255,7 +258,8 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
         knobs.setCatWays(s.mlGroup,
                          mlCatWays(topo.llcWaysPerSubdomain()));
 
-        if (s.cpuGroup != sim::invalidId && !s.cpuTasks.empty()) {
+        if (s.cpuGroup != sim::invalidId &&
+            (!s.cpuTasks.empty() || cfg.churn.enabled)) {
             runtime::ConfigLimits limits;
             limits.minCoreL = 1;
             limits.maxCoreL = per_sub;
@@ -278,9 +282,28 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
                     cfg.forcedPrefetcherFraction * initial.coreNumL));
                 knobs.setPrefetchersEnabled(s.cpuGroup, enabled);
             } else {
-                controller =
-                    std::make_unique<runtime::KelpController>(
-                        bind, profile, limits, initial, hardening);
+                // SLO reference: the workload's standalone work
+                // rate, resolved before the factory is captured so a
+                // restart rebuild never re-enters the scenario
+                // machinery.
+                double ref_perf = cfg.slo.enabled ?
+                    standaloneReference(cfg.ml).mlPerf : 0.0;
+                bool dynamic = cfg.churn.enabled;
+                runtime::SloConfig slo = cfg.slo;
+                make_kelp = [bind, profile, limits, initial,
+                             hardening, dynamic, slo, ref_perf]() {
+                    auto c =
+                        std::make_unique<runtime::KelpController>(
+                            bind, profile, limits, initial,
+                            hardening);
+                    if (dynamic)
+                        c->setDynamicMembership(true);
+                    if (slo.enabled)
+                        c->enableSloGuard(slo, ref_perf);
+                    return std::unique_ptr<runtime::Controller>(
+                        std::move(c));
+                };
+                controller = make_kelp();
             }
         }
         break;
@@ -295,6 +318,8 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
             wd.enabled = true;
             s.manager->setWatchdog(wd);
         }
+        if (make_kelp)
+            s.manager->setControllerFactory(make_kelp);
         s.manager->attach(*s.engine);
     }
 }
@@ -319,6 +344,21 @@ buildScenario(const RunConfig &cfg)
     placeMlTask(s, desc, cfg);
     placeCpuTasks(s, cfg);
     configure(s, desc, cfg);
+
+    if (cfg.churn.enabled) {
+        s.lifecycle = std::make_unique<LifecycleEngine>(
+            *s.node, s.cpuGroup, cfg.churn);
+        s.lifecycle->attach(*s.engine);
+    }
+
+    if (s.manager && cfg.killAt > 0.0) {
+        // One-shot crash/restart: a periodic whose period is far
+        // beyond any run length fires exactly once, at killAt.
+        runtime::RuntimeManager *mgr = s.manager.get();
+        s.engine->every(1e18,
+                        [mgr](sim::Time t) { mgr->restart(t); },
+                        cfg.killAt);
+    }
 
     s.node->attach(*s.engine);
     return s;
@@ -359,6 +399,21 @@ runScenario(const RunConfig &cfg)
         r.avgHiBackfill = s.manager->avgHiBackfill();
         r.timeInFailSafe = s.manager->timeInFailSafe();
         r.failSafeEntries = s.manager->failSafeEntries();
+        r.restarts = s.manager->restarts();
+        auto *kelp = dynamic_cast<runtime::KelpController *>(
+            &s.manager->controller());
+        if (kelp && kelp->sloGuard()) {
+            const runtime::SloGuard &g = *kelp->sloGuard();
+            r.sloViolations = g.violations();
+            r.sloTransitions = g.trace().size();
+            r.sloFinalRung = g.rung();
+        }
+    }
+    if (s.lifecycle) {
+        r.churnArrivals = s.lifecycle->arrivals();
+        r.churnFinishes = s.lifecycle->finishes();
+        r.churnCrashes = s.lifecycle->crashes();
+        r.churnRejected = s.lifecycle->rejected();
     }
     hal::CounterSample cs = counters.sample(0);
     r.avgSaturation = cs.saturation;

@@ -19,8 +19,10 @@
 #include <optional>
 #include <vector>
 
+#include "exp/lifecycle.hh"
 #include "hal/fault_injector.hh"
 #include "kelp/manager.hh"
+#include "kelp/slo_guard.hh"
 #include "node/node.hh"
 #include "sim/engine.hh"
 #include "workload/batch_task.hh"
@@ -106,6 +108,24 @@ struct RunConfig
      * writes. Ignored when `faults` is all-zero.
      */
     bool hardened = true;
+
+    /**
+     * Dynamic colocation churn: seeded task arrival/departure/crash
+     * events mid-run. Disabled by default; when enabled the Kelp
+     * controller re-reads low-priority membership every sample.
+     */
+    ChurnConfig churn;
+
+    /**
+     * Non-zero: crash and restart the runtime controller once at
+     * this time (checkpoint replay + knob reconciliation). Only
+     * configurations with a registered controller factory (KP/KP-SD)
+     * honor it; others run unaffected.
+     */
+    sim::Time killAt = 0.0;
+
+    /** SLO degradation ladder (KP/KP-SD; disabled by default). */
+    runtime::SloConfig slo;
 };
 
 /** Normalized results of a run. */
@@ -134,6 +154,20 @@ struct RunResult
 
     /** Mean socket bandwidth over the measurement window, GiB/s. */
     double avgSocketBw = 0.0;
+
+    /** Churn telemetry (churn runs; 0 otherwise). */
+    uint64_t churnArrivals = 0;
+    uint64_t churnFinishes = 0;
+    uint64_t churnCrashes = 0;
+    uint64_t churnRejected = 0;
+
+    /** Controller crash/restart telemetry (kill-at runs). */
+    uint64_t restarts = 0;
+
+    /** SLO-ladder telemetry (0 when the ladder is disarmed). */
+    uint64_t sloViolations = 0;
+    uint64_t sloTransitions = 0;
+    int sloFinalRung = 0;
 };
 
 /**
@@ -150,6 +184,9 @@ struct Scenario
     /** Fault-injecting HAL wrappers (fault-injection runs only). */
     std::unique_ptr<hal::FaultyCounterSource> faultyCounters;
     std::unique_ptr<hal::FaultyKnobSink> faultyKnobs;
+
+    /** Churn driver (churn runs only). */
+    std::unique_ptr<LifecycleEngine> lifecycle;
 
     wl::Task *mlTask = nullptr;
     wl::MlInferTask *inferTask = nullptr;

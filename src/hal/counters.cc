@@ -8,6 +8,14 @@ namespace hal {
 PerfCounters::PerfCounters(const mem::MemSystem &mem)
     : mem_(mem)
 {
+    // Prime the window cursors with an initial read, the way real
+    // counters are consumed (read, diff, divide). A reader built at
+    // time zero is unaffected (the cursors already sit at zero), but
+    // one built mid-run -- a restarted controller's, say -- must not
+    // report a first window stretching back through history it never
+    // lived through.
+    for (int s = 0; s < mem_.numSockets(); ++s)
+        sample(s);
 }
 
 CounterSample

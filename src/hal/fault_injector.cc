@@ -15,8 +15,21 @@ FaultPlan::any() const
            knobDelayProb > 0.0;
 }
 
-FaultPlan
-FaultPlan::parse(const std::string &spec)
+namespace {
+
+/** Set a failure description and return nullopt (tryParse helper). */
+std::optional<FaultPlan>
+parseError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<FaultPlan>
+FaultPlan::tryParse(const std::string &spec, std::string *error)
 {
     FaultPlan plan;
     size_t pos = 0;
@@ -29,37 +42,72 @@ FaultPlan::parse(const std::string &spec)
         if (item.empty())
             continue;
         size_t eq = item.find('=');
-        if (eq == std::string::npos)
-            sim::fatal("fault spec item '", item, "' needs key=value");
+        if (eq == std::string::npos) {
+            return parseError(error, "fault spec item '" + item +
+                                     "' needs key=value");
+        }
         std::string key = item.substr(0, eq);
         std::string str = item.substr(eq + 1);
         char *end = nullptr;
         double value = std::strtod(str.c_str(), &end);
-        if (!end || *end != '\0')
-            sim::fatal("fault spec key '", key, "' has bad value '",
-                       str, "'");
+        // strtod accepts the empty string (it parses zero characters
+        // and leaves end at the terminator), so reject it explicitly.
+        if (str.empty() || !end || *end != '\0') {
+            return parseError(error, "fault spec key '" + key +
+                                     "' has bad value '" + str + "'");
+        }
+        bool probability = true;
         if (key == "drop")
             plan.dropProb = value;
         else if (key == "stuck")
             plan.stuckProb = value;
         else if (key == "noise")
             plan.noiseProb = value;
-        else if (key == "noisefrac")
+        else if (key == "noisefrac") {
             plan.noiseFrac = value;
-        else if (key == "spike")
+            probability = false;
+            if (value < 0.0) {
+                return parseError(error,
+                                  "fault spec key 'noisefrac' must "
+                                  "be >= 0, got '" + str + "'");
+            }
+        } else if (key == "spike")
             plan.spikeProb = value;
-        else if (key == "spikescale")
+        else if (key == "spikescale") {
             plan.spikeScale = value;
-        else if (key == "knobfail")
+            probability = false;
+            if (value <= 0.0) {
+                return parseError(error,
+                                  "fault spec key 'spikescale' must "
+                                  "be > 0, got '" + str + "'");
+            }
+        } else if (key == "knobfail")
             plan.knobFailProb = value;
         else if (key == "knobdelay")
             plan.knobDelayProb = value;
-        else
-            sim::fatal("unknown fault spec key '", key,
-                       "' (drop|stuck|noise|noisefrac|spike|"
-                       "spikescale|knobfail|knobdelay)");
+        else {
+            return parseError(error,
+                              "unknown fault spec key '" + key +
+                              "' (drop|stuck|noise|noisefrac|spike|"
+                              "spikescale|knobfail|knobdelay)");
+        }
+        if (probability && (value < 0.0 || value > 1.0)) {
+            return parseError(error, "fault spec key '" + key +
+                                     "' is a probability and must be "
+                                     "in [0, 1], got '" + str + "'");
+        }
     }
     return plan;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    std::string error;
+    std::optional<FaultPlan> plan = tryParse(spec, &error);
+    if (!plan)
+        sim::fatal(error);
+    return *plan;
 }
 
 FaultyCounterSource::FaultyCounterSource(

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,10 +62,19 @@ struct FaultPlan
      * Parse a comma-separated spec, e.g.
      * "drop=0.1,stuck=0.05,noise=0.1,noisefrac=0.3,spike=0.02,"
      * "spikescale=8,knobfail=0.2,knobdelay=0.1".
-     * An empty spec yields the all-zero (disabled) plan; unknown keys
-     * and malformed values are fatal.
+     * An empty spec yields the all-zero (disabled) plan; unknown
+     * keys, malformed/empty values, and out-of-range values are
+     * fatal.
      */
     static FaultPlan parse(const std::string &spec);
+
+    /**
+     * Non-fatal variant: returns std::nullopt on any parse or
+     * validation error and, when @p error is non-null, stores a
+     * human-readable description of what was wrong.
+     */
+    static std::optional<FaultPlan>
+    tryParse(const std::string &spec, std::string *error = nullptr);
 };
 
 /** Telemetry-side injection counts (inspection/reporting). */

@@ -12,6 +12,17 @@ ResourceKnobs::ResourceKnobs(GroupRegistry &registry)
 {
 }
 
+GroupKnobState
+ResourceKnobs::groupState(sim::GroupId group) const
+{
+    const TaskGroup &g = registry_.get(group);
+    GroupKnobState st;
+    st.cores = g.cores().count;
+    st.prefetchers = g.prefetchersEnabled();
+    st.catWays = g.catWays();
+    return st;
+}
+
 bool
 ResourceKnobs::setCores(sim::GroupId group, sim::SocketId socket,
                         sim::SubdomainId sub, int count)

@@ -41,11 +41,34 @@ class KnobSink
     virtual bool setCatWays(sim::GroupId group, int ways) = 0;
 };
 
+/**
+ * Snapshot of a group's actual hardware-visible knob state, as read
+ * back from the registry (the simulated MSR/cgroup ground truth).
+ * Restarted controllers reconcile their checkpointed intent against
+ * this before resuming: a fault-injecting sink may have dropped or
+ * delayed writes, so the checkpoint and the hardware can diverge.
+ */
+struct GroupKnobState
+{
+    /** Cores held per (socket, subdomain). */
+    std::array<std::array<int, 2>, maxSockets> cores = {};
+
+    /** Cores with L2 prefetchers enabled. */
+    int prefetchers = 0;
+
+    /** Dedicated LLC (CAT) ways. */
+    int catWays = 0;
+};
+
 /** Mutating interface over a GroupRegistry. */
 class ResourceKnobs : public KnobSink
 {
   public:
     explicit ResourceKnobs(GroupRegistry &registry);
+
+    /** Read back a group's actual knob state (never faulted: this is
+     * the reconciliation path's view of the hardware itself). */
+    GroupKnobState groupState(sim::GroupId group) const;
 
     /**
      * Set the number of cores a group holds in (socket, subdomain).

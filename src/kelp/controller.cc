@@ -1,5 +1,9 @@
 #include "kelp/controller.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "sim/log.hh"
 
 namespace kelp {
@@ -17,6 +21,61 @@ actionName(Action a)
         return "NOP";
     }
     return "?";
+}
+
+std::string
+ControllerSnapshot::serialize() const
+{
+    // %.17g round-trips an IEEE double exactly, keeping the
+    // checkpoint/restore cycle bit-identical.
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "t=%.17g;h=%d;l=%d;p=%d;fs=%d;rung=%d;ph=%d;pl=%d;"
+                  "susp=",
+                  time, coreNumH, coreNumL, prefetcherNumL,
+                  failSafe ? 1 : 0, rung, prevH, prevL);
+    std::string out = head;
+    for (size_t i = 0; i < suspended.size(); ++i) {
+        if (i)
+            out += '|';
+        out += std::to_string(suspended[i]);
+    }
+    return out;
+}
+
+bool
+ControllerSnapshot::deserialize(const std::string &text,
+                                ControllerSnapshot &out)
+{
+    ControllerSnapshot snap;
+    int fs = 0;
+    int consumed = 0;
+    int n = std::sscanf(text.c_str(),
+                        "t=%lf;h=%d;l=%d;p=%d;fs=%d;rung=%d;ph=%d;"
+                        "pl=%d;susp=%n",
+                        &snap.time, &snap.coreNumH, &snap.coreNumL,
+                        &snap.prefetcherNumL, &fs, &snap.rung,
+                        &snap.prevH, &snap.prevL, &consumed);
+    if (n != 8 || consumed <= 0)
+        return false;
+    snap.failSafe = fs != 0;
+
+    const char *p = text.c_str() + consumed;
+    while (*p) {
+        char *end = nullptr;
+        long id = std::strtol(p, &end, 10);
+        if (end == p)
+            return false;
+        snap.suspended.push_back(static_cast<int>(id));
+        p = end;
+        if (*p == '|')
+            ++p;
+        else if (*p)
+            return false;
+    }
+    snap.valid = true;
+    out = snap;
+    return true;
 }
 
 Controller::Controller(const Bindings &bindings)

@@ -14,6 +14,9 @@
 #ifndef KELP_RUNTIME_CONTROLLER_HH
 #define KELP_RUNTIME_CONTROLLER_HH
 
+#include <string>
+#include <vector>
+
 #include "hal/counters.hh"
 #include "hal/knobs.hh"
 #include "node/node.hh"
@@ -105,6 +108,52 @@ struct ControllerParams
     int hiBackfillCores = 0;
 };
 
+/**
+ * Serializable controller checkpoint, written every sample by the
+ * manager and replayed into a freshly-constructed controller after a
+ * crash/restart. Holds the *intent* side of the control loop -- the
+ * managed resource state, fail-safe flag, ladder rung, hysteresis
+ * memory, and suspended-task list -- as plain ints so it stays a
+ * simple line-oriented text format. The hardware side (what actually
+ * landed in the knobs) is deliberately not checkpointed: the restart
+ * path reconciles intent against the HAL's actual state instead of
+ * trusting a possibly-stale record of it.
+ */
+struct ControllerSnapshot
+{
+    bool valid = false;
+
+    /** Sample time the snapshot was taken at. */
+    double time = 0.0;
+
+    /** Managed resource state (ResourceState as plain ints). */
+    int coreNumH = 0;
+    int coreNumL = 1;
+    int prefetcherNumL = 1;
+
+    /** Watchdog fail-safe flag. */
+    bool failSafe = false;
+
+    /** SLO-ladder rung. */
+    int rung = 0;
+
+    /** Hysteresis memory (Action as int; 2 = Nop). */
+    int prevH = 2;
+    int prevL = 2;
+
+    /** Node task ids suspended by the SLO ladder. */
+    std::vector<int> suspended;
+
+    /** One-line text form:
+     * "t=..;h=..;l=..;p=..;fs=..;rung=..;ph=..;pl=..;susp=a|b". */
+    std::string serialize() const;
+
+    /** Parse serialize()'s format; false (and *this untouched) on
+     * malformed input. */
+    static bool deserialize(const std::string &text,
+                            ControllerSnapshot &out);
+};
+
 /** Base class of all runtime configurations. */
 class Controller
 {
@@ -135,6 +184,28 @@ class Controller
 
     /** True while the controller is pinned to its fail-safe config. */
     virtual bool failSafe() const { return false; }
+
+    /**
+     * Checkpoint the controller's intent state. Default: an invalid
+     * snapshot (stateless controllers like Baseline have nothing to
+     * recover; a restart simply reconstructs them).
+     */
+    virtual ControllerSnapshot snapshot() const { return {}; }
+
+    /** Replay a checkpoint into a freshly-built controller. */
+    virtual void restore(const ControllerSnapshot &snap)
+    {
+        (void)snap;
+    }
+
+    /**
+     * Compare the restored intent against the HAL's actual knob
+     * state and repair any divergence (a faulty sink may have lost
+     * writes that the checkpoint believes landed, or landed writes
+     * the crash lost track of). Returns the number of divergent
+     * knobs repaired. Default: nothing to reconcile.
+     */
+    virtual int reconcile() { return 0; }
 
   protected:
     Bindings bind_;

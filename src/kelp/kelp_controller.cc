@@ -86,7 +86,6 @@ KelpController::KelpController(const Bindings &bindings,
 void
 KelpController::sample(sim::Time now)
 {
-    (void)now;
     hal::CounterSample s = counters_->sample(bind_.socket);
 
     bool valid = true;
@@ -123,7 +122,185 @@ KelpController::sample(sim::Time now)
         configurator_.configHiPriority(d.actionH, state_);
         configurator_.configLoPriority(d.actionL, state_);
     }
+    if (dynamicMembership_ && !failSafe_)
+        clampToMembership();
+    if (sloGuard_ && !failSafe_) {
+        double ratio = measurePerfRatio(now);
+        if (ratio >= 0.0)
+            sloGuard_->observe(now, ratio);
+        // Re-assert the active rung's clamps every sample: the
+        // ladder outranks Algorithm 2's boosts until it de-escalates.
+        applyRung(sloGuard_->rung());
+    }
     actuate();
+}
+
+void
+KelpController::clampToMembership()
+{
+    const ConfigLimits &lim = configurator_.limits();
+    int threads = bind_.node->runnableThreadsInGroup(bind_.cpuGroup,
+                                                     bind_.socket);
+    if (threads <= 0) {
+        // Nothing low-priority is runnable: park at the floor and
+        // withdraw backfill so arrivals restart from the safe edge.
+        state_.coreNumL = lim.minCoreL;
+        state_.coreNumH = lim.minCoreH;
+    } else {
+        int cap = std::clamp(threads, lim.minCoreL, lim.maxCoreL);
+        state_.coreNumL = std::min(state_.coreNumL, cap);
+    }
+    state_.prefetcherNumL =
+        std::min(state_.prefetcherNumL, state_.coreNumL);
+}
+
+void
+KelpController::enableSloGuard(const SloConfig &cfg,
+                               double referencePerf)
+{
+    KELP_ASSERT(referencePerf > 0.0,
+                "SLO guard needs a positive reference performance");
+    sloGuard_ = std::make_unique<SloGuard>(cfg);
+    referencePerf_ = referencePerf;
+    lastWork_ = -1.0;
+}
+
+double
+KelpController::measurePerfRatio(sim::Time now)
+{
+    double work = 0.0;
+    bool found = false;
+    for (const auto &t : bind_.node->tasks()) {
+        if (t->group() == bind_.mlGroup) {
+            work += t->completedWork();
+            found = true;
+        }
+    }
+    if (!found || referencePerf_ <= 0.0)
+        return -1.0;
+    if (lastWork_ < 0.0 || now <= lastWorkTime_) {
+        // First observation (or a restarted controller): no interval
+        // to rate yet, just set the baseline.
+        lastWork_ = work;
+        lastWorkTime_ = now;
+        return -1.0;
+    }
+    double rate = (work - lastWork_) / (now - lastWorkTime_);
+    lastWork_ = work;
+    lastWorkTime_ = now;
+    return rate / referencePerf_;
+}
+
+void
+KelpController::applyRung(int rung)
+{
+    const ConfigLimits &lim = configurator_.limits();
+    if (rung >= kRungDrainBackfill)
+        state_.coreNumH = lim.minCoreH;
+    if (rung >= kRungThrottleCores)
+        state_.coreNumL = lim.minCoreL;
+    if (rung >= kRungDisablePrefetch)
+        state_.prefetcherNumL = 0;
+    state_.prefetcherNumL =
+        std::min(state_.prefetcherNumL, state_.coreNumL);
+
+    if (rung >= kRungEvictAntagonist) {
+        // Hold exactly one antagonist suspended: the one offering the
+        // most bandwidth when the ladder topped out.
+        if (suspended_.empty()) {
+            wl::Task *victim =
+                bind_.node->hungriestRunnable(bind_.cpuGroup);
+            if (victim) {
+                victim->setLifeState(wl::LifeState::Suspended);
+                suspended_.push_back(victim->id());
+            }
+        }
+    } else if (!suspended_.empty()) {
+        for (int id : suspended_) {
+            wl::Task *t = bind_.node->taskById(id);
+            if (t && t->lifeState() == wl::LifeState::Suspended)
+                t->setLifeState(wl::LifeState::Running);
+        }
+        suspended_.clear();
+    }
+}
+
+ControllerSnapshot
+KelpController::snapshot() const
+{
+    ControllerSnapshot snap;
+    snap.valid = true;
+    snap.coreNumH = state_.coreNumH;
+    snap.coreNumL = state_.coreNumL;
+    snap.prefetcherNumL = state_.prefetcherNumL;
+    snap.failSafe = failSafe_;
+    snap.rung = sloGuard_ ? sloGuard_->rung() : 0;
+    snap.prevH = static_cast<int>(prevH_);
+    snap.prevL = static_cast<int>(prevL_);
+    snap.suspended = suspended_;
+    return snap;
+}
+
+void
+KelpController::restore(const ControllerSnapshot &snap)
+{
+    if (!snap.valid)
+        return;
+    state_.coreNumH = snap.coreNumH;
+    state_.coreNumL = snap.coreNumL;
+    state_.prefetcherNumL = snap.prefetcherNumL;
+    prevH_ = static_cast<Action>(std::clamp(snap.prevH, 0, 2));
+    prevL_ = static_cast<Action>(std::clamp(snap.prevL, 0, 2));
+    // Suspensions live in the node's task states and survive the
+    // controller crash; the list just re-links them so resume and
+    // checkpointing keep working.
+    suspended_ = snap.suspended;
+    if (sloGuard_)
+        sloGuard_->restore(snap.rung);
+    if (snap.failSafe) {
+        failSafe_ = true;
+        state_ = failSafeState();
+    }
+    // Filter history and the perf baseline died with the old
+    // process: re-prime both from the next sample.
+    guard_.reset();
+    lastWork_ = -1.0;
+}
+
+int
+KelpController::reconcile()
+{
+    // Read the hardware's actual state straight from the registry
+    // (never through a fault injector: reconciliation must see the
+    // truth), compare it against the restored intent, and repair.
+    hal::GroupKnobState actual =
+        bind_.node->knobs().groupState(bind_.cpuGroup);
+    int divergent = 0;
+    if (actual.cores[bind_.socket][0] != state_.coreNumH)
+        ++divergent;
+    if (actual.cores[bind_.socket][1] != state_.coreNumL)
+        ++divergent;
+    if (actual.prefetchers != state_.prefetcherNumL + state_.coreNumH)
+        ++divergent;
+    if (actual.catWays != 0) {
+        // The Kelp controller never dedicates CAT ways to the
+        // low-priority group; a nonzero read is drift.
+        ++divergent;
+        knobs_->setCatWays(bind_.cpuGroup, 0);
+    }
+    if (divergent > 0) {
+        // Repairs go through the managed sink (possibly faulty): a
+        // lost repair is retried by the normal actuation loop.
+        backoff_ = 1;
+        retryWait_ = 0;
+        bool ok = enforce();
+        enforcePending_ = !ok;
+        failedAttempts_ = ok ? 0 : 1;
+        health_.actuationOk =
+            !hardening_.enabled ||
+            failedAttempts_ < hardening_.actuationFailStreak;
+    }
+    return divergent;
 }
 
 void

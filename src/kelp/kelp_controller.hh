@@ -32,12 +32,14 @@
 #define KELP_RUNTIME_KELP_CONTROLLER_HH
 
 #include <memory>
+#include <vector>
 
 #include "hal/counters.hh"
 #include "kelp/configurator.hh"
 #include "kelp/controller.hh"
 #include "kelp/profile.hh"
 #include "kelp/sample_guard.hh"
+#include "kelp/slo_guard.hh"
 
 namespace kelp {
 namespace runtime {
@@ -107,6 +109,34 @@ class KelpController : public Controller
     /** Samples rejected by the guard so far (inspection). */
     uint64_t rejectedSamples() const { return guard_.rejected(); }
 
+    /**
+     * Re-read low-priority group membership from the node every
+     * sample instead of assuming the placement-time colocation. Under
+     * churn the antagonist population changes mid-run, and managing
+     * cores for departed tasks (or too few for arrivals) wastes the
+     * subdomain. Off by default: the static paper path must stay
+     * bit-identical.
+     */
+    void setDynamicMembership(bool on) { dynamicMembership_ = on; }
+    bool dynamicMembership() const { return dynamicMembership_; }
+
+    /**
+     * Arm the SLO degradation ladder. @p referencePerf is the ML
+     * task's standalone work rate (completed work per second); the
+     * achieved/reference ratio is the SLO metric.
+     */
+    void enableSloGuard(const SloConfig &cfg, double referencePerf);
+
+    /** The ladder, for rung/trace inspection (null when disarmed). */
+    const SloGuard *sloGuard() const { return sloGuard_.get(); }
+
+    /** Node task ids currently suspended by the ladder. */
+    const std::vector<int> &suspendedIds() const { return suspended_; }
+
+    ControllerSnapshot snapshot() const override;
+    void restore(const ControllerSnapshot &snap) override;
+    int reconcile() override;
+
   private:
     /** EnforceConfig(): push state into the HAL knobs. Returns true
      * when every write landed. */
@@ -114,6 +144,17 @@ class KelpController : public Controller
 
     /** Enforce with the hardened retry/backoff machinery. */
     void actuate();
+
+    /** Clamp managed state to the live low-priority membership. */
+    void clampToMembership();
+
+    /** Apply the current ladder rung's interventions to state_ and
+     * the suspended-task set. */
+    void applyRung(int rung);
+
+    /** Measure the ML performance ratio since the last sample, or a
+     * negative value when it cannot be measured yet. */
+    double measurePerfRatio(sim::Time now);
 
     AppProfile profile_;
     Configurator configurator_;
@@ -137,6 +178,16 @@ class KelpController : public Controller
     /** Last emitted actions, for hysteresis. */
     Action prevH_ = Action::Nop;
     Action prevL_ = Action::Nop;
+
+    /** Churn support: live-membership tracking. */
+    bool dynamicMembership_ = false;
+
+    /** SLO ladder (armed via enableSloGuard). */
+    std::unique_ptr<SloGuard> sloGuard_;
+    double referencePerf_ = 0.0;
+    double lastWork_ = -1.0;
+    sim::Time lastWorkTime_ = 0.0;
+    std::vector<int> suspended_;
 };
 
 } // namespace runtime

@@ -69,6 +69,49 @@ RuntimeManager::onSample(sim::Time now)
     loCores_.add(p.loCores);
     loPrefetchers_.add(p.loPrefetchers);
     hiBackfill_.add(p.hiBackfillCores);
+    if (factory_) {
+        ControllerSnapshot snap = controller_->snapshot();
+        snap.time = now;
+        checkpoint_ = snap.serialize();
+    }
+}
+
+void
+RuntimeManager::setControllerFactory(
+    std::function<std::unique_ptr<Controller>()> factory)
+{
+    KELP_ASSERT(factory, "controller factory must be callable");
+    factory_ = std::move(factory);
+}
+
+bool
+RuntimeManager::restart(sim::Time now)
+{
+    if (!factory_)
+        return false;
+
+    // The crash: the live controller (filter state, retry state,
+    // perf baselines) is gone. Knob state stays wherever the
+    // hardware last landed -- that is what reconciliation is for.
+    controller_ = factory_();
+
+    RestartEvent ev;
+    ev.time = now;
+    ControllerSnapshot snap;
+    if (!checkpoint_.empty() &&
+        ControllerSnapshot::deserialize(checkpoint_, snap)) {
+        ev.hadCheckpoint = true;
+        controller_->restore(snap);
+    }
+    ev.repairs = controller_->reconcile();
+    restartTrace_.push_back(ev);
+
+    // The watchdog's streaks described the dead controller; the
+    // fail-safe flag follows the restored snapshot.
+    failSafe_ = controller_->failSafe();
+    consecutiveBad_ = 0;
+    consecutiveGood_ = 0;
+    return true;
 }
 
 double

@@ -21,7 +21,9 @@
 #ifndef KELP_RUNTIME_MANAGER_HH
 #define KELP_RUNTIME_MANAGER_HH
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "kelp/controller.hh"
@@ -104,6 +106,45 @@ class RuntimeManager
         return modeTrace_;
     }
 
+    /**
+     * Register the recipe for rebuilding the controller from
+     * scratch (crash/restart support). Once set, the manager also
+     * checkpoints the controller's snapshot after every sample, so a
+     * later restart() can replay the last known-good intent.
+     */
+    void setControllerFactory(
+        std::function<std::unique_ptr<Controller>()> factory);
+
+    /**
+     * Simulate a controller crash + restart at @p now: discard the
+     * live controller, rebuild it via the factory, replay the last
+     * checkpoint into it, and reconcile its intent against the HAL's
+     * actual knob state. Returns false (and leaves the controller
+     * untouched) when no factory is registered.
+     */
+    bool restart(sim::Time now);
+
+    /** One crash/restart event (audit trace). */
+    struct RestartEvent
+    {
+        sim::Time time = 0.0;
+
+        /** A checkpoint existed and was replayed. */
+        bool hadCheckpoint = false;
+
+        /** Divergent knobs repaired by reconciliation. */
+        int repairs = 0;
+    };
+
+    uint64_t restarts() const { return restartTrace_.size(); }
+    const std::vector<RestartEvent> &restartTrace() const
+    {
+        return restartTrace_;
+    }
+
+    /** Last serialized checkpoint ("" before the first sample). */
+    const std::string &lastCheckpoint() const { return checkpoint_; }
+
   private:
     void onSample(sim::Time now);
     void superviseHealth(sim::Time now);
@@ -123,6 +164,10 @@ class RuntimeManager
     uint64_t exits_ = 0;
     double timeInFailSafe_ = 0.0;
     std::vector<ModeChange> modeTrace_;
+
+    std::function<std::unique_ptr<Controller>()> factory_;
+    std::string checkpoint_;
+    std::vector<RestartEvent> restartTrace_;
 };
 
 } // namespace runtime

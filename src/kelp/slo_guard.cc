@@ -1,0 +1,73 @@
+#include "kelp/slo_guard.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace runtime {
+
+const char *
+sloRungName(int rung)
+{
+    switch (rung) {
+      case kRungNormal:
+        return "normal";
+      case kRungDrainBackfill:
+        return "drain-backfill";
+      case kRungThrottleCores:
+        return "throttle-cores";
+      case kRungDisablePrefetch:
+        return "disable-prefetch";
+      case kRungEvictAntagonist:
+        return "evict-antagonist";
+    }
+    return "?";
+}
+
+SloGuard::SloGuard(const SloConfig &cfg)
+    : cfg_(cfg)
+{
+    KELP_ASSERT(cfg_.escalateAfter > 0 && cfg_.deescalateAfter > 0,
+                "SLO guard streak thresholds must be positive");
+    KELP_ASSERT(cfg_.minPerfRatio > 0.0 && cfg_.minPerfRatio <= 1.0,
+                "SLO floor must be in (0, 1]");
+}
+
+int
+SloGuard::observe(sim::Time now, double perfRatio)
+{
+    bool violating = perfRatio < cfg_.minPerfRatio;
+    if (violating) {
+        ++violations_;
+        ++badStreak_;
+        goodStreak_ = 0;
+        if (badStreak_ >= cfg_.escalateAfter && rung_ < kSloRungMax) {
+            trace_.push_back({now, rung_, rung_ + 1});
+            ++rung_;
+            badStreak_ = 0;
+        }
+    } else {
+        ++goodStreak_;
+        badStreak_ = 0;
+        if (goodStreak_ >= cfg_.deescalateAfter &&
+            rung_ > kRungNormal) {
+            trace_.push_back({now, rung_, rung_ - 1});
+            --rung_;
+            goodStreak_ = 0;
+        }
+    }
+    return rung_;
+}
+
+void
+SloGuard::restore(int rung)
+{
+    rung_ = std::clamp(rung, static_cast<int>(kRungNormal),
+                       kSloRungMax);
+    badStreak_ = 0;
+    goodStreak_ = 0;
+}
+
+} // namespace runtime
+} // namespace kelp

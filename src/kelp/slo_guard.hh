@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SLO guard: the degradation ladder that protects the accelerated
+ * task when Algorithm 1's gentle feedback loop is not enough.
+ *
+ * The paper's controller converges toward the SLO but has no hard
+ * backstop: under a sustained overload (churned antagonists piling
+ * onto the socket) the ML task can sit below its performance SLO for
+ * many samples while cores/prefetchers ratchet down one notch per
+ * period. The SLO guard watches the ML task's achieved performance
+ * ratio every sample and, after K consecutive violations, escalates
+ * a ladder of increasingly drastic interventions:
+ *
+ *   rung 0  Normal        -- Algorithm 1 alone.
+ *   rung 1  DrainBackfill -- withdraw backfilled cores from the
+ *                            high-priority subdomain.
+ *   rung 2  ThrottleCores -- clamp low-priority cores to the minimum.
+ *   rung 3  DisablePrefetch -- turn off all remaining low-priority
+ *                            prefetchers.
+ *   rung 4  EvictAntagonist -- suspend the most bandwidth-hungry
+ *                            low-priority task.
+ *
+ * De-escalation is hysteretic: the guard steps down one rung only
+ * after M consecutive healthy samples, so a marginal workload cannot
+ * flap between rungs. Every transition is recorded in an audit trace
+ * (time, from-rung, to-rung) so degraded runs are explainable and
+ * reproducible.
+ *
+ * The guard itself is a pure state machine over (time, perfRatio)
+ * observations: it decides *which* rung the system should be on, and
+ * the controller applies the rung's interventions. That split keeps
+ * the ladder testable in isolation.
+ */
+
+#ifndef KELP_RUNTIME_SLO_GUARD_HH
+#define KELP_RUNTIME_SLO_GUARD_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kelp {
+namespace runtime {
+
+/** SLO-guard settings. Disabled by default: the ladder must not
+ * perturb the paper's static-colocation results. */
+struct SloConfig
+{
+    bool enabled = false;
+
+    /** SLO floor: minimum acceptable ML performance ratio
+     * (achieved / standalone). */
+    double minPerfRatio = 0.85;
+
+    /** Consecutive violating samples before escalating one rung. */
+    int escalateAfter = 3;
+
+    /** Consecutive healthy samples before de-escalating one rung. */
+    int deescalateAfter = 5;
+};
+
+/** Ladder rungs, in escalation order. */
+enum SloRung : int
+{
+    kRungNormal = 0,
+    kRungDrainBackfill = 1,
+    kRungThrottleCores = 2,
+    kRungDisablePrefetch = 3,
+    kRungEvictAntagonist = 4,
+};
+
+constexpr int kSloRungMax = kRungEvictAntagonist;
+
+const char *sloRungName(int rung);
+
+/** One audit-trace entry: a rung transition. */
+struct RungChange
+{
+    sim::Time time = 0.0;
+    int from = 0;
+    int to = 0;
+};
+
+/** The ladder state machine. */
+class SloGuard
+{
+  public:
+    explicit SloGuard(const SloConfig &cfg);
+
+    /**
+     * Feed one sample's ML performance ratio. Returns the rung in
+     * force after this observation. At most one rung transition
+     * happens per call (escalation and de-escalation both move one
+     * rung at a time, and both reset the opposing streak).
+     */
+    int observe(sim::Time now, double perfRatio);
+
+    /** Current rung. */
+    int rung() const { return rung_; }
+
+    /** Total violating samples seen (telemetry). */
+    uint64_t violations() const { return violations_; }
+
+    /** Audit trace of every rung transition, in order. */
+    const std::vector<RungChange> &trace() const { return trace_; }
+
+    /** Restore a checkpointed rung (controller restart). Streaks
+     * restart from zero: the restarted guard re-earns any further
+     * transition. The trace is not rewritten. */
+    void restore(int rung);
+
+    const SloConfig &config() const { return cfg_; }
+
+  private:
+    SloConfig cfg_;
+    int rung_ = kRungNormal;
+    int badStreak_ = 0;
+    int goodStreak_ = 0;
+    uint64_t violations_ = 0;
+    std::vector<RungChange> trace_;
+};
+
+} // namespace runtime
+} // namespace kelp
+
+#endif // KELP_RUNTIME_SLO_GUARD_HH

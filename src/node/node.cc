@@ -53,6 +53,44 @@ Node::lastEnv(const wl::Task &task) const
     return states_[task.id()].env;
 }
 
+wl::Task *
+Node::taskById(int id)
+{
+    if (id < 0 || id >= static_cast<int>(tasks_.size()))
+        return nullptr;
+    return tasks_[id].get();
+}
+
+int
+Node::runnableThreadsInGroup(sim::GroupId group,
+                             sim::SocketId socket) const
+{
+    int threads = 0;
+    for (const auto &t : tasks_) {
+        if (t->group() == group && t->homeSocket() == socket &&
+            t->runnable()) {
+            threads += t->threadsWanted();
+        }
+    }
+    return threads;
+}
+
+wl::Task *
+Node::hungriestRunnable(sim::GroupId group)
+{
+    wl::Task *best = nullptr;
+    double best_demand = -1.0;
+    for (auto &st : states_) {
+        if (st.task->group() != group || !st.task->runnable())
+            continue;
+        if (st.lastDemand > best_demand) {
+            best_demand = st.lastDemand;
+            best = st.task;
+        }
+    }
+    return best;
+}
+
 void
 Node::computeCoreShares()
 {
@@ -89,6 +127,14 @@ Node::computeCoreShares()
         for (auto &st : states_) {
             if (st.task->homeSocket() != s)
                 continue;
+            if (!st.task->runnable()) {
+                // Suspended/terminated tasks hold no cores and make
+                // no progress; their slots return to the pool.
+                st.env.effCores = 0.0;
+                st.env.smtFactor = 1.0;
+                st.coresPerSub = {0.0, 0.0};
+                continue;
+            }
             const auto &g = groups_.get(st.task->group());
             Pool *pool = nullptr;
             if (!g.floating() && pinned_pools.count(g.id()))
@@ -233,6 +279,10 @@ Node::resolveAndAdvance(sim::Time dt)
 
     // Pass 1: collect and route demands.
     for (auto &st : states_) {
+        if (!st.task->runnable()) {
+            st.lastDemand = 0.0;
+            continue;
+        }
         const auto &g = groups_.get(st.task->group());
         st.env.socket = st.task->homeSocket();
         st.env.pfFraction = g.floating() ? 1.0 : g.prefetcherFraction();
@@ -244,6 +294,7 @@ Node::resolveAndAdvance(sim::Time dt)
         st.env.baseLatencyNs = mem_.baseLatency();
 
         sim::GiBps demand = st.task->bwDemand(st.env);
+        st.lastDemand = std::max(demand, 0.0);
         if (demand <= 0.0)
             continue;
 
@@ -283,8 +334,11 @@ Node::resolveAndAdvance(sim::Time dt)
 
     mem_.resolve(dt);
 
-    // Pass 2: advance with post-resolve environments.
+    // Pass 2: advance with post-resolve environments. Non-runnable
+    // tasks are frozen: no progress, no demand-basis updates.
     for (auto &st : states_) {
+        if (!st.task->runnable())
+            continue;
         mem::Grant grant = mem_.grant(st.task->id());
         st.env.latencyNs = grant.latency;
         st.env.bwFraction = grant.fraction;

@@ -90,6 +90,27 @@ class Node
         return tasks_;
     }
 
+    /** Task by node-assigned id, or nullptr. Ids are stable: tasks
+     * are never erased, only moved to a terminal lifecycle state. */
+    wl::Task *taskById(int id);
+
+    /**
+     * Threads wanted by the *runnable* members of a group on a
+     * socket. Controllers re-read this every sample under churn
+     * instead of assuming a fixed colocation.
+     */
+    int runnableThreadsInGroup(sim::GroupId group,
+                               sim::SocketId socket) const;
+
+    /**
+     * The runnable member of a group with the highest bandwidth
+     * demand on the last tick (ties break toward the lowest task id).
+     * Nullptr when the group has no runnable members. This is the SLO
+     * ladder's eviction victim: the antagonist hurting the ML task
+     * most right now.
+     */
+    wl::Task *hungriestRunnable(sim::GroupId group);
+
     /** Register the node's tick pipeline with an engine. */
     void attach(sim::Engine &engine);
 
@@ -106,6 +127,8 @@ class Node
         wl::ExecEnv env;
         /** Effective cores per subdomain of the home socket. */
         std::array<double, 2> coresPerSub = {0.0, 0.0};
+        /** Bandwidth demand submitted on the last tick, GiB/s. */
+        double lastDemand = 0.0;
     };
 
     /** Phase 1: pools, effective cores, SMT. */

@@ -367,5 +367,21 @@ aggressorLevelName(AggressorLevel level)
     return "?";
 }
 
+const std::vector<ChurnArchetype> &
+churnMix()
+{
+    // Same WSC batch population the fleet profiler draws from
+    // (fleet.cc archetype weights), with lifetimes in the
+    // minutes-not-hours range of Section II's batch jobs: CPU-side ML
+    // dominates the arrivals, image stitching turns over quickest,
+    // and streaming analytics runs narrow but long.
+    static const std::vector<ChurnArchetype> mix = {
+        {CpuWorkload::Cpuml, 0.45, 90.0, 2, 8},
+        {CpuWorkload::Stitch, 0.35, 60.0, 2, 6},
+        {CpuWorkload::Stream, 0.20, 120.0, 1, 4},
+    };
+    return mix;
+}
+
 } // namespace wl
 } // namespace kelp

@@ -97,6 +97,32 @@ const char *aggressorLevelName(AggressorLevel level);
  */
 int saturatingDramThreads(double peak_bw_gibps);
 
+/**
+ * One archetype of the dynamic-colocation churn mix: what kind of
+ * batch antagonist arrives, how often relative to the others, how
+ * long it lives, and how wide it runs. The lifecycle engine samples
+ * arrivals from this catalog (Poisson inter-arrivals, exponential
+ * lifetimes) so churned colocations draw from the same workload
+ * population as the static experiments and the fleet profiler.
+ */
+struct ChurnArchetype
+{
+    CpuWorkload kind;
+
+    /** Relative arrival weight within the mix. */
+    double weight = 1.0;
+
+    /** Mean task lifetime, simulated seconds. */
+    double meanLifetime = 60.0;
+
+    /** Thread-count range per arriving instance. */
+    int minThreads = 1;
+    int maxThreads = 4;
+};
+
+/** The churn mix (same WSC population as the fleet profiler). */
+const std::vector<ChurnArchetype> &churnMix();
+
 } // namespace wl
 } // namespace kelp
 

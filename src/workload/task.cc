@@ -81,6 +81,22 @@ hostDemand(const HostPhaseParams &p, double cores, double speed_basis,
            std::clamp(speed_basis, 0.0, 1.5);
 }
 
+const char *
+lifeStateName(LifeState s)
+{
+    switch (s) {
+      case LifeState::Running:
+        return "running";
+      case LifeState::Suspended:
+        return "suspended";
+      case LifeState::Finished:
+        return "finished";
+      case LifeState::Crashed:
+        return "crashed";
+    }
+    return "?";
+}
+
 Task::Task(std::string name, sim::GroupId group)
     : name_(std::move(name)), group_(group)
 {

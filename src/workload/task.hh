@@ -114,6 +114,19 @@ double hostDemand(const HostPhaseParams &p, double cores,
                   double speed_basis, double miss_ratio,
                   double pf_fraction);
 
+/**
+ * Lifecycle state of a placed task. Dynamic colocations (churn) move
+ * tasks through this machine: batch antagonists arrive Running,
+ * leave as Finished or Crashed, and the SLO degradation ladder can
+ * park a bandwidth hog in Suspended and later resume it. A task only
+ * holds cores, generates memory traffic, and makes progress while
+ * Running; every other state freezes it in place (its completed work
+ * and placement id survive for reporting).
+ */
+enum class LifeState { Running, Suspended, Finished, Crashed };
+
+const char *lifeStateName(LifeState s);
+
 /** Base class for all workloads. */
 class Task
 {
@@ -123,6 +136,13 @@ class Task
 
     const std::string &name() const { return name_; }
     sim::GroupId group() const { return group_; }
+
+    /** Current lifecycle state (Running for the static paper path). */
+    LifeState lifeState() const { return lifeState_; }
+    void setLifeState(LifeState s) { lifeState_ = s; }
+
+    /** True while the task is scheduled and making progress. */
+    bool runnable() const { return lifeState_ == LifeState::Running; }
 
     /** Unique task id, assigned by the node at placement time. */
     int id() const { return id_; }
@@ -171,6 +191,7 @@ class Task
     sim::SocketId homeSocket_ = 0;
     std::vector<DataShare> dataPlacement_;
     double demandBasis_ = 1.0;
+    LifeState lifeState_ = LifeState::Running;
 };
 
 } // namespace wl

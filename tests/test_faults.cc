@@ -130,6 +130,49 @@ TEST(FaultPlan, MalformedValueFatal)
                 ::testing::ExitedWithCode(1), "bad value");
 }
 
+TEST(FaultPlan, TryParseRejectsUnknownKeyAmongValidOnes)
+{
+    // A typo'd key must not silently drop one fault dimension from
+    // an otherwise-valid chaos spec.
+    std::string error;
+    auto p = FaultPlan::tryParse("drop=0.1,typo=1", &error);
+    EXPECT_FALSE(p.has_value());
+    EXPECT_NE(error.find("typo"), std::string::npos);
+    EXPECT_NE(error.find("drop"), std::string::npos)
+        << "error should list the valid keys: " << error;
+}
+
+TEST(FaultPlan, TryParseRejectsEmptyValue)
+{
+    // strtod("") yields 0.0; an empty value must be an error, not a
+    // silently-disabled fault.
+    std::string error;
+    EXPECT_FALSE(FaultPlan::tryParse("drop=", &error).has_value());
+    EXPECT_NE(error.find("bad value"), std::string::npos);
+    EXPECT_FALSE(FaultPlan::tryParse("drop", &error).has_value());
+}
+
+TEST(FaultPlan, TryParseRejectsOutOfRangeProbability)
+{
+    std::string error;
+    EXPECT_FALSE(FaultPlan::tryParse("drop=1.5", &error).has_value());
+    EXPECT_FALSE(FaultPlan::tryParse("stuck=-0.1", &error).has_value());
+    EXPECT_FALSE(
+        FaultPlan::tryParse("spikescale=0", &error).has_value());
+}
+
+TEST(FaultPlan, TryParseAgreesWithParseOnValidSpecs)
+{
+    std::string spec = "drop=0.1,noise=0.2,noisefrac=0.3,knobfail=0.4";
+    auto p = FaultPlan::tryParse(spec);
+    ASSERT_TRUE(p.has_value());
+    FaultPlan q = FaultPlan::parse(spec);
+    EXPECT_DOUBLE_EQ(p->dropProb, q.dropProb);
+    EXPECT_DOUBLE_EQ(p->noiseProb, q.noiseProb);
+    EXPECT_DOUBLE_EQ(p->noiseFrac, q.noiseFrac);
+    EXPECT_DOUBLE_EQ(p->knobFailProb, q.knobFailProb);
+}
+
 TEST(FaultyCounters, ZeroPlanIsPassThrough)
 {
     ScriptedSource reference;

@@ -95,3 +95,48 @@ TEST(Fleet, BadConfigPanics)
     cfg.servers = 0;
     EXPECT_DEATH(profileFleet(cfg), "configuration");
 }
+
+TEST(Fleet, EmptyFleetIsAllBelowEveryThreshold)
+{
+    FleetResult r({});
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.7), 0.0);
+    // The CDF of nothing: every row reports "all machines at or
+    // below x" (vacuously true), never a division by zero.
+    for (const auto &[x, y] : r.cdf(5)) {
+        (void)x;
+        EXPECT_DOUBLE_EQ(y, 1.0);
+    }
+}
+
+TEST(Fleet, FractionAboveIsStrictAtSampleValues)
+{
+    // A threshold landing exactly on a sample counts that sample as
+    // *not* above (strictly-greater semantics, matching the paper's
+    // "above X%" phrasing).
+    FleetResult r({0.5, 0.7});
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.4), 1.0);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.6), 0.5);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.7), 0.0);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(0.8), 0.0);
+}
+
+TEST(Fleet, SameSeedSameTailStatistics)
+{
+    // Determinism at the derived-statistic level, not just the raw
+    // vector: two profiles from one seed agree on every queried
+    // threshold and CDF row.
+    FleetConfig cfg;
+    cfg.servers = 300;
+    auto a = profileFleet(cfg);
+    auto b = profileFleet(cfg);
+    for (double x : {0.1, 0.3, 0.5, 0.7, 0.9})
+        EXPECT_DOUBLE_EQ(a.fractionAbove(x), b.fractionAbove(x));
+    auto ca = a.cdf(21), cb = b.cdf(21);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ca[i].first, cb[i].first);
+        EXPECT_DOUBLE_EQ(ca[i].second, cb[i].second);
+    }
+}

@@ -556,6 +556,62 @@ TEST(SampleGuard, SmoothsAcceptedSamples)
     EXPECT_TRUE(g.primed());
 }
 
+TEST(SampleGuard, FirstSampleAlwaysPrimes)
+{
+    // With no history there is nothing to compare against: the first
+    // plausible sample must be accepted however extreme it looks
+    // relative to the watermarks, or a controller started under load
+    // would reject telemetry forever.
+    SampleGuard g(testHardening());
+    EXPECT_FALSE(g.primed());
+    hal::CounterSample hot = plausibleSample(1.0);
+    hot.socketBw = 120.0;
+    hot.memLatency = 400.0;
+    EXPECT_TRUE(g.accept(hot));
+    EXPECT_TRUE(g.primed());
+    EXPECT_DOUBLE_EQ(g.smoothed().socketBw, 120.0);
+}
+
+TEST(SampleGuard, AllRejectedStreakNeverPrimes)
+{
+    // A source that only ever produces garbage must leave the guard
+    // unprimed (and every rejection counted) rather than eventually
+    // letting one through out of desperation.
+    SampleGuard g(testHardening());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(g.accept(hal::CounterSample{}));
+    EXPECT_FALSE(g.primed());
+    EXPECT_EQ(g.rejected(), 10u);
+}
+
+TEST(SampleGuard, ResetReprimesWithoutBlendingOldState)
+{
+    // Round trip through a fail-safe episode: the post-reset EWMA
+    // must restart from the first fresh sample alone, not blend with
+    // the pre-reset estimate.
+    Hardening h = testHardening();
+    h.ewmaAlpha = 0.5;
+    SampleGuard g(h);
+    hal::CounterSample a = plausibleSample(1.0);
+    a.socketBw = 40.0;
+    EXPECT_TRUE(g.accept(a));
+    hal::CounterSample b = plausibleSample(2.0);
+    b.socketBw = 80.0;
+    EXPECT_TRUE(g.accept(b));
+    EXPECT_DOUBLE_EQ(g.smoothed().socketBw, 60.0);
+
+    g.reset();
+    hal::CounterSample c = plausibleSample(3.0);
+    c.socketBw = 10.0;
+    EXPECT_TRUE(g.accept(c));
+    // Re-primed exactly: no trace of the old 60 GiB/s estimate.
+    EXPECT_DOUBLE_EQ(g.smoothed().socketBw, 10.0);
+    hal::CounterSample d = plausibleSample(4.0);
+    d.socketBw = 20.0;
+    EXPECT_TRUE(g.accept(d));
+    EXPECT_DOUBLE_EQ(g.smoothed().socketBw, 15.0);
+}
+
 TEST(Watchdog, EntersAfterConsecutiveBadAndRecovers)
 {
     RuntimeFixture f(1);

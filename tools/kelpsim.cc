@@ -118,8 +118,34 @@ main(int argc, char **argv)
                  "watchdog under --faults");
     opts.addString("telemetry", "",
                    "write knob/signal time series to this CSV file");
+    opts.addBool("churn", false,
+                 "dynamic colocation churn: seeded task arrival/"
+                 "departure/crash events mid-run");
+    opts.addDouble("churn-rate", 1.0 / 20.0,
+                   "mean churn arrivals per second");
+    opts.addDouble("churn-crash", 0.1,
+                   "probability a churned task crashes");
+    opts.addInt("churn-max", 4, "max concurrently-live churned tasks");
+    opts.addInt("churn-seed", 99, "churn random seed");
+    opts.addDouble("kill-at", 0.0,
+                   "crash + restart the controller at this time, s "
+                   "(0 = never)");
+    opts.addBool("slo", false,
+                 "arm the SLO degradation ladder (kp/kpsd)");
+    opts.addDouble("slo-floor", 0.85,
+                   "SLO floor: min acceptable ML perf ratio");
     if (!opts.parse(argc, argv))
         return 0;
+    if (!opts.positional().empty()) {
+        // A bare word is a mistyped flag or scenario name; running
+        // the default experiment instead (and exiting 0) would let
+        // scripted sweeps silently collect the wrong data.
+        std::fprintf(stderr,
+                     "kelpsim: unexpected argument '%s'\n\n%s",
+                     opts.positional().front().c_str(),
+                     opts.usage().c_str());
+        return 2;
+    }
 
     exp::RunConfig cfg;
     cfg.ml = parseMl(opts.getString("ml"));
@@ -136,6 +162,14 @@ main(int argc, char **argv)
     cfg.faults = hal::FaultPlan::parse(opts.getString("faults"));
     cfg.faultSeed = static_cast<uint64_t>(opts.getInt("fault-seed"));
     cfg.hardened = !opts.getBool("naive");
+    cfg.churn.enabled = opts.getBool("churn");
+    cfg.churn.arrivalRate = opts.getDouble("churn-rate");
+    cfg.churn.crashProb = opts.getDouble("churn-crash");
+    cfg.churn.maxLive = static_cast<int>(opts.getInt("churn-max"));
+    cfg.churn.seed = static_cast<uint64_t>(opts.getInt("churn-seed"));
+    cfg.killAt = opts.getDouble("kill-at");
+    cfg.slo.enabled = opts.getBool("slo");
+    cfg.slo.minPerfRatio = opts.getDouble("slo-floor");
 
     exp::RunResult ref = exp::standaloneReference(cfg.ml);
 
@@ -197,6 +231,13 @@ main(int argc, char **argv)
             r.avgHiBackfill = s.manager->avgHiBackfill();
             r.timeInFailSafe = s.manager->timeInFailSafe();
             r.failSafeEntries = s.manager->failSafeEntries();
+            r.restarts = s.manager->restarts();
+        }
+        if (s.lifecycle) {
+            r.churnArrivals = s.lifecycle->arrivals();
+            r.churnFinishes = s.lifecycle->finishes();
+            r.churnCrashes = s.lifecycle->crashes();
+            r.churnRejected = s.lifecycle->rejected();
         }
         if (!tel.writeCsv(csv))
             sim::fatal("cannot write telemetry to ", csv);
@@ -223,6 +264,26 @@ main(int argc, char **argv)
                     cfg.hardened ? "hardened" : "naive",
                     static_cast<unsigned long long>(r.failSafeEntries),
                     r.timeInFailSafe);
+    }
+    if (cfg.churn.enabled) {
+        std::printf("  churn          : %llu arrivals, %llu finished, "
+                    "%llu crashed, %llu rejected\n",
+                    static_cast<unsigned long long>(r.churnArrivals),
+                    static_cast<unsigned long long>(r.churnFinishes),
+                    static_cast<unsigned long long>(r.churnCrashes),
+                    static_cast<unsigned long long>(r.churnRejected));
+    }
+    if (cfg.killAt > 0.0) {
+        std::printf("  restarts       : %llu (kill at %.0f s)\n",
+                    static_cast<unsigned long long>(r.restarts),
+                    cfg.killAt);
+    }
+    if (cfg.slo.enabled) {
+        std::printf("  SLO ladder     : %llu violations, %llu rung "
+                    "transitions, final rung %s\n",
+                    static_cast<unsigned long long>(r.sloViolations),
+                    static_cast<unsigned long long>(r.sloTransitions),
+                    runtime::sloRungName(r.sloFinalRung));
     }
     return 0;
 }
