@@ -81,6 +81,8 @@ LifecycleEngine::spawn(sim::Time now)
     l.threads = threads;
     l.deadline = now + lifetime;
     l.willCrash = will_crash;
+    KELP_ENSURES(l.deadline >= now,
+                 "churned task scheduled to retire in the past");
     live_.push_back(l);
 
     ++arrivals_;
@@ -126,6 +128,18 @@ LifecycleEngine::poll(sim::Time now)
             ++rejected_;
         nextArrival_ += rng_.exponential(1.0 / cfg_.arrivalRate);
     }
+
+    // Admission-control invariant: the live population never exceeds
+    // the configured cap, and the event log is consistent with the
+    // population (every arrival is live, finished, or crashed).
+    KELP_INVARIANT(static_cast<int>(live_.size()) <= cfg_.maxLive,
+                   "live churned tasks ", live_.size(),
+                   " exceed maxLive ", cfg_.maxLive);
+    KELP_INVARIANT(arrivals_ ==
+                       finishes_ + crashes_ + live_.size(),
+                   "churn ledger out of balance: ", arrivals_,
+                   " arrivals vs ", finishes_, " finishes + ",
+                   crashes_, " crashes + ", live_.size(), " live");
 }
 
 std::vector<int>

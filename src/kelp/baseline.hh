@@ -6,8 +6,8 @@
  * across the socket's cores and share the memory system freely.
  */
 
-#ifndef KELP_RUNTIME_BASELINE_HH
-#define KELP_RUNTIME_BASELINE_HH
+#ifndef KELP_KELP_BASELINE_HH
+#define KELP_KELP_BASELINE_HH
 
 #include "kelp/controller.hh"
 
@@ -30,4 +30,4 @@ class BaselineController : public Controller
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_BASELINE_HH
+#endif // KELP_KELP_BASELINE_HH

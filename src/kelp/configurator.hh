@@ -15,8 +15,8 @@
  *    a time before adding cores back.
  */
 
-#ifndef KELP_RUNTIME_CONFIGURATOR_HH
-#define KELP_RUNTIME_CONFIGURATOR_HH
+#ifndef KELP_KELP_CONFIGURATOR_HH
+#define KELP_KELP_CONFIGURATOR_HH
 
 #include "kelp/controller.hh"
 
@@ -66,4 +66,4 @@ class Configurator
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_CONFIGURATOR_HH
+#endif // KELP_KELP_CONFIGURATOR_HH

@@ -11,8 +11,8 @@
  * (Figures 11 and 12).
  */
 
-#ifndef KELP_RUNTIME_CONTROLLER_HH
-#define KELP_RUNTIME_CONTROLLER_HH
+#ifndef KELP_KELP_CONTROLLER_HH
+#define KELP_KELP_CONTROLLER_HH
 
 #include <string>
 #include <vector>
@@ -214,4 +214,4 @@ class Controller
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_CONTROLLER_HH
+#endif // KELP_KELP_CONTROLLER_HH

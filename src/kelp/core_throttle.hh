@@ -15,8 +15,8 @@
  * low-priority footprint).
  */
 
-#ifndef KELP_RUNTIME_CORE_THROTTLE_HH
-#define KELP_RUNTIME_CORE_THROTTLE_HH
+#ifndef KELP_KELP_CORE_THROTTLE_HH
+#define KELP_KELP_CORE_THROTTLE_HH
 
 #include <memory>
 
@@ -84,4 +84,4 @@ class CoreThrottleController : public Controller
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_CORE_THROTTLE_HH
+#endif // KELP_KELP_CORE_THROTTLE_HH

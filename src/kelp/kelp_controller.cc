@@ -265,6 +265,19 @@ KelpController::restore(const ControllerSnapshot &snap)
     // process: re-prime both from the next sample.
     guard_.reset();
     lastWork_ = -1.0;
+
+    // Replay consistency: a restored controller must checkpoint the
+    // same intent it was rebuilt from (modulo the snapshot timestamp,
+    // which the manager stamps at write time). Anything less means
+    // restarts lose state monotonically.
+    ControllerSnapshot echo = snapshot();
+    KELP_ENSURES(echo.coreNumH == snap.coreNumH &&
+                     echo.coreNumL == snap.coreNumL &&
+                     echo.prefetcherNumL == snap.prefetcherNumL &&
+                     echo.failSafe == snap.failSafe &&
+                     echo.suspended == snap.suspended,
+                 "restored controller does not re-produce its own "
+                 "checkpoint");
 }
 
 int

@@ -28,8 +28,8 @@
  * loop at all.
  */
 
-#ifndef KELP_RUNTIME_KELP_CONTROLLER_HH
-#define KELP_RUNTIME_KELP_CONTROLLER_HH
+#ifndef KELP_KELP_KELP_CONTROLLER_HH
+#define KELP_KELP_KELP_CONTROLLER_HH
 
 #include <memory>
 #include <vector>
@@ -193,4 +193,4 @@ class KelpController : public Controller
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_KELP_CONTROLLER_HH
+#endif // KELP_KELP_KELP_CONTROLLER_HH

@@ -73,6 +73,16 @@ RuntimeManager::onSample(sim::Time now)
         ControllerSnapshot snap = controller_->snapshot();
         snap.time = now;
         checkpoint_ = snap.serialize();
+        // Replay consistency: a checkpoint that cannot be parsed back
+        // into the exact same text would silently lose intent on the
+        // next restart -- catch the drift at write time, not at the
+        // crash.
+        ControllerSnapshot replay;
+        KELP_INVARIANT(
+            ControllerSnapshot::deserialize(checkpoint_, replay) &&
+                replay.serialize() == checkpoint_,
+            "controller checkpoint does not round-trip: '",
+            checkpoint_, "'");
     }
 }
 
@@ -104,6 +114,8 @@ RuntimeManager::restart(sim::Time now)
         controller_->restore(snap);
     }
     ev.repairs = controller_->reconcile();
+    KELP_ENSURES(ev.repairs >= 0,
+                 "reconcile() reported a negative repair count");
     restartTrace_.push_back(ev);
 
     // The watchdog's streaks described the dead controller; the

@@ -18,8 +18,8 @@
  * timestamps so degraded runs are auditable and reproducible.
  */
 
-#ifndef KELP_RUNTIME_MANAGER_HH
-#define KELP_RUNTIME_MANAGER_HH
+#ifndef KELP_KELP_MANAGER_HH
+#define KELP_KELP_MANAGER_HH
 
 #include <functional>
 #include <memory>
@@ -173,4 +173,4 @@ class RuntimeManager
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_MANAGER_HH
+#endif // KELP_KELP_MANAGER_HH

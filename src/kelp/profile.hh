@@ -9,8 +9,8 @@
  * configured conservatively to prioritize accelerated tasks."
  */
 
-#ifndef KELP_RUNTIME_PROFILE_HH
-#define KELP_RUNTIME_PROFILE_HH
+#ifndef KELP_KELP_PROFILE_HH
+#define KELP_KELP_PROFILE_HH
 
 #include <string>
 
@@ -69,4 +69,4 @@ AppProfile coreThrottleProfile(wl::MlWorkload workload,
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_PROFILE_HH
+#endif // KELP_KELP_PROFILE_HH

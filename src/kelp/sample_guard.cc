@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/log.hh"
+
 namespace kelp {
 namespace runtime {
 
@@ -92,19 +94,34 @@ SampleGuard::fold(const hal::CounterSample &s)
         smooth_ = s;
         smooth_.saturation = std::min(smooth_.saturation, 1.0);
         primed_ = true;
-        return;
+    } else {
+        const double a = cfg_.ewmaAlpha;
+        auto mix = [a](double &acc, double x) {
+            acc += a * (x - acc);
+        };
+        mix(smooth_.socketBw, s.socketBw);
+        mix(smooth_.memLatency, s.memLatency);
+        mix(smooth_.saturation, std::min(s.saturation, 1.0));
+        for (int d = 0; d < 2; ++d) {
+            mix(smooth_.subdomainBw[d], s.subdomainBw[d]);
+            mix(smooth_.subdomainLat[d], s.subdomainLat[d]);
+        }
     }
-    const double a = cfg_.ewmaAlpha;
-    auto mix = [a](double &acc, double x) {
-        acc += a * (x - acc);
-    };
-    mix(smooth_.socketBw, s.socketBw);
-    mix(smooth_.memLatency, s.memLatency);
-    mix(smooth_.saturation, std::min(s.saturation, 1.0));
-    for (int d = 0; d < 2; ++d) {
-        mix(smooth_.subdomainBw[d], s.subdomainBw[d]);
-        mix(smooth_.subdomainLat[d], s.subdomainLat[d]);
-    }
+    // EWMA bounds: every folded sample passed validation, and an
+    // exponential average is a convex combination of its inputs, so
+    // the smoothed estimate must stay inside the validation envelope.
+    KELP_ENSURES(smooth_.socketBw >= 0.0 &&
+                     smooth_.socketBw <= cfg_.maxBwGibps,
+                 "smoothed socket bandwidth ", smooth_.socketBw,
+                 " escaped [0, ", cfg_.maxBwGibps, "]");
+    KELP_ENSURES(smooth_.memLatency >= 0.0 &&
+                     smooth_.memLatency <= cfg_.maxLatencyNs,
+                 "smoothed latency ", smooth_.memLatency,
+                 " escaped [0, ", cfg_.maxLatencyNs, "]");
+    KELP_ENSURES(smooth_.saturation >= 0.0 &&
+                     smooth_.saturation <= 1.0,
+                 "smoothed saturation ", smooth_.saturation,
+                 " escaped [0, 1]");
 }
 
 bool

@@ -14,8 +14,8 @@
  * noise.
  */
 
-#ifndef KELP_RUNTIME_SAMPLE_GUARD_HH
-#define KELP_RUNTIME_SAMPLE_GUARD_HH
+#ifndef KELP_KELP_SAMPLE_GUARD_HH
+#define KELP_KELP_SAMPLE_GUARD_HH
 
 #include <cstdint>
 
@@ -67,4 +67,4 @@ class SampleGuard
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_SAMPLE_GUARD_HH
+#endif // KELP_KELP_SAMPLE_GUARD_HH

@@ -1,6 +1,7 @@
 #include "kelp/slo_guard.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/log.hh"
 
@@ -37,6 +38,10 @@ SloGuard::SloGuard(const SloConfig &cfg)
 int
 SloGuard::observe(sim::Time now, double perfRatio)
 {
+    KELP_EXPECTS(std::isfinite(perfRatio) && perfRatio >= 0.0,
+                 "perf ratio must be a finite non-negative value, "
+                 "got ", perfRatio);
+    const int before = rung_;
     bool violating = perfRatio < cfg_.minPerfRatio;
     if (violating) {
         ++violations_;
@@ -57,6 +62,13 @@ SloGuard::observe(sim::Time now, double perfRatio)
             goodStreak_ = 0;
         }
     }
+    // Rung monotonicity: the ladder moves at most one rung per
+    // observation and never leaves [Normal, EvictAntagonist].
+    KELP_ENSURES(rung_ >= kRungNormal && rung_ <= kSloRungMax,
+                 "ladder rung ", rung_, " out of range");
+    KELP_ENSURES(rung_ >= before - 1 && rung_ <= before + 1,
+                 "ladder moved ", before, " -> ", rung_,
+                 " in one observation");
     return rung_;
 }
 
@@ -67,6 +79,8 @@ SloGuard::restore(int rung)
                        kSloRungMax);
     badStreak_ = 0;
     goodStreak_ = 0;
+    KELP_ENSURES(rung_ >= kRungNormal && rung_ <= kSloRungMax,
+                 "restored rung out of range");
 }
 
 } // namespace runtime

@@ -32,8 +32,8 @@
  * the ladder testable in isolation.
  */
 
-#ifndef KELP_RUNTIME_SLO_GUARD_HH
-#define KELP_RUNTIME_SLO_GUARD_HH
+#ifndef KELP_KELP_SLO_GUARD_HH
+#define KELP_KELP_SLO_GUARD_HH
 
 #include <vector>
 
@@ -123,4 +123,4 @@ class SloGuard
 } // namespace runtime
 } // namespace kelp
 
-#endif // KELP_RUNTIME_SLO_GUARD_HH
+#endif // KELP_KELP_SLO_GUARD_HH

@@ -156,6 +156,18 @@ MemSystem::resolve(sim::Time dt)
             std::min(m.delivered / m.demand, 1.0) : 1.0;
         g.latency = m.delivered > 0.0 ? m.lat_w / m.delivered :
             cfg_.socket.baseLatency;
+        // Physicality: a grant can neither deliver negative bytes
+        // nor complete in non-positive time, and the delivered
+        // fraction is a fraction.
+        KELP_ENSURES(g.delivered >= 0.0,
+                     "negative delivered bandwidth for requestor ",
+                     req);
+        KELP_ENSURES(g.fraction >= 0.0 && g.fraction <= 1.0,
+                     "grant fraction ", g.fraction,
+                     " outside [0, 1] for requestor ", req);
+        KELP_ENSURES(g.latency > 0.0,
+                     "non-positive grant latency for requestor ",
+                     req);
         grants_[req] = g;
     }
 
@@ -163,6 +175,12 @@ MemSystem::resolve(sim::Time dt)
     for (auto &s : sockets_) {
         double bw0 = s.mc[0]->totalDelivered();
         double bw1 = s.mc[1]->totalDelivered();
+        KELP_INVARIANT(bw0 >= 0.0 && bw1 >= 0.0,
+                       "memory controller delivered negative "
+                       "bandwidth");
+        KELP_INVARIANT(s.mc[0]->latency() >= 0.0 &&
+                           s.mc[1]->latency() >= 0.0,
+                       "memory controller reported negative latency");
         s.counters.bw.accumulate(bw0 + bw1, dt);
         s.counters.subdomainBw[0].accumulate(bw0, dt);
         s.counters.subdomainBw[1].accumulate(bw1, dt);

@@ -11,6 +11,18 @@ namespace {
 
 LogLevel g_level = LogLevel::Warn;
 
+#ifdef NDEBUG
+ContractMode g_contract_mode = ContractMode::Count;
+#else
+ContractMode g_contract_mode = ContractMode::Fatal;
+#endif
+
+uint64_t g_contract_violations = 0;
+
+/** Cap on per-violation warn() lines so a hot loop with a broken
+ * invariant cannot flood stderr in Count mode. */
+constexpr uint64_t kMaxContractWarnings = 10;
+
 } // namespace
 
 LogLevel
@@ -23,6 +35,30 @@ void
 setLogLevel(LogLevel level)
 {
     g_level = level;
+}
+
+ContractMode
+contractMode()
+{
+    return g_contract_mode;
+}
+
+void
+setContractMode(ContractMode mode)
+{
+    g_contract_mode = mode;
+}
+
+uint64_t
+contractViolations()
+{
+    return g_contract_violations;
+}
+
+void
+resetContractViolations()
+{
+    g_contract_violations = 0;
 }
 
 namespace detail {
@@ -45,6 +81,30 @@ die(const std::string &tag, const std::string &msg, bool is_panic)
         std::abort();
     }
     std::exit(1);
+}
+
+void
+contractViolated(const char *kind, const char *cond, const char *file,
+                 int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " violated at " << file << ":" << line << ": "
+       << cond;
+    if (!msg.empty())
+        os << " (" << msg << ")";
+
+    if (g_contract_mode == ContractMode::Fatal)
+        die("contract", os.str(), true);
+
+    ++g_contract_violations;
+    if (g_contract_violations <= kMaxContractWarnings) {
+        emit(LogLevel::Warn, "contract", os.str());
+        if (g_contract_violations == kMaxContractWarnings) {
+            emit(LogLevel::Warn, "contract",
+                 "further contract violations will be counted "
+                 "silently");
+        }
+    }
 }
 
 } // namespace detail

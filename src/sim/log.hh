@@ -10,6 +10,7 @@
 #ifndef KELP_SIM_LOG_HH
 #define KELP_SIM_LOG_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -96,6 +97,64 @@ panic(Args &&...args)
                                ##__VA_ARGS__);                          \
         }                                                               \
     } while (0)
+
+/**
+ * Contract-violation handling mode.
+ *
+ * Fatal: a violated contract panics (abort), so debug builds and
+ * death tests pinpoint the offending call stack immediately.
+ *
+ * Count: a violated contract increments a process-wide counter and
+ * execution continues. Release builds default to this so a production
+ * run degrades (and reports the count through kelpsim telemetry)
+ * instead of crashing; the counter makes the violation visible to CI
+ * and to operators either way.
+ */
+enum class ContractMode { Fatal, Count };
+
+/** Current mode (default: Fatal unless NDEBUG, then Count). */
+ContractMode contractMode();
+
+/** Override the mode (tests exercise both paths in any build). */
+void setContractMode(ContractMode mode);
+
+/** Contract violations recorded since start/reset (Count mode). */
+uint64_t contractViolations();
+
+/** Reset the violation counter (test isolation). */
+void resetContractViolations();
+
+namespace detail {
+
+void contractViolated(const char *kind, const char *cond,
+                      const char *file, int line,
+                      const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Contract macros: machine-checked statements of the invariants the
+ * controllers otherwise assume informally. KELP_EXPECTS states a
+ * precondition at function entry, KELP_ENSURES a postcondition before
+ * return, KELP_INVARIANT a mid-flight structural invariant. All three
+ * share the same handling (contractMode() above); the distinction is
+ * documentation and shows up in the violation report.
+ */
+#define KELP_CONTRACT_CHECK_(kind, cond, ...)                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::kelp::sim::detail::contractViolated(                      \
+                kind, #cond, __FILE__, __LINE__,                        \
+                ::kelp::sim::detail::format(__VA_ARGS__));              \
+        }                                                               \
+    } while (0)
+
+#define KELP_EXPECTS(cond, ...)                                         \
+    KELP_CONTRACT_CHECK_("precondition", cond, ##__VA_ARGS__)
+#define KELP_ENSURES(cond, ...)                                         \
+    KELP_CONTRACT_CHECK_("postcondition", cond, ##__VA_ARGS__)
+#define KELP_INVARIANT(cond, ...)                                       \
+    KELP_CONTRACT_CHECK_("invariant", cond, ##__VA_ARGS__)
 
 } // namespace sim
 } // namespace kelp

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/log.hh"
 #include "sim/types.hh"
 #include "workload/phase.hh"
 
@@ -127,6 +128,20 @@ enum class LifeState { Running, Suspended, Finished, Crashed };
 
 const char *lifeStateName(LifeState s);
 
+/**
+ * Legality of a lifecycle transition. Running and Suspended move
+ * freely between each other and into either terminal state
+ * (retirement wins over suspension); Finished and Crashed are
+ * terminal -- a retired task never runs again, its id and completed
+ * work only survive for reporting.
+ */
+constexpr bool
+legalLifeTransition(LifeState from, LifeState to)
+{
+    return from == to || from == LifeState::Running ||
+           from == LifeState::Suspended;
+}
+
 /** Base class for all workloads. */
 class Task
 {
@@ -139,7 +154,16 @@ class Task
 
     /** Current lifecycle state (Running for the static paper path). */
     LifeState lifeState() const { return lifeState_; }
-    void setLifeState(LifeState s) { lifeState_ = s; }
+
+    void
+    setLifeState(LifeState s)
+    {
+        KELP_INVARIANT(legalLifeTransition(lifeState_, s),
+                       "illegal lifecycle transition ",
+                       lifeStateName(lifeState_), " -> ",
+                       lifeStateName(s), " for task '", name_, "'");
+        lifeState_ = s;
+    }
 
     /** True while the task is scheduled and making progress. */
     bool runnable() const { return lifeState_ == LifeState::Running; }

@@ -1,0 +1,12 @@
+// Fixture: exact floating-point equality.
+bool
+flappy(double x, float y, int n)
+{
+    bool a = x == 1.0;
+    bool b = y != 0.5f;
+    bool c = 2.5e-3 == x;
+    // Integer comparisons and hex literals stay legal.
+    bool d = n == 3;
+    bool e = n != 0x10;
+    return a || b || c || d || e;
+}

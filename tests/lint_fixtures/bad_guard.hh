@@ -1,0 +1,9 @@
+// Fixture: include guard does not match the path (linted under a
+// virtual src/mem/ path, so the expected guard is
+// KELP_MEM_BAD_GUARD_HH).
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+int fixtureValue();
+
+#endif // WRONG_GUARD_HH

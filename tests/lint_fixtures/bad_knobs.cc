@@ -1,0 +1,19 @@
+// Fixture: direct HAL knob mutation outside the managed sink
+// (linted under a virtual src/exp/ path).
+struct Knobs
+{
+    bool setCores(int g, int s, int d, int n);
+    bool setPrefetchersEnabled(int g, int n);
+    bool setCatWays(int g, int w);
+};
+
+void
+rogueActuation(Knobs &knobs, Knobs *ptr)
+{
+    knobs.setCores(1, 0, 1, 4);
+    ptr->setPrefetchersEnabled(1, 2);
+    knobs.setCatWays(1, 3);
+}
+
+// A declaration (no '.'/'->' receiver) is not a call site.
+bool setCores(int g);

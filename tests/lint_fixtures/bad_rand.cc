@@ -1,0 +1,28 @@
+// Fixture: every banned nondeterminism source in one file.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+entropySoup()
+{
+    int a = rand();
+    std::mt19937 gen;
+    std::random_device rd;
+    long t = time(nullptr);
+    auto now = std::chrono::steady_clock::now();
+    (void)rd;
+    (void)now;
+    return a + static_cast<int>(gen()) + static_cast<int>(t);
+}
+
+// Member accesses (e.g. the engine's simulated clock) must NOT be
+// flagged. The fixture is lint input, never compiled, so Engine
+// needs no definition here.
+double
+legalUse(Engine &e)
+{
+    double sim_time = e.time();
+    return sim_time + e.rand;
+}

@@ -1,0 +1,28 @@
+// Fixture: range-for over an unordered container in a control path
+// (linted under a virtual src/kelp/ path).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int
+total()
+{
+    std::unordered_map<int, int> weights;
+    weights[1] = 2;
+    int sum = 0;
+    for (const auto &[id, w] : weights)
+        sum += id + w;
+    return sum;
+}
+
+// Iterating a vector stays legal, as does find/count on the map.
+int
+legal()
+{
+    std::unordered_map<std::string, int> index;
+    std::vector<int> order = {1, 2, 3};
+    int sum = 0;
+    for (int v : order)
+        sum += v + static_cast<int>(index.count("x"));
+    return sum;
+}

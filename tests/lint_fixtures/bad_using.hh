@@ -1,0 +1,13 @@
+// Fixture: using-directive in a header (linted under a virtual
+// src/sim/ path; the guard below is correct so only the using
+// directive fires).
+#ifndef KELP_SIM_BAD_USING_HH
+#define KELP_SIM_BAD_USING_HH
+
+#include <string>
+
+using namespace std;
+
+string fixtureName();
+
+#endif // KELP_SIM_BAD_USING_HH

@@ -1,0 +1,8 @@
+// Fixture: a suppression without a reason is itself a finding, and
+// the underlying finding still fires.
+bool
+unjustified(double p)
+{
+    // kelp-lint: allow(float-eq)
+    return p == 0.25;
+}

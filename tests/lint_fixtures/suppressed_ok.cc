@@ -1,0 +1,11 @@
+// Fixture: correctly suppressed findings -- the file must lint
+// clean.
+bool
+exactByConstruction(double p)
+{
+    // kelp-lint: allow(float-eq): p is copied from this literal and
+    // never touched by arithmetic, so the comparison is exact.
+    bool same = p == 0.25;
+    bool trailing = p != 0.75; // kelp-lint: allow(float-eq): ditto.
+    return same || trailing;
+}

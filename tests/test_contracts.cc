@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the KELP_EXPECTS/KELP_ENSURES/KELP_INVARIANT contract
+ * macros: Fatal mode panics (death test), Count mode records the
+ * violation and continues, and the contracts wired into the runtime
+ * (SloGuard preconditions, Task lifecycle legality) actually fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kelp/slo_guard.hh"
+#include "sim/log.hh"
+#include "workload/task.hh"
+
+namespace {
+
+using kelp::sim::ContractMode;
+using kelp::sim::contractMode;
+using kelp::sim::contractViolations;
+using kelp::sim::resetContractViolations;
+using kelp::sim::setContractMode;
+
+class ContractTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_mode_ = contractMode();
+        saved_level_ = kelp::sim::logLevel();
+        setContractMode(ContractMode::Count);
+        kelp::sim::setLogLevel(kelp::sim::LogLevel::Quiet);
+        resetContractViolations();
+    }
+
+    void
+    TearDown() override
+    {
+        setContractMode(saved_mode_);
+        kelp::sim::setLogLevel(saved_level_);
+        resetContractViolations();
+    }
+
+  private:
+    ContractMode saved_mode_ = ContractMode::Fatal;
+    kelp::sim::LogLevel saved_level_ = kelp::sim::LogLevel::Warn;
+};
+
+TEST_F(ContractTest, CountModeRecordsAndContinues)
+{
+    EXPECT_EQ(contractViolations(), 0u);
+    KELP_INVARIANT(false, "deliberate violation");
+    EXPECT_EQ(contractViolations(), 1u);
+    KELP_EXPECTS(false, "deliberate violation");
+    KELP_EXPECTS(false);
+    KELP_ENSURES(1 + 1 == 3, "deliberate violation");
+    // Reaching this line at all proves Count mode does not abort.
+    EXPECT_EQ(contractViolations(), 4u);
+}
+
+TEST_F(ContractTest, PassingContractsAreFree)
+{
+    KELP_EXPECTS(true);
+    KELP_ENSURES(2 + 2 == 4);
+    KELP_INVARIANT(true, "never printed");
+    EXPECT_EQ(contractViolations(), 0u);
+}
+
+TEST_F(ContractTest, ResetClearsTheCounter)
+{
+    KELP_INVARIANT(false, "deliberate violation");
+    ASSERT_EQ(contractViolations(), 1u);
+    resetContractViolations();
+    EXPECT_EQ(contractViolations(), 0u);
+}
+
+TEST_F(ContractTest, FatalModePanicsOnViolation)
+{
+    EXPECT_DEATH(
+        {
+            setContractMode(ContractMode::Fatal);
+            KELP_INVARIANT(false, "deliberate violation");
+        },
+        "invariant violated");
+}
+
+TEST_F(ContractTest, SloGuardRejectsNonsensePerfRatio)
+{
+    kelp::runtime::SloConfig cfg;
+    cfg.enabled = true;
+    kelp::runtime::SloGuard guard(cfg);
+
+    guard.observe(1.0, 0.9);
+    EXPECT_EQ(contractViolations(), 0u);
+
+    // A negative performance ratio violates the observe()
+    // precondition; in Count mode the guard still answers.
+    guard.observe(2.0, -1.0);
+    EXPECT_GE(contractViolations(), 1u);
+}
+
+// Minimal concrete Task so lifecycle contracts can be exercised
+// without a full workload model.
+class StubTask : public kelp::wl::Task
+{
+  public:
+    StubTask() : Task("stub", 0) {}
+    int threadsWanted() const override { return 1; }
+    kelp::sim::GiBps bwDemand(const kelp::wl::ExecEnv &) override
+    {
+        return 0.0;
+    }
+    void advance(kelp::sim::Time, const kelp::wl::ExecEnv &) override {}
+    double completedWork() const override { return 0.0; }
+    kelp::wl::HostPhaseParams llcProfile() const override
+    {
+        return kelp::wl::HostPhaseParams{};
+    }
+};
+
+TEST_F(ContractTest, LifecycleTerminalStatesAreSticky)
+{
+    using kelp::wl::LifeState;
+
+    StubTask t;
+    t.setLifeState(LifeState::Suspended);
+    t.setLifeState(LifeState::Running);
+    t.setLifeState(LifeState::Finished);
+    EXPECT_EQ(contractViolations(), 0u);
+
+    // Finished -> Running is illegal; Count mode records it.
+    t.setLifeState(LifeState::Running);
+    EXPECT_EQ(contractViolations(), 1u);
+}
+
+TEST_F(ContractTest, LegalTransitionMatrix)
+{
+    using kelp::wl::LifeState;
+    using kelp::wl::legalLifeTransition;
+
+    static_assert(legalLifeTransition(LifeState::Running,
+                                      LifeState::Crashed),
+                  "running tasks may crash");
+    static_assert(!legalLifeTransition(LifeState::Crashed,
+                                       LifeState::Running),
+                  "crashed tasks stay crashed");
+    EXPECT_TRUE(
+        legalLifeTransition(LifeState::Suspended, LifeState::Running));
+    EXPECT_TRUE(
+        legalLifeTransition(LifeState::Finished, LifeState::Finished));
+    EXPECT_FALSE(
+        legalLifeTransition(LifeState::Finished, LifeState::Crashed));
+}
+
+} // namespace

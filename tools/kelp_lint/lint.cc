@@ -1,0 +1,861 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace kelp {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Lexer. Produces identifier/number/punctuation tokens with line
+// numbers; comments are collected separately (suppressions live in
+// them), string and character literals are dropped outright, and
+// preprocessor lines are skipped (the include-guard rule re-scans the
+// raw text itself).
+
+enum class TokKind { Id, Num, Punct };
+
+struct Tok
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+struct Comment
+{
+    int line;
+    std::string text;
+};
+
+struct LexResult
+{
+    std::vector<Tok> toks;
+    std::vector<Comment> comments;
+};
+
+bool
+idStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+idChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Two-character punctuators the rules care about. `<<`/`>>` are kept
+ * fused so template-bracket balancing can treat them as two. */
+bool
+isTwoCharPunct(char a, char b)
+{
+    static const char *kPairs[] = {"==", "!=", "<=", ">=", "::",
+                                   "->", "&&", "||", "<<", ">>"};
+    for (const char *p : kPairs) {
+        if (p[0] == a && p[1] == b)
+            return true;
+    }
+    return false;
+}
+
+LexResult
+tokenize(const std::string &src)
+{
+    LexResult out;
+    const size_t n = src.size();
+    size_t i = 0;
+    int line = 1;
+    bool at_line_start = true;
+
+    auto advance = [&](size_t k) {
+        for (size_t j = 0; j < k && i < n; ++j, ++i) {
+            if (src[i] == '\n') {
+                ++line;
+                at_line_start = true;
+            }
+        }
+    };
+
+    while (i < n) {
+        char c = src[i];
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of line, honoring
+        // backslash continuations. Line comments inside are still
+        // harvested by the suppression scan? No -- suppressions on
+        // preprocessor lines are not supported, and none exist.
+        if (c == '#' && at_line_start) {
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n &&
+                    src[i + 1] == '\n') {
+                    advance(2);
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                advance(1);
+            }
+            continue;
+        }
+        at_line_start = false;
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            size_t j = src.find('\n', i);
+            if (j == std::string::npos)
+                j = n;
+            out.comments.push_back(
+                {line, src.substr(i + 2, j - i - 2)});
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment (recorded at its first line).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            size_t j = src.find("*/", i + 2);
+            size_t end = (j == std::string::npos) ? n : j + 2;
+            out.comments.push_back(
+                {line, src.substr(i + 2, end - i - 4)});
+            advance(end - i);
+            continue;
+        }
+
+        // Raw string literal R"delim(...)delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            size_t p = i + 2;
+            std::string delim;
+            while (p < n && src[p] != '(')
+                delim += src[p++];
+            std::string close = ")" + delim + "\"";
+            size_t j = src.find(close, p);
+            size_t end =
+                (j == std::string::npos) ? n : j + close.size();
+            advance(end - i);
+            continue;
+        }
+
+        // String / character literal.
+        if (c == '"' || c == '\'') {
+            char q = c;
+            size_t j = i + 1;
+            while (j < n && src[j] != q) {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+
+        if (idStart(c)) {
+            size_t j = i;
+            while (j < n && idChar(src[j]))
+                ++j;
+            out.toks.push_back(
+                {TokKind::Id, src.substr(i, j - i), line});
+            advance(j - i);
+            continue;
+        }
+
+        // Number: integer or floating literal (including the
+        // leading-dot form ".5" and digit separators).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            size_t j = i;
+            while (j < n) {
+                char d = src[j];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    ++j;
+                    continue;
+                }
+                // Exponent sign binds to the literal.
+                if ((d == '+' || d == '-') && j > i) {
+                    char e = src[j - 1];
+                    if (e == 'e' || e == 'E' || e == 'p' ||
+                        e == 'P') {
+                        ++j;
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.toks.push_back(
+                {TokKind::Num, src.substr(i, j - i), line});
+            advance(j - i);
+            continue;
+        }
+
+        // Punctuation.
+        if (i + 1 < n && isTwoCharPunct(c, src[i + 1])) {
+            out.toks.push_back(
+                {TokKind::Punct, src.substr(i, 2), line});
+            advance(2);
+            continue;
+        }
+        out.toks.push_back({TokKind::Punct, std::string(1, c), line});
+        advance(1);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Path scoping helpers.
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+isHeader(const std::string &path)
+{
+    return endsWith(path, ".hh") || endsWith(path, ".hpp") ||
+           endsWith(path, ".h");
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------
+// Suppressions.
+
+struct Suppressions
+{
+    /** Rules allowed for the whole file. */
+    std::set<std::string> file;
+
+    /** line -> rules allowed on that line (and, for a comment on its
+     * own line, the line below it). */
+    std::map<int, std::set<std::string>> lines;
+};
+
+/** Parse "kelp-lint: allow(rule): reason" comments. A suppression
+ * with no reason is itself a finding: the reason is how the next
+ * reader learns why the rule does not apply. A line-scoped allow
+ * covers its own line and the next non-comment line, so a wrapped
+ * multi-line justification still anchors to the code below it. */
+Suppressions
+parseSuppressions(const std::string &path,
+                  const std::vector<Comment> &comments,
+                  std::vector<Finding> &bad)
+{
+    // Every line occupied by a comment (block comments span several).
+    std::set<int> comment_lines;
+    for (const auto &c : comments) {
+        int span = 1 + static_cast<int>(std::count(
+                           c.text.begin(), c.text.end(), '\n'));
+        for (int l = 0; l < span; ++l)
+            comment_lines.insert(c.line + l);
+    }
+    auto anchor = [&comment_lines](int line) {
+        int l = line + 1;
+        while (comment_lines.count(l))
+            ++l;
+        return l;
+    };
+
+    Suppressions sup;
+    for (const auto &c : comments) {
+        // The directive must LEAD the comment: prose that merely
+        // mentions kelp-lint (like this file's own documentation)
+        // is not a suppression.
+        std::string text = trimmed(c.text);
+        if (!startsWith(text, "kelp-lint:"))
+            continue;
+        std::string rest = trimmed(text.substr(10));
+        bool file_scope = startsWith(rest, "allow-file");
+        if (!file_scope && !startsWith(rest, "allow")) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "unrecognized kelp-lint directive "
+                           "(expected allow(<rule>): <reason> or "
+                           "allow-file(<rule>): <reason>)",
+                           trimmed(c.text)});
+            continue;
+        }
+        size_t open = rest.find('(');
+        size_t close = rest.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close <= open + 1) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "malformed kelp-lint suppression: missing "
+                           "(<rule>)",
+                           trimmed(c.text)});
+            continue;
+        }
+        std::string rule =
+            trimmed(rest.substr(open + 1, close - open - 1));
+        std::string tail = trimmed(rest.substr(close + 1));
+        if (tail.empty() || tail[0] != ':' ||
+            trimmed(tail.substr(1)).empty()) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "suppression of '" + rule +
+                               "' has no reason; write "
+                               "allow(" + rule + "): <why>",
+                           trimmed(c.text)});
+            continue;
+        }
+        const auto &known = allRules();
+        if (std::find(known.begin(), known.end(), rule) ==
+            known.end()) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "suppression names unknown rule '" + rule +
+                               "'",
+                           trimmed(c.text)});
+            continue;
+        }
+        if (file_scope) {
+            sup.file.insert(rule);
+        } else {
+            sup.lines[c.line].insert(rule);
+            sup.lines[anchor(c.line)].insert(rule);
+        }
+    }
+    return sup;
+}
+
+bool
+suppressed(const Suppressions &sup, const Finding &f)
+{
+    if (sup.file.count(f.rule))
+        return true;
+    auto it = sup.lines.find(f.line);
+    return it != sup.lines.end() && it->second.count(f.rule) > 0;
+}
+
+// ---------------------------------------------------------------
+// Rule: determinism. The bit-identical-per-seed guarantee dies the
+// moment any code path reads entropy or the wall clock; every
+// stochastic draw must come from the explicitly seeded sim::Rng and
+// every timestamp from the simulated clock.
+
+const std::set<std::string> &
+bannedEntropy()
+{
+    static const std::set<std::string> kBanned = {
+        "rand",          "srand",        "rand_r",
+        "drand48",       "lrand48",      "mrand48",
+        "random_device", "mt19937",      "mt19937_64",
+        "minstd_rand",   "minstd_rand0", "default_random_engine",
+        "random_shuffle"};
+    return kBanned;
+}
+
+const std::set<std::string> &
+bannedClocks()
+{
+    static const std::set<std::string> kBanned = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "localtime",
+        "gmtime",        "strftime",      "ftime"};
+    return kBanned;
+}
+
+void
+ruleDeterminism(const std::string &path, const std::vector<Tok> &toks,
+                const std::vector<std::string> &lines,
+                std::vector<Finding> &out)
+{
+    // The one blessed entropy source implements itself here.
+    if (endsWith(path, "src/sim/rng.cc") ||
+        endsWith(path, "src/sim/rng.hh") ||
+        startsWith(path, "src/sim/rng."))
+        return;
+
+    auto excerpt = [&](int line) {
+        return line >= 1 && line <= static_cast<int>(lines.size())
+                   ? trimmed(lines[line - 1])
+                   : std::string();
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Tok &t = toks[i];
+        if (t.kind != TokKind::Id)
+            continue;
+        // Member accesses are someone else's symbols (e.g. a field
+        // named `random` on a config struct).
+        bool member = i > 0 && (toks[i - 1].text == "." ||
+                                toks[i - 1].text == "->");
+        if (member)
+            continue;
+        // Qualified names: only std:: / std::chrono:: (and the
+        // global ::) versions of the banned symbols are the real
+        // thing; my::random_device is someone else's type.
+        if (i > 0 && toks[i - 1].text == "::" && i > 1 &&
+            toks[i - 2].kind == TokKind::Id &&
+            toks[i - 2].text != "std" && toks[i - 2].text != "chrono") {
+            continue;
+        }
+
+        if (bannedEntropy().count(t.text)) {
+            out.push_back(
+                {path, t.line, "determinism",
+                 "'" + t.text +
+                     "' is a nondeterministic entropy source; draw "
+                     "from the seeded sim::Rng (src/sim/rng.hh) "
+                     "instead",
+                 excerpt(t.line)});
+            continue;
+        }
+        if (bannedClocks().count(t.text)) {
+            out.push_back(
+                {path, t.line, "determinism",
+                 "'" + t.text +
+                     "' reads the wall clock; use the simulated "
+                     "engine time so runs stay bit-identical per "
+                     "seed",
+                 excerpt(t.line)});
+            continue;
+        }
+        // `time(...)` / `clock(...)` as free-function calls. Member
+        // calls (engine.time()) and unrelated declarations (`double
+        // time;`) stay legal.
+        if ((t.text == "time" || t.text == "clock") &&
+            i + 1 < toks.size() && toks[i + 1].text == "(") {
+            out.push_back(
+                {path, t.line, "determinism",
+                 "'" + t.text +
+                     "()' reads the wall clock; use the simulated "
+                     "engine time instead",
+                 excerpt(t.line)});
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: unordered-iter. Iteration order of unordered containers is
+// implementation-defined and can differ run to run once pointers or
+// hashes feed the bucketing; iterating one inside a control path
+// silently breaks replayability. Scope: the controller and simulator
+// cores, where ordering feeds actuation decisions and event streams.
+
+void
+ruleUnorderedIter(const std::string &path,
+                  const std::vector<Tok> &toks,
+                  const std::vector<std::string> &lines,
+                  std::vector<Finding> &out)
+{
+    if (!startsWith(path, "src/kelp/") &&
+        !startsWith(path, "src/sim/"))
+        return;
+
+    auto isUnordered = [](const std::string &s) {
+        return s == "unordered_map" || s == "unordered_set" ||
+               s == "unordered_multimap" ||
+               s == "unordered_multiset";
+    };
+
+    // Pass 1: names declared with an unordered container type. After
+    // the closing template bracket, the next identifier-ish token is
+    // the declared name (skipping &, *, and cv qualifiers).
+    std::set<std::string> names;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Id || !isUnordered(toks[i].text))
+            continue;
+        size_t j = i + 1;
+        if (j >= toks.size() || toks[j].text != "<")
+            continue;
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<")
+                ++depth;
+            else if (toks[j].text == "<<")
+                depth += 2;
+            else if (toks[j].text == ">")
+                --depth;
+            else if (toks[j].text == ">>")
+                depth -= 2;
+            if (depth <= 0)
+                break;
+        }
+        for (++j; j < toks.size(); ++j) {
+            const Tok &t = toks[j];
+            if (t.text == "&" || t.text == "*" || t.text == "const")
+                continue;
+            if (t.kind == TokKind::Id)
+                names.insert(t.text);
+            break;
+        }
+    }
+
+    // Pass 2: range-for statements whose range expression mentions a
+    // declared unordered name (or an unordered temporary).
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Id || toks[i].text != "for" ||
+            toks[i + 1].text != "(")
+            continue;
+        size_t j = i + 1;
+        int depth = 0;
+        size_t colon = 0;
+        size_t close = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].text == "(")
+                ++depth;
+            else if (toks[j].text == ")") {
+                --depth;
+                if (depth == 0) {
+                    close = j;
+                    break;
+                }
+            } else if (toks[j].text == ":" && depth == 1 && !colon) {
+                colon = j;
+            }
+        }
+        if (!colon || !close)
+            continue;
+        for (size_t k = colon + 1; k < close; ++k) {
+            if (toks[k].kind == TokKind::Id &&
+                (names.count(toks[k].text) ||
+                 isUnordered(toks[k].text))) {
+                int line = toks[i].line;
+                out.push_back(
+                    {path, line, "unordered-iter",
+                     "range-for over unordered container '" +
+                         toks[k].text +
+                         "' in a control path; iteration order is "
+                         "nondeterministic -- use a sorted/ordered "
+                         "container or sort the keys first",
+                     line <= static_cast<int>(lines.size())
+                         ? trimmed(lines[line - 1])
+                         : ""});
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: knob-discipline. Hardware actuation must flow through the
+// managed KnobSink (controllers) or the HAL itself: a direct mutator
+// call anywhere else bypasses actuation retry, checkpointing, and
+// restart reconciliation, so the registry's idea of the hardware and
+// the controller's idea of its intent silently diverge.
+
+void
+ruleKnobDiscipline(const std::string &path,
+                   const std::vector<Tok> &toks,
+                   const std::vector<std::string> &lines,
+                   std::vector<Finding> &out)
+{
+    bool scoped = (startsWith(path, "src/") ||
+                   startsWith(path, "tools/") ||
+                   startsWith(path, "bench/")) &&
+                  !startsWith(path, "src/hal/") &&
+                  !startsWith(path, "src/kelp/");
+    if (!scoped)
+        return;
+
+    static const std::set<std::string> kMutators = {
+        "setCores", "setPrefetchersEnabled", "setCatWays",
+        "adjustCores", "setMemBinding"};
+
+    for (size_t i = 1; i + 1 < toks.size(); ++i) {
+        const Tok &t = toks[i];
+        if (t.kind != TokKind::Id || !kMutators.count(t.text))
+            continue;
+        if (toks[i - 1].text != "." && toks[i - 1].text != "->")
+            continue;
+        if (toks[i + 1].text != "(")
+            continue;
+        out.push_back(
+            {path, t.line, "knob-discipline",
+             "direct HAL knob mutator '" + t.text +
+                 "()' outside src/hal/ and the managed controllers; "
+                 "route actuation through the controller's KnobSink "
+                 "so retry/snapshot/reconciliation stay correct",
+             t.line <= static_cast<int>(lines.size())
+                 ? trimmed(lines[t.line - 1])
+                 : ""});
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: float-eq. Exact ==/!= on floating-point values is almost
+// always a latent bug (accumulated rounding makes it flap); the rule
+// flags comparisons where either operand is a floating literal.
+
+bool
+isFloatLiteral(const Tok &t)
+{
+    if (t.kind != TokKind::Num)
+        return false;
+    if (t.text.size() > 1 && (t.text[1] == 'x' || t.text[1] == 'X'))
+        return false; // hex integer
+    if (t.text.find('.') != std::string::npos)
+        return true;
+    // Decimal exponent form (1e9) without a dot.
+    return t.text.find('e') != std::string::npos ||
+           t.text.find('E') != std::string::npos;
+}
+
+void
+ruleFloatEq(const std::string &path, const std::vector<Tok> &toks,
+            const std::vector<std::string> &lines,
+            std::vector<Finding> &out)
+{
+    for (size_t i = 1; i + 1 < toks.size(); ++i) {
+        const Tok &t = toks[i];
+        if (t.kind != TokKind::Punct ||
+            (t.text != "==" && t.text != "!="))
+            continue;
+        if (!isFloatLiteral(toks[i - 1]) &&
+            !isFloatLiteral(toks[i + 1]))
+            continue;
+        out.push_back(
+            {path, t.line, "float-eq",
+             "exact '" + t.text +
+                 "' against a floating-point literal; compare with "
+                 "an explicit tolerance (or justify exactness with "
+                 "an allow)",
+             t.line <= static_cast<int>(lines.size())
+                 ? trimmed(lines[t.line - 1])
+                 : ""});
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: include-guard. Guards must be derivable from the path so a
+// moved header cannot silently shadow another one's guard.
+
+void
+ruleIncludeGuard(const std::string &path,
+                 const std::vector<std::string> &lines,
+                 std::vector<Finding> &out)
+{
+    if (!startsWith(path, "src/") || !isHeader(path))
+        return;
+    std::string expected = expectedGuard(path);
+
+    int ifndef_line = 0;
+    std::string guard;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        std::string l = trimmed(lines[i]);
+        if (!startsWith(l, "#ifndef"))
+            continue;
+        std::istringstream is(l);
+        std::string directive;
+        is >> directive >> guard;
+        ifndef_line = static_cast<int>(i) + 1;
+        break;
+    }
+    if (!ifndef_line) {
+        out.push_back({path, 1, "include-guard",
+                       "header has no #ifndef include guard; expected "
+                       "'" + expected + "'",
+                       ""});
+        return;
+    }
+    if (guard != expected) {
+        out.push_back({path, ifndef_line, "include-guard",
+                       "include guard '" + guard +
+                           "' does not match the path; expected '" +
+                           expected + "'",
+                       trimmed(lines[ifndef_line - 1])});
+        return;
+    }
+    // The #define must pair with the #ifndef.
+    bool defined = false;
+    for (size_t i = static_cast<size_t>(ifndef_line);
+         i < lines.size(); ++i) {
+        if (startsWith(trimmed(lines[i]), "#define " + expected)) {
+            defined = true;
+            break;
+        }
+    }
+    if (!defined) {
+        out.push_back({path, ifndef_line, "include-guard",
+                       "include guard '" + expected +
+                           "' is never #defined",
+                       trimmed(lines[ifndef_line - 1])});
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: using-namespace. A header-level using-directive leaks the
+// namespace into every includer and changes overload resolution at a
+// distance.
+
+void
+ruleUsingNamespace(const std::string &path,
+                   const std::vector<Tok> &toks,
+                   const std::vector<std::string> &lines,
+                   std::vector<Finding> &out)
+{
+    if (!isHeader(path))
+        return;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Id &&
+            toks[i].text == "using" &&
+            toks[i + 1].kind == TokKind::Id &&
+            toks[i + 1].text == "namespace") {
+            int line = toks[i].line;
+            out.push_back(
+                {path, line, "using-namespace",
+                 "'using namespace' in a header leaks into every "
+                 "includer; qualify names or move the directive "
+                 "into a .cc file",
+                 line <= static_cast<int>(lines.size())
+                     ? trimmed(lines[line - 1])
+                     : ""});
+        }
+    }
+}
+
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : content) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allRules()
+{
+    static const std::vector<std::string> kRules = {
+        "determinism",   "unordered-iter", "knob-discipline",
+        "float-eq",      "include-guard",  "using-namespace",
+        "bad-suppression"};
+    return kRules;
+}
+
+std::string
+expectedGuard(const std::string &path)
+{
+    // Components after the first (src/..., tools/...) form the guard;
+    // the leading "src" is elided for brevity, matching the existing
+    // KELP_<DIR>_<FILE>_HH convention.
+    std::string p = path;
+    if (startsWith(p, "src/"))
+        p = p.substr(4);
+    std::string guard = "KELP_";
+    for (char c : p) {
+        if (c == '/') {
+            guard += '_';
+        } else if (c == '.') {
+            guard += '_';
+        } else if (std::isalnum(static_cast<unsigned char>(c))) {
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        } else {
+            guard += '_';
+        }
+    }
+    return guard;
+}
+
+std::string
+formatFinding(const Finding &f)
+{
+    std::ostringstream os;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] "
+       << f.message;
+    if (!f.excerpt.empty())
+        os << "\n    " << f.excerpt;
+    return os.str();
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content)
+{
+    LexResult lex = tokenize(content);
+    std::vector<std::string> lines = splitLines(content);
+
+    std::vector<Finding> bad_sup;
+    Suppressions sup =
+        parseSuppressions(path, lex.comments, bad_sup);
+
+    std::vector<Finding> raw;
+    ruleDeterminism(path, lex.toks, lines, raw);
+    ruleUnorderedIter(path, lex.toks, lines, raw);
+    ruleKnobDiscipline(path, lex.toks, lines, raw);
+    ruleFloatEq(path, lex.toks, lines, raw);
+    ruleIncludeGuard(path, lines, raw);
+    ruleUsingNamespace(path, lex.toks, lines, raw);
+
+    std::vector<Finding> out;
+    for (auto &f : raw) {
+        if (!suppressed(sup, f))
+            out.push_back(std::move(f));
+    }
+    // Suppression-syntax findings are not themselves suppressible:
+    // silencing the thing that checks silencing defeats the audit.
+    out.insert(out.end(), bad_sup.begin(), bad_sup.end());
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return out;
+}
+
+bool
+Baseline::parse(const std::string &text)
+{
+    for (const std::string &raw : splitLines(text)) {
+        std::string l = trimmed(raw);
+        if (l.empty() || l[0] == '#')
+            continue;
+        // Two separators make three fields.
+        size_t first = l.find('|');
+        size_t second =
+            first == std::string::npos ? first : l.find('|', first + 1);
+        if (second == std::string::npos)
+            return false;
+        entries_.insert(l);
+    }
+    return true;
+}
+
+std::string
+Baseline::entry(const Finding &f)
+{
+    return f.file + "|" + f.rule + "|" + f.excerpt;
+}
+
+bool
+Baseline::covers(const Finding &f) const
+{
+    return entries_.count(entry(f)) > 0;
+}
+
+} // namespace lint
+} // namespace kelp

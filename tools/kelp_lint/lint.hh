@@ -1,0 +1,115 @@
+/**
+ * @file
+ * kelp-lint: project-specific static analysis for the Kelp tree.
+ *
+ * The two hardest-won properties of this codebase are enforced here
+ * as machine-checked rules instead of convention:
+ *
+ *  - bit-identical-per-seed runs (all randomness and time must come
+ *    from the seeded sim::Rng / the simulated clock), and
+ *  - knob discipline (all hardware actuation flows through the
+ *    managed KnobSink so retry, snapshot, and reconciliation stay
+ *    correct).
+ *
+ * The engine is a self-contained tokenizer-based pass (no libclang):
+ * it lexes a translation unit, strips comments and literals, and runs
+ * a fixed set of rules keyed off the file's repo-relative path. It is
+ * deliberately a library -- tests drive it directly on fixture
+ * sources, and the `kelp_lint` CLI (main.cc) walks the tree.
+ *
+ * Rules (see DESIGN.md section 8 for rationale and examples):
+ *
+ *   determinism      banned nondeterminism sources (rand, mt19937,
+ *                    random_device, wall-clock reads) outside
+ *                    src/sim/rng.*
+ *   unordered-iter   range-for over std::unordered_map/set in
+ *                    src/kelp/ and src/sim/ control paths
+ *   knob-discipline  direct HAL knob mutator calls outside src/hal/
+ *                    and the managed controllers in src/kelp/
+ *   float-eq         ==/!= against floating-point literals
+ *   include-guard    src/ headers must guard with KELP_<DIR>_<FILE>_HH
+ *   using-namespace  `using namespace` in any header
+ *   bad-suppression  kelp-lint suppression comment without a reason
+ *
+ * Suppressions: `// kelp-lint: allow(<rule>): <reason>` on the same
+ * line or the line directly above silences one finding; `allow-file`
+ * silences the rule for the whole file. The reason is mandatory.
+ */
+
+#ifndef KELP_TOOLS_KELP_LINT_LINT_HH
+#define KELP_TOOLS_KELP_LINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kelp {
+namespace lint {
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    /** Repo-relative path (forward slashes), e.g. "src/kelp/x.cc". */
+    std::string file;
+
+    /** 1-based source line. */
+    int line = 0;
+
+    /** Rule identifier (see file comment). */
+    std::string rule;
+
+    /** Human-readable explanation with the fix direction. */
+    std::string message;
+
+    /** Trimmed text of the offending source line. */
+    std::string excerpt;
+};
+
+/** All rule identifiers the engine can emit, in report order. */
+const std::vector<std::string> &allRules();
+
+/**
+ * Lint one translation unit. @p path is the repo-relative path that
+ * scopes path-sensitive rules (it need not exist on disk); @p content
+ * is the full source text. Returns findings sorted by line, with
+ * valid suppressions already applied.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/** Expected include-guard macro for a header under src/ (or tools/):
+ * KELP_<DIR...>_<FILE>_HH with non-alphanumerics mapped to '_'. */
+std::string expectedGuard(const std::string &path);
+
+/** One formatted report line: "file:line: [rule] message". */
+std::string formatFinding(const Finding &f);
+
+/**
+ * Checked-in set of grandfathered findings. Entries are one per
+ * line, "file|rule|trimmed excerpt", '#' starts a comment. Line
+ * numbers are deliberately not part of the key so unrelated edits do
+ * not invalidate the baseline. The shipped baseline is empty and the
+ * goal is to keep it that way.
+ */
+class Baseline
+{
+  public:
+    /** Parse baseline text. Returns false on a malformed line. */
+    bool parse(const std::string &text);
+
+    /** True when the finding is grandfathered. */
+    bool covers(const Finding &f) const;
+
+    /** The baseline key for a finding. */
+    static std::string entry(const Finding &f);
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::set<std::string> entries_;
+};
+
+} // namespace lint
+} // namespace kelp
+
+#endif // KELP_TOOLS_KELP_LINT_LINT_HH

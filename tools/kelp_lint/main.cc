@@ -1,0 +1,173 @@
+/**
+ * @file
+ * kelp_lint CLI: walk the tree, lint every C++ source, apply the
+ * checked-in baseline, and exit non-zero on any new finding.
+ *
+ * Usage:
+ *   kelp_lint [--root=DIR] [--baseline=FILE] [--update-baseline]
+ *             [dir...]
+ *
+ * With no directories given, the standard sweep is src, tools, bench,
+ * tests, and examples under the root. tests/lint_fixtures/ is always
+ * skipped: its files are deliberately bad (they are the linter's own
+ * test corpus).
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+using kelp::lint::Baseline;
+using kelp::lint::Finding;
+
+namespace {
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string baseline_path;
+    bool update_baseline = false;
+    std::vector<std::string> dirs;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_path = arg.substr(11);
+        } else if (arg == "--update-baseline") {
+            update_baseline = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: kelp_lint [--root=DIR] [--baseline=FILE] "
+                "[--update-baseline] [dir...]\n");
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "kelp_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (dirs.empty())
+        dirs = {"src", "tools", "bench", "tests", "examples"};
+
+    Baseline baseline;
+    if (!baseline_path.empty()) {
+        std::string text;
+        if (!readFile(baseline_path, text)) {
+            std::fprintf(stderr,
+                         "kelp_lint: cannot read baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        if (!baseline.parse(text)) {
+            std::fprintf(stderr,
+                         "kelp_lint: malformed baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+    }
+
+    // Deterministic sweep: collect, then sort, then lint.
+    std::vector<fs::path> files;
+    for (const std::string &d : dirs) {
+        fs::path top = fs::path(root) / d;
+        if (!fs::exists(top))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(top);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory()) {
+                // The fixture corpus is deliberately bad.
+                if (it->path().filename() == "lint_fixtures")
+                    it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() &&
+                lintableExtension(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> fresh;
+    size_t baselined = 0;
+    for (const fs::path &p : files) {
+        std::string content;
+        if (!readFile(p, content)) {
+            std::fprintf(stderr, "kelp_lint: cannot read '%s'\n",
+                         p.string().c_str());
+            return 2;
+        }
+        std::string rel =
+            fs::relative(p, root).generic_string();
+        for (Finding &f : kelp::lint::lintSource(rel, content)) {
+            if (baseline.covers(f))
+                ++baselined;
+            else
+                fresh.push_back(std::move(f));
+        }
+    }
+
+    if (update_baseline) {
+        if (baseline_path.empty()) {
+            std::fprintf(stderr,
+                         "kelp_lint: --update-baseline needs "
+                         "--baseline=FILE\n");
+            return 2;
+        }
+        std::ofstream out(baseline_path, std::ios::trunc);
+        out << "# kelp_lint baseline: grandfathered findings, one "
+               "per line as file|rule|excerpt.\n"
+            << "# The goal is to keep this file empty; fix or "
+               "allow() findings instead of re-baselining.\n";
+        for (const Finding &f : fresh)
+            out << Baseline::entry(f) << "\n";
+        std::printf("kelp_lint: baseline updated with %zu entries\n",
+                    fresh.size());
+        return 0;
+    }
+
+    for (const Finding &f : fresh)
+        std::printf("%s\n", kelp::lint::formatFinding(f).c_str());
+
+    std::printf("kelp_lint: %zu files, %zu findings", files.size(),
+                fresh.size());
+    if (baselined)
+        std::printf(" (%zu baselined)", baselined);
+    std::printf("\n");
+    return fresh.empty() ? 0 : 1;
+}

@@ -134,6 +134,10 @@ main(int argc, char **argv)
                  "arm the SLO degradation ladder (kp/kpsd)");
     opts.addDouble("slo-floor", 0.85,
                    "SLO floor: min acceptable ML perf ratio");
+    opts.addBool("contract-selftest", false,
+                 "deliberately violate one contract before the run "
+                 "(verifies the release-mode violation counter "
+                 "end-to-end)");
     if (!opts.parse(argc, argv))
         return 0;
     if (!opts.positional().empty()) {
@@ -171,6 +175,13 @@ main(int argc, char **argv)
     cfg.slo.enabled = opts.getBool("slo");
     cfg.slo.minPerfRatio = opts.getDouble("slo-floor");
 
+    if (opts.getBool("contract-selftest")) {
+        // Count mode regardless of build type so the violation is
+        // recorded (not fatal) and shows up in the report below.
+        sim::setContractMode(sim::ContractMode::Count);
+        KELP_INVARIANT(false, "contract self-test (--contract-selftest)");
+    }
+
     exp::RunResult ref = exp::standaloneReference(cfg.ml);
 
     std::string csv = opts.getString("telemetry");
@@ -194,6 +205,9 @@ main(int argc, char **argv)
                      [sample]() { return sample->memLatency; });
         tel.addProbe("saturation",
                      [sample]() { return sample->saturation; });
+        tel.addProbe("contract_violations", []() {
+            return static_cast<double>(sim::contractViolations());
+        });
         if (s.manager) {
             auto *mgr = s.manager.get();
             tel.addProbe("lo_cores", [mgr]() {
@@ -284,6 +298,12 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.sloViolations),
                     static_cast<unsigned long long>(r.sloTransitions),
                     runtime::sloRungName(r.sloFinalRung));
+    }
+    if (sim::contractViolations() > 0) {
+        std::printf("  contracts      : %llu violation(s) recorded "
+                    "(counted, not fatal)\n",
+                    static_cast<unsigned long long>(
+                        sim::contractViolations()));
     }
     return 0;
 }
