@@ -16,18 +16,43 @@
  * forced sweep's best setting), and full Kelp.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 namespace {
 
+const exp::ConfigKind kKinds[] = {
+    exp::ConfigKind::BL, exp::ConfigKind::CT, exp::ConfigKind::KPSD,
+    exp::ConfigKind::KP, exp::ConfigKind::FG};
+
+std::vector<exp::RunConfig>
+whatIfConfigs(wl::MlWorkload ml, wl::CpuWorkload cpu, int instances,
+              int threads_override)
+{
+    std::vector<exp::RunConfig> cfgs;
+    for (auto kind : kKinds) {
+        exp::RunConfig cfg;
+        cfg.ml = ml;
+        cfg.cpu = cpu;
+        cfg.cpuInstances = instances;
+        cfg.cpuThreadsOverride = threads_override;
+        cfg.config = kind;
+        cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
+
 void
-whatIf(wl::MlWorkload ml, wl::CpuWorkload cpu, int instances,
-       int threads_override)
+printWhatIf(wl::MlWorkload ml, wl::CpuWorkload cpu,
+            const std::vector<exp::RunResult> &results, size_t base)
 {
     exp::RunResult ref = exp::standaloneReference(ml);
 
@@ -38,16 +63,9 @@ whatIf(wl::MlWorkload ml, wl::CpuWorkload cpu, int instances,
                       "Saturation"});
 
     double bl_tput = 0.0;
-    for (auto kind : {exp::ConfigKind::BL, exp::ConfigKind::CT,
-                      exp::ConfigKind::KPSD, exp::ConfigKind::KP,
-                      exp::ConfigKind::FG}) {
-        exp::RunConfig cfg;
-        cfg.ml = ml;
-        cfg.cpu = cpu;
-        cfg.cpuInstances = instances;
-        cfg.cpuThreadsOverride = threads_override;
-        cfg.config = kind;
-        exp::RunResult r = exp::runScenario(cfg);
+    size_t idx = base;
+    for (auto kind : kKinds) {
+        const exp::RunResult &r = results[idx++];
         if (kind == exp::ConfigKind::BL)
             bl_tput = r.cpuThroughput;
         table.addRow({exp::configName(kind),
@@ -62,10 +80,31 @@ whatIf(wl::MlWorkload ml, wl::CpuWorkload cpu, int instances,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    whatIf(wl::MlWorkload::Cnn1, wl::CpuWorkload::Stitch, 6, 0);
-    whatIf(wl::MlWorkload::Cnn3, wl::CpuWorkload::Stream, 10, 10);
+    sim::Options opts("bench_ablation",
+                      "Ablation: software runtimes vs. fine-grained "
+                      "hardware QoS");
+    opts.addInt("jobs", 0,
+                "worker threads for the sweep (0 = all cores, 1 = "
+                "serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const int jobs = static_cast<int>(opts.getInt("jobs"));
+
+    std::vector<exp::RunConfig> cfgs = whatIfConfigs(
+        wl::MlWorkload::Cnn1, wl::CpuWorkload::Stitch, 6, 0);
+    {
+        auto second = whatIfConfigs(wl::MlWorkload::Cnn3,
+                                    wl::CpuWorkload::Stream, 10, 10);
+        cfgs.insert(cfgs.end(), second.begin(), second.end());
+    }
+    const auto results = exp::runScenarios(cfgs, jobs);
+
+    printWhatIf(wl::MlWorkload::Cnn1, wl::CpuWorkload::Stitch,
+                results, 0);
+    printWhatIf(wl::MlWorkload::Cnn3, wl::CpuWorkload::Stream,
+                results, std::size(kKinds));
 
     std::printf("\nPaper's estimate (Section VI-D): fine-grained "
                 "hardware isolation achieves ML performance above "

@@ -27,6 +27,8 @@
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
@@ -110,8 +112,18 @@ mixedPlan(double p)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_chaos",
+                      "Chaos: fault-injection sweep for the hardened "
+                      "and naive runtimes");
+    opts.addInt("jobs", 0,
+                "worker threads for the sweep (0 = all cores, 1 = "
+                "serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const int jobs = static_cast<int>(opts.getInt("jobs"));
+
     const FaultClass classes[] = {
         {"drop", dropPlan},     {"stuck", stuckPlan},
         {"noise", noisePlan},   {"spike", spikePlan},
@@ -123,7 +135,23 @@ main()
     exp::banner("Chaos: CNN1 + Stitch x4 under KP with HAL fault "
                 "injection");
     std::printf("collecting (clean reference first)...\n");
-    exp::RunResult clean = exp::runScenario(base);
+
+    // Job 0 is the clean reference; each (class, prob) cell then
+    // contributes a hardened and a naive job, in that order.
+    std::vector<exp::RunConfig> cfgs{base};
+    for (const FaultClass &fc : classes) {
+        for (double p : probs) {
+            exp::RunConfig cfg = base;
+            cfg.faults = fc.plan(p);
+            cfg.hardened = true;
+            cfgs.push_back(cfg);
+            cfg.hardened = false;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto results = exp::runScenarios(cfgs, jobs);
+
+    const exp::RunResult &clean = results[0];
     std::printf("clean KP: ML %.2f /s, CPU %.2f units/s\n\n",
                 clean.mlPerf, clean.cpuThroughput);
 
@@ -132,16 +160,11 @@ main()
     double worstHard = 1.0;
     double worstNaiveDrop10 = 1.0;
     double hard_drop10 = 1.0;
+    size_t idx = 1;
     for (const FaultClass &fc : classes) {
         for (double p : probs) {
-            exp::RunConfig cfg = base;
-            cfg.faults = fc.plan(p);
-
-            cfg.hardened = true;
-            exp::RunResult hard = exp::runScenario(cfg);
-
-            cfg.hardened = false;
-            exp::RunResult naive = exp::runScenario(cfg);
+            const exp::RunResult &hard = results[idx++];
+            const exp::RunResult &naive = results[idx++];
 
             double mlHard = hard.mlPerf / clean.mlPerf;
             double mlNaive = naive.mlPerf / clean.mlPerf;

@@ -16,42 +16,65 @@
  */
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_fig10",
+                      "Figure 10: RNN1 + CPUML memory-pressure sweep");
+    opts.addInt("jobs", 0,
+                "worker threads for the sweep (0 = all cores, 1 = "
+                "serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const int jobs = static_cast<int>(opts.getInt("jobs"));
+
     const exp::ConfigKind configs[] = {
         exp::ConfigKind::BL, exp::ConfigKind::CT,
         exp::ConfigKind::KPSD, exp::ConfigKind::KP};
 
-    exp::RunResult ref = exp::standaloneReference(wl::MlWorkload::Rnn1);
-
+    // Normalization anchor for CPUML: Baseline with two threads. It
+    // is job 0 of the sweep; jobs 1..32 are the 8x4 grid.
     exp::RunConfig anchor;
     anchor.ml = wl::MlWorkload::Rnn1;
     anchor.cpu = wl::CpuWorkload::Cpuml;
     anchor.cpuThreadsOverride = 2;
     anchor.config = exp::ConfigKind::BL;
-    double cpuml_ref = exp::runScenario(anchor).cpuThroughput;
+
+    std::vector<exp::RunConfig> cfgs{anchor};
+    for (int threads = 2; threads <= 16; threads += 2) {
+        for (auto kind : configs) {
+            exp::RunConfig cfg = anchor;
+            cfg.cpuThreadsOverride = threads;
+            cfg.config = kind;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto results = exp::runScenarios(cfgs, jobs);
+
+    exp::RunResult ref = exp::standaloneReference(wl::MlWorkload::Rnn1);
+    double cpuml_ref = results[0].cpuThroughput;
 
     exp::Table qps({"Threads", "BL", "CT", "KP-SD", "KP"});
     exp::Table tail({"Threads", "BL", "CT", "KP-SD", "KP"});
     exp::Table tput({"Threads", "BL", "CT", "KP-SD", "KP"});
 
+    size_t idx = 1;
     for (int threads = 2; threads <= 16; threads += 2) {
         std::vector<std::string> rq{std::to_string(threads)};
         std::vector<std::string> rt{std::to_string(threads)};
         std::vector<std::string> rp{std::to_string(threads)};
-        for (auto kind : configs) {
-            exp::RunConfig cfg = anchor;
-            cfg.cpuThreadsOverride = threads;
-            cfg.config = kind;
-            exp::RunResult r = exp::runScenario(cfg);
+        for (size_t k = 0; k < std::size(configs); ++k) {
+            const exp::RunResult &r = results[idx++];
             rq.push_back(exp::fmt(r.mlPerf / ref.mlPerf, 2));
             rt.push_back(exp::fmt(r.mlTailP95 / ref.mlTailP95, 2));
             rp.push_back(exp::fmt(r.cpuThroughput / cpuml_ref, 2));

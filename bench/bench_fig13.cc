@@ -16,14 +16,34 @@
 
 #include "exp/evaluation.hh"
 #include "exp/report.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_fig13",
+                      "Figure 13: evaluation grid, ML vs CPU slowdown");
+    opts.addInt("jobs", 0,
+                "worker threads for the grid (0 = all cores, 1 = "
+                "serial)");
+    opts.addDouble("warmup", -1.0,
+                   "override warmup seconds per run (negative = "
+                   "scenario default)");
+    opts.addDouble("measure", -1.0,
+                   "override measure seconds per run (negative = "
+                   "scenario default)");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    exp::GridOptions gopt;
+    gopt.jobs = static_cast<int>(opts.getInt("jobs"));
+    gopt.warmup = opts.getDouble("warmup");
+    gopt.measure = opts.getDouble("measure");
+
     exp::banner("Figure 13: ML and CPU slowdown, all workload mixes");
-    auto grid = exp::runEvaluationGrid();
+    auto grid = exp::runEvaluationGrid(gopt);
 
     exp::Table table({"Mix", "BL ML", "CT ML", "KP-SD ML", "KP ML",
                       "BL CPU", "CT CPU", "KP-SD CPU", "KP CPU"});

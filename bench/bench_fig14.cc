@@ -16,15 +16,28 @@
 
 #include "exp/evaluation.hh"
 #include "exp/report.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_fig14",
+                      "Figure 14: efficiency across the evaluation "
+                      "grid");
+    opts.addInt("jobs", 0,
+                "worker threads for the grid (0 = all cores, 1 = "
+                "serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    exp::GridOptions gopt;
+    gopt.jobs = static_cast<int>(opts.getInt("jobs"));
+
     exp::banner("Figure 14: ML gain per unit CPU loss (CT / KP-SD / "
                 "KP)");
-    auto grid = exp::runEvaluationGrid();
+    auto grid = exp::runEvaluationGrid(gopt);
 
     exp::Table table({"Mix", "CT", "KP-SD", "KP"});
     double sums[3] = {0, 0, 0};

@@ -12,13 +12,23 @@
 
 #include "exp/report.hh"
 #include "fleet/fleet.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_fig2",
+                      "Figure 2: fleet-wide p99 bandwidth profile");
+    opts.addInt("jobs", 0,
+                "worker threads for the fleet sweep (0 = all cores, "
+                "1 = serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+
     fleet::FleetConfig cfg;
+    cfg.jobs = static_cast<int>(opts.getInt("jobs"));
     fleet::FleetResult result = fleet::profileFleet(cfg);
 
     exp::banner("Figure 2: CDF of per-server 99%-ile memory "

@@ -21,23 +21,46 @@
  * disabled); 95%%-ile tail latency additionally for RNN1.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 namespace {
 
-void
-sweepWorkload(wl::MlWorkload ml)
-{
-    const double disabled_steps[] = {0.0, 0.25, 0.5, 0.75, 1.0};
-    const wl::AggressorLevel levels[] = {wl::AggressorLevel::Low,
-                                         wl::AggressorLevel::Medium,
-                                         wl::AggressorLevel::High};
+const double kDisabledSteps[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+const wl::AggressorLevel kLevels[] = {wl::AggressorLevel::Low,
+                                      wl::AggressorLevel::Medium,
+                                      wl::AggressorLevel::High};
 
+std::vector<exp::RunConfig>
+workloadConfigs(wl::MlWorkload ml)
+{
+    std::vector<exp::RunConfig> cfgs;
+    for (double disabled : kDisabledSteps) {
+        for (auto lv : kLevels) {
+            exp::RunConfig cfg;
+            cfg.ml = ml;
+            cfg.config = exp::ConfigKind::KPSD;
+            cfg.cpu = wl::CpuWorkload::DramAggressor;
+            cfg.aggressorLevel = lv;
+            cfg.forcedPrefetcherFraction = 1.0 - disabled;
+            cfgs.push_back(cfg);
+        }
+    }
+    return cfgs;
+}
+
+void
+printWorkload(wl::MlWorkload ml,
+              const std::vector<exp::RunResult> &results, size_t base)
+{
     exp::RunResult ref = exp::standaloneReference(ml);
     bool inference = wl::mlDesc(ml).inference;
 
@@ -45,7 +68,7 @@ sweepWorkload(wl::MlWorkload ml)
                 " under subdomains + fixed prefetcher settings");
 
     std::vector<std::string> headers{"%PF disabled"};
-    for (auto lv : levels) {
+    for (auto lv : kLevels) {
         std::string n = wl::aggressorLevelName(lv);
         headers.push_back("Perf-" + n);
         if (inference)
@@ -54,16 +77,11 @@ sweepWorkload(wl::MlWorkload ml)
     }
     exp::Table table(headers);
 
-    for (double disabled : disabled_steps) {
+    size_t idx = base;
+    for (double disabled : kDisabledSteps) {
         std::vector<std::string> row{exp::pct(disabled, 0)};
-        for (auto lv : levels) {
-            exp::RunConfig cfg;
-            cfg.ml = ml;
-            cfg.config = exp::ConfigKind::KPSD;
-            cfg.cpu = wl::CpuWorkload::DramAggressor;
-            cfg.aggressorLevel = lv;
-            cfg.forcedPrefetcherFraction = 1.0 - disabled;
-            exp::RunResult r = exp::runScenario(cfg);
+        for (size_t l = 0; l < std::size(kLevels); ++l) {
+            const exp::RunResult &r = results[idx++];
             row.push_back(exp::fmt(r.mlPerf / ref.mlPerf, 2));
             if (inference) {
                 row.push_back(exp::fmt(
@@ -79,11 +97,35 @@ sweepWorkload(wl::MlWorkload ml)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    sweepWorkload(wl::MlWorkload::Rnn1);
-    sweepWorkload(wl::MlWorkload::Cnn1);
-    sweepWorkload(wl::MlWorkload::Cnn2);
+    sim::Options opts("bench_fig7",
+                      "Figure 7: prefetcher sweep under subdomains");
+    opts.addInt("jobs", 0,
+                "worker threads for the sweep (0 = all cores, 1 = "
+                "serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const int jobs = static_cast<int>(opts.getInt("jobs"));
+
+    const wl::MlWorkload workloads[] = {wl::MlWorkload::Rnn1,
+                                        wl::MlWorkload::Cnn1,
+                                        wl::MlWorkload::Cnn2};
+    std::vector<exp::RunConfig> cfgs;
+    for (auto ml : workloads) {
+        auto w = workloadConfigs(ml);
+        cfgs.insert(cfgs.end(), w.begin(), w.end());
+    }
+
+    const auto results = exp::runScenarios(cfgs, jobs);
+
+    size_t base = 0;
+    const size_t perWorkload =
+        std::size(kDisabledSteps) * std::size(kLevels);
+    for (auto ml : workloads) {
+        printWorkload(ml, results, base);
+        base += perWorkload;
+    }
 
     std::printf("\nPaper shape at 0%% disabled, aggressor H: RNN1 "
                 "-14%% QPS / +16%% tail, CNN1 -50%%, CNN2 -10%%; "

@@ -15,28 +15,52 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/options.hh"
 
 using namespace kelp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_fig9",
+                      "Figure 9: CNN1 + Stitch memory-pressure sweep");
+    opts.addInt("jobs", 0,
+                "worker threads for the sweep (0 = all cores, 1 = "
+                "serial)");
+    if (!opts.parse(argc, argv))
+        return 0;
+    const int jobs = static_cast<int>(opts.getInt("jobs"));
+
     const exp::ConfigKind configs[] = {
         exp::ConfigKind::BL, exp::ConfigKind::CT,
         exp::ConfigKind::KPSD, exp::ConfigKind::KP};
 
-    exp::RunResult ref = exp::standaloneReference(wl::MlWorkload::Cnn1);
-
     // Normalization anchor for Stitch: Baseline with one instance.
+    // It is job 0 of the sweep; jobs 1..24 are the 6x4 grid.
     exp::RunConfig anchor;
     anchor.ml = wl::MlWorkload::Cnn1;
     anchor.cpu = wl::CpuWorkload::Stitch;
     anchor.cpuInstances = 1;
     anchor.config = exp::ConfigKind::BL;
-    double stitch_ref = exp::runScenario(anchor).cpuThroughput;
+
+    std::vector<exp::RunConfig> cfgs{anchor};
+    for (int inst = 1; inst <= 6; ++inst) {
+        for (auto kind : configs) {
+            exp::RunConfig cfg = anchor;
+            cfg.cpuInstances = inst;
+            cfg.config = kind;
+            cfgs.push_back(cfg);
+        }
+    }
+    const auto results = exp::runScenarios(cfgs, jobs);
+
+    exp::RunResult ref = exp::standaloneReference(wl::MlWorkload::Cnn1);
+    double stitch_ref = results[0].cpuThroughput;
 
     exp::banner("Figure 9a: CNN1 performance (normalized to "
                 "standalone)");
@@ -44,14 +68,12 @@ main()
     exp::banner("collecting...");
 
     std::vector<std::vector<double>> stitch_rows;
+    size_t idx = 1;
     for (int inst = 1; inst <= 6; ++inst) {
         std::vector<std::string> row{std::to_string(inst)};
         std::vector<double> stitch_row;
-        for (auto kind : configs) {
-            exp::RunConfig cfg = anchor;
-            cfg.cpuInstances = inst;
-            cfg.config = kind;
-            exp::RunResult r = exp::runScenario(cfg);
+        for (size_t k = 0; k < std::size(configs); ++k) {
+            const exp::RunResult &r = results[idx++];
             row.push_back(exp::fmt(r.mlPerf / ref.mlPerf, 2));
             stitch_row.push_back(r.cpuThroughput / stitch_ref);
         }

@@ -81,6 +81,29 @@ BM_MemSystemResolve(benchmark::State &state)
 }
 BENCHMARK(BM_MemSystemResolve)->Arg(4)->Arg(32);
 
+/** Same load with the resolve cache disabled: the steady-state flow
+ * set above hits the cache every tick, so the delta between the two
+ * is what the cache buys on the tick hot path. */
+void
+BM_MemSystemResolveUncached(benchmark::State &state)
+{
+    mem::MemSystemConfig cfg;
+    mem::MemSystem mem(cfg);
+    mem.setSncEnabled(true);
+    mem.setResolveCacheEnabled(false);
+    int flows = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        mem.beginTick();
+        for (int i = 0; i < flows; ++i) {
+            mem.addFlow(i, {0, i % 2, i % 2 ? 1 : 0, i % 2},
+                        2.0 + i);
+        }
+        mem.resolve(100 * sim::usec);
+        benchmark::DoNotOptimize(mem.grant(0));
+    }
+}
+BENCHMARK(BM_MemSystemResolveUncached)->Arg(4)->Arg(32);
+
 void
 BM_NodeTick(benchmark::State &state)
 {

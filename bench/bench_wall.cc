@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Wall-clock harness for the parallel sweep engine.
+ *
+ * Times a shortened Figure 13 evaluation grid (12 mixes x 4
+ * configurations) once on the serial reference path and once on the
+ * worker pool, verifies the two result sets are bit-identical, and
+ * writes BENCH_sweep.json so CI can track the speedup and catch
+ * regressions in either path.
+ *
+ * The simulated results never depend on the clock readings below:
+ * the timings are reported, not fed back.
+ */
+// kelp-lint: allow-file(determinism): measurement-only wall-clock
+// harness; timings are emitted to the report and JSON only and never
+// influence simulation results.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/evaluation.hh"
+#include "exp/pool.hh"
+#include "exp/report.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/options.hh"
+
+using namespace kelp;
+
+namespace {
+
+double
+elapsed(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Exact equality -- the pool must be bit-identical, not close. */
+bool
+sameGrid(const std::vector<exp::MixResult> &a,
+         const std::vector<exp::MixResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (int k = 0; k < 4; ++k) {
+            if (a[i].mlPerf[k] != b[i].mlPerf[k] ||
+                a[i].cpuTput[k] != b[i].cpuTput[k] ||
+                a[i].mlSlowdown[k] != b[i].mlSlowdown[k] ||
+                a[i].cpuSlowdown[k] != b[i].cpuSlowdown[k])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::Options opts("bench_wall",
+                      "wall-clock timing of the evaluation grid, "
+                      "serial vs. worker pool");
+    opts.addInt("jobs", 0,
+                "parallel worker count to time (0 = all cores)");
+    opts.addDouble("warmup", 4.0, "warmup simulated seconds per run");
+    opts.addDouble("measure", 4.0,
+                   "measured simulated seconds per run");
+    opts.addString("out", "BENCH_sweep.json", "output JSON path");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    const int jobs =
+        exp::resolveJobs(static_cast<int>(opts.getInt("jobs")));
+
+    exp::GridOptions gopt;
+    gopt.verbose = false;
+    gopt.warmup = opts.getDouble("warmup");
+    gopt.measure = opts.getDouble("measure");
+
+    exp::banner("Wall-clock: Figure 13 grid, serial vs. worker pool");
+
+    // Warm the standalone-reference memo outside the timed regions so
+    // both configurations time exactly the grid runs.
+    const auto mixes = exp::evaluationMixes();
+    {
+        std::vector<exp::RunConfig> cfgs;
+        for (const auto &mix : mixes) {
+            exp::RunConfig cfg;
+            cfg.ml = mix.ml;
+            cfgs.push_back(cfg);
+        }
+        exp::prewarmReferences(cfgs);
+    }
+
+    std::printf("grid: %zu mixes x 4 configs, warmup %.1f s, "
+                "measure %.1f s (simulated)\n",
+                mixes.size(), gopt.warmup, gopt.measure);
+
+    gopt.jobs = 1;
+    auto s0 = std::chrono::steady_clock::now();
+    const auto serial = exp::runEvaluationGrid(gopt);
+    auto s1 = std::chrono::steady_clock::now();
+    const double serialSec = elapsed(s0, s1);
+    std::printf("serial   (--jobs 1): %8.2f s\n", serialSec);
+
+    gopt.jobs = jobs;
+    auto p0 = std::chrono::steady_clock::now();
+    const auto parallel = exp::runEvaluationGrid(gopt);
+    auto p1 = std::chrono::steady_clock::now();
+    const double parallelSec = elapsed(p0, p1);
+    std::printf("parallel (--jobs %d): %8.2f s\n", jobs, parallelSec);
+
+    const bool identical = sameGrid(serial, parallel);
+    const double speedup =
+        parallelSec > 0.0 ? serialSec / parallelSec : 0.0;
+    std::printf("speedup: %.2fx, results identical: %s\n", speedup,
+                identical ? "yes" : "NO");
+
+    const std::string out = opts.getString("out");
+    std::ofstream json(out, std::ios::trunc);
+    if (!json.good()) {
+        std::fprintf(stderr, "bench_wall: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"fig13_grid\",\n"
+         << "  \"mixes\": " << mixes.size() << ",\n"
+         << "  \"runs\": " << mixes.size() * 4 << ",\n"
+         << "  \"warmup_s\": " << gopt.warmup << ",\n"
+         << "  \"measure_s\": " << gopt.measure << ",\n"
+         << "  \"jobs\": " << jobs << ",\n"
+         << "  \"serial_seconds\": " << serialSec << ",\n"
+         << "  \"parallel_seconds\": " << parallelSec << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"identical\": " << (identical ? "true" : "false")
+         << "\n}\n";
+    json.close();
+    std::printf("wrote %s\n", out.c_str());
+
+    return identical ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 #ifndef KELP_CPU_LLC_HH
 #define KELP_CPU_LLC_HH
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -88,6 +89,35 @@ class Llc
   private:
     double sizeMb_;
     int ways_;
+};
+
+/**
+ * One-entry memo for Llc::apportion, keyed on the exact
+ * (geometry, request vector) tuple. Task footprints, weights, and CAT
+ * masks move on phase boundaries and knob actuations, not every
+ * 100 µs tick, so the previous tick's apportionment is usually still
+ * the answer. A miss recomputes and restores the key, so the memo can
+ * never change a result; debug builds additionally recompute on every
+ * hit and KELP_INVARIANT the cached shares against the fresh ones.
+ */
+class ApportionCache
+{
+  public:
+    /** Equivalent to llc.apportion(requests); memoised. The returned
+     * reference stays valid until the next get(). */
+    const std::unordered_map<int, LlcShare> &
+    get(const Llc &llc, const std::vector<LlcRequest> &requests);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    double sizeMb_ = -1.0;
+    int ways_ = 0;
+    std::vector<LlcRequest> key_;
+    std::unordered_map<int, LlcShare> value_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
 };
 
 } // namespace cpu

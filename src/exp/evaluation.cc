@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "exp/sweep_runner.hh"
 #include "node/platform.hh"
 #include "sim/log.hh"
 
@@ -62,7 +63,7 @@ evaluationMixes()
 }
 
 MixResult
-runMix(const Mix &mix)
+runMix(const Mix &mix, const GridOptions &opt)
 {
     const ConfigKind kinds[] = {ConfigKind::BL, ConfigKind::CT,
                                 ConfigKind::KPSD, ConfigKind::KP};
@@ -77,6 +78,10 @@ runMix(const Mix &mix)
         cfg.cpuInstances = mix.cpuInstances;
         cfg.cpuThreadsOverride = mix.cpuThreadsOverride;
         cfg.config = kind;
+        if (opt.warmup >= 0.0)
+            cfg.warmup = opt.warmup;
+        if (opt.measure >= 0.0)
+            cfg.measure = opt.measure;
         RunResult r = runScenario(cfg);
         int i = configIndex(kind);
         out.mlPerf[i] = r.mlPerf;
@@ -92,19 +97,49 @@ runMix(const Mix &mix)
     return out;
 }
 
-std::vector<MixResult>
-runEvaluationGrid(bool verbose)
+MixResult
+runMix(const Mix &mix)
 {
-    std::vector<MixResult> results;
-    for (const Mix &mix : evaluationMixes()) {
-        if (verbose) {
+    return runMix(mix, GridOptions{});
+}
+
+std::vector<MixResult>
+runEvaluationGrid(const GridOptions &opt)
+{
+    const std::vector<Mix> mixes = evaluationMixes();
+
+    // Pre-warm the standalone-reference memo serially so the fan-out
+    // only reads it (the memo is also guarded, but warming it here
+    // keeps the progress lines honest about where time goes).
+    {
+        std::vector<RunConfig> cfgs;
+        for (const Mix &mix : mixes) {
+            RunConfig cfg;
+            cfg.ml = mix.ml;
+            cfgs.push_back(cfg);
+        }
+        prewarmReferences(cfgs);
+    }
+
+    return parallelMap<MixResult>(
+        static_cast<int>(mixes.size()), opt.jobs,
+        [&](int i) { return runMix(mixes[static_cast<size_t>(i)], opt); },
+        [&](int i) {
+            if (!opt.verbose)
+                return;
+            const Mix &mix = mixes[static_cast<size_t>(i)];
             std::printf("  running %s + %s ...\n", wl::mlName(mix.ml),
                         wl::cpuName(mix.cpu));
             std::fflush(stdout);
-        }
-        results.push_back(runMix(mix));
-    }
-    return results;
+        });
+}
+
+std::vector<MixResult>
+runEvaluationGrid(bool verbose)
+{
+    GridOptions opt;
+    opt.verbose = verbose;
+    return runEvaluationGrid(opt);
 }
 
 double

@@ -49,11 +49,36 @@ int configIndex(ConfigKind kind);
  * representative load levels per platform. */
 std::vector<Mix> evaluationMixes();
 
+/** Execution knobs for the evaluation grid. */
+struct GridOptions
+{
+    bool verbose = true;
+
+    /** Worker count; 1 = serial reference path, <= 0 = all cores. */
+    int jobs = 1;
+
+    /** Negative = RunConfig defaults. The wall-clock harness and CI
+     * shorten the runs; results then differ from the paper grid but
+     * stay deterministic and jobs-invariant. */
+    double warmup = -1.0;
+    double measure = -1.0;
+};
+
 /** Run one mix across BL/CT/KP-SD/KP. */
 MixResult runMix(const Mix &mix);
 
+/** Run one mix with the grid's warmup/measure overrides applied. */
+MixResult runMix(const Mix &mix, const GridOptions &opt);
+
 /** Run the full grid (12 mixes x 4 configurations). */
 std::vector<MixResult> runEvaluationGrid(bool verbose = true);
+
+/**
+ * Run the full grid `opt.jobs` mixes at a time. Results -- and, with
+ * `opt.verbose`, the progress lines -- are byte-identical to the
+ * serial path for every job count (see DESIGN.md section 10).
+ */
+std::vector<MixResult> runEvaluationGrid(const GridOptions &opt);
 
 /**
  * Efficiency metric (Section V-C): ML performance gain over Baseline

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <map>
 
+#include "exp/pool.hh"
 #include "hal/counters.hh"
 #include "kelp/baseline.hh"
 #include "kelp/core_throttle.hh"
@@ -430,6 +431,9 @@ runScenario(const RunConfig &cfg)
 RunResult
 standaloneReference(wl::MlWorkload ml)
 {
+    // Guarded: pool workers can race to populate the memo (the guard
+    // is re-entrant because the SLO configure path recurses here).
+    InitGuard guard;
     static std::map<wl::MlWorkload, RunResult> cache;
     auto it = cache.find(ml);
     if (it != cache.end())

@@ -1,0 +1,28 @@
+#include "exp/sweep_runner.hh"
+
+#include <set>
+
+namespace kelp {
+namespace exp {
+
+void
+prewarmReferences(const std::vector<RunConfig> &cfgs)
+{
+    std::set<wl::MlWorkload> mls;
+    for (const RunConfig &cfg : cfgs)
+        mls.insert(cfg.ml);
+    for (wl::MlWorkload ml : mls)
+        standaloneReference(ml);
+}
+
+std::vector<RunResult>
+runScenarios(const std::vector<RunConfig> &cfgs, int jobs)
+{
+    prewarmReferences(cfgs);
+    return parallelMap<RunResult>(
+        static_cast<int>(cfgs.size()), jobs,
+        [&](int i) { return runScenario(cfgs[static_cast<size_t>(i)]); });
+}
+
+} // namespace exp
+} // namespace kelp

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exp/pool.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
 #include "workload/catalog.hh"
@@ -51,12 +52,17 @@ struct FleetTask
 
 } // namespace
 
-FleetResult
-profileFleet(const FleetConfig &cfg)
+namespace {
+
+/**
+ * Simulate one server's day. All randomness comes from the canonical
+ * per-server stream Rng::derive(cfg.seed, s), so the result depends
+ * only on (cfg, s) -- never on which worker ran it or in what order.
+ */
+double
+profileServer(const FleetConfig &cfg, int s)
 {
-    KELP_ASSERT(cfg.servers > 0 && cfg.samplesPerDay > 1,
-                "bad fleet configuration");
-    sim::Rng rng(cfg.seed);
+    sim::Rng srng = sim::Rng::derive(cfg.seed, static_cast<uint64_t>(s));
 
     // Batch-task archetypes drawn from the catalog: bandwidth per
     // core at full activity. Weights reflect a WSC mix: mostly
@@ -69,64 +75,81 @@ profileFleet(const FleetConfig &cfg)
         {wl::CpuWorkload::Stream, 0.20},
     };
 
-    std::vector<double> p99_per_server;
-    p99_per_server.reserve(cfg.servers);
-
-    for (int s = 0; s < cfg.servers; ++s) {
-        sim::Rng srng = rng.split(s + 1);
-
-        // Server population: total threads up to ~1.5x cores
-        // (overcommit), split across a handful of jobs.
-        int jobs = 2 + static_cast<int>(srng.below(8));
-        std::vector<FleetTask> tasks;
-        int threads_left = static_cast<int>(
-            cfg.cores * srng.uniform(0.3, 1.25));
-        for (int j = 0; j < jobs && threads_left > 0; ++j) {
-            double pick = srng.uniform();
-            const Archetype *arch = &archetypes[0];
-            double acc = 0.0;
-            for (const auto &a : archetypes) {
-                acc += a.weight;
-                if (pick <= acc) {
-                    arch = &a;
-                    break;
-                }
+    // Server population: total threads up to ~1.5x cores
+    // (overcommit), split across a handful of jobs.
+    int jobs = 2 + static_cast<int>(srng.below(8));
+    std::vector<FleetTask> tasks;
+    int threads_left = static_cast<int>(
+        cfg.cores * srng.uniform(0.3, 1.25));
+    for (int j = 0; j < jobs && threads_left > 0; ++j) {
+        double pick = srng.uniform();
+        const Archetype *arch = &archetypes[0];
+        double acc = 0.0;
+        for (const auto &a : archetypes) {
+            acc += a.weight;
+            if (pick <= acc) {
+                arch = &a;
+                break;
             }
-            int threads = 1 + static_cast<int>(srng.below(
-                static_cast<uint64_t>(std::max(threads_left / 2, 1))));
-            threads = std::min(threads, threads_left);
-            threads_left -= threads;
-
-            wl::HostPhaseParams p = wl::cpuParams(arch->kind);
-            FleetTask t;
-            t.peakDemand = p.bwPerCore * threads;
-            t.phase = srng.uniform(0.0, 2.0 * M_PI);
-            t.activity = srng.uniform(0.12, 0.72);
-            t.burstiness = srng.uniform(0.05, 0.35);
-            tasks.push_back(t);
         }
+        int threads = 1 + static_cast<int>(srng.below(
+            static_cast<uint64_t>(std::max(threads_left / 2, 1))));
+        threads = std::min(threads, threads_left);
+        threads_left -= threads;
 
-        // Walk the day and collect bandwidth samples.
-        std::vector<double> samples;
-        samples.reserve(cfg.samplesPerDay);
-        for (int i = 0; i < cfg.samplesPerDay; ++i) {
-            double tod = static_cast<double>(i) / cfg.samplesPerDay;
-            double demand = 0.0;
-            for (auto &t : tasks) {
-                // Diurnal swing plus a bounded random walk.
-                double diurnal =
-                    0.75 + 0.25 * std::sin(2.0 * M_PI * tod + t.phase);
-                t.activity += srng.gaussian(0.0, t.burstiness * 0.1);
-                t.activity = std::clamp(t.activity, 0.05, 1.0);
-                demand += t.peakDemand * t.activity * diurnal;
-            }
-            samples.push_back(std::min(demand / cfg.peakBw, 1.0));
-        }
-        std::sort(samples.begin(), samples.end());
-        size_t idx = static_cast<size_t>(
-            std::floor(0.99 * (samples.size() - 1)));
-        p99_per_server.push_back(samples[idx]);
+        wl::HostPhaseParams p = wl::cpuParams(arch->kind);
+        FleetTask t;
+        t.peakDemand = p.bwPerCore * threads;
+        t.phase = srng.uniform(0.0, 2.0 * M_PI);
+        t.activity = srng.uniform(0.12, 0.72);
+        t.burstiness = srng.uniform(0.05, 0.35);
+        tasks.push_back(t);
     }
+
+    // Walk the day and collect bandwidth samples.
+    std::vector<double> samples;
+    samples.reserve(cfg.samplesPerDay);
+    for (int i = 0; i < cfg.samplesPerDay; ++i) {
+        double tod = static_cast<double>(i) / cfg.samplesPerDay;
+        double demand = 0.0;
+        for (auto &t : tasks) {
+            // Diurnal swing plus a bounded random walk.
+            double diurnal =
+                0.75 + 0.25 * std::sin(2.0 * M_PI * tod + t.phase);
+            t.activity += srng.gaussian(0.0, t.burstiness * 0.1);
+            t.activity = std::clamp(t.activity, 0.05, 1.0);
+            demand += t.peakDemand * t.activity * diurnal;
+        }
+        samples.push_back(std::min(demand / cfg.peakBw, 1.0));
+    }
+    std::sort(samples.begin(), samples.end());
+    size_t idx = static_cast<size_t>(
+        std::floor(0.99 * (samples.size() - 1)));
+    return samples[idx];
+}
+
+} // namespace
+
+FleetResult
+profileFleet(const FleetConfig &cfg)
+{
+    KELP_ASSERT(cfg.servers > 0 && cfg.samplesPerDay > 1,
+                "bad fleet configuration");
+
+    // Fan servers out in fixed-size contiguous batches; each slot of
+    // the result vector is owned by exactly one job, so any job count
+    // produces the same vector.
+    std::vector<double> p99_per_server(
+        static_cast<size_t>(cfg.servers));
+    constexpr int kBatch = 128;
+    const int batches = (cfg.servers + kBatch - 1) / kBatch;
+    exp::runJobs(batches, exp::resolveJobs(cfg.jobs), [&](int b) {
+        const int lo = b * kBatch;
+        const int hi = std::min(lo + kBatch, cfg.servers);
+        for (int s = lo; s < hi; ++s)
+            p99_per_server[static_cast<size_t>(s)] =
+                profileServer(cfg, s);
+    });
 
     return FleetResult(std::move(p99_per_server));
 }

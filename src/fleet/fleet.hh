@@ -43,6 +43,13 @@ struct FleetConfig
     int cores = 32;
 
     uint64_t seed = 2019;
+
+    /**
+     * Worker threads for the Monte-Carlo sweep. Each server draws
+     * from sim::Rng::derive(seed, server_index), so the result is
+     * identical for every job count; 1 = serial, <= 0 = all cores.
+     */
+    int jobs = 1;
 };
 
 /** Per-fleet profiling result. */

@@ -107,6 +107,15 @@ Controller::resolve(sim::Time dt)
     latAccum_.accumulate(latency_ * std::max(delivered_, 1e-9), dt);
 }
 
+void
+Controller::accumulateCached(sim::Time dt)
+{
+    // Must mirror the accumulate tail of resolve() exactly.
+    bwAccum_.accumulate(delivered_, dt);
+    utilAccum_.accumulate(utilization_, dt);
+    latAccum_.accumulate(latency_ * std::max(delivered_, 1e-9), dt);
+}
+
 Grant
 Controller::grant(int requestor) const
 {

@@ -89,6 +89,14 @@ class Controller
     /** Resolve all registered demands for a tick of length dt. */
     void resolve(sim::Time dt);
 
+    /**
+     * Advance the time-integrated counters by one tick whose demand
+     * set is known to be identical to the last resolve()'s, without
+     * re-running arbitration. Caller (MemSystem's resolve cache)
+     * guarantees demands were neither cleared nor re-registered since.
+     */
+    void accumulateCached(sim::Time dt);
+
     /** Utilization in [0, 1] from the last resolve(). */
     double utilization() const { return utilization_; }
 

@@ -32,16 +32,18 @@ MemSystem::setArbitration(Arbitration mode)
     for (auto &s : sockets_)
         for (auto &mc : s.mc)
             mc->setArbitration(mode);
+    cacheValid_ = false;
 }
 
 void
 MemSystem::beginTick()
 {
+    // Keep last tick's flows around so addFlow can detect whether
+    // this tick's demand set changed; controller/link demand is
+    // cleared lazily in resolveFull, since a cache hit reuses it.
+    std::swap(flows_, prevFlows_);
     flows_.clear();
-    for (auto &s : sockets_)
-        for (auto &mc : s.mc)
-            mc->beginTick();
-    upi_.beginTick();
+    flowsDirty_ = false;
 }
 
 void
@@ -54,6 +56,24 @@ MemSystem::addFlow(int requestor, const Route &route, sim::GiBps demand,
                 "flow request socket out of range");
     if (demand <= 0.0)
         return;
+    if (!flowsDirty_) {
+        const size_t i = flows_.size();
+        if (i >= prevFlows_.size()) {
+            flowsDirty_ = true;
+        } else {
+            const Flow &p = prevFlows_[i];
+            // Exact comparison on purpose: any drift at all forces a
+            // full recompute, so the cache can never change results.
+            if (p.requestor != requestor || p.demand != demand ||
+                p.highPriority != high_priority ||
+                p.route.reqSocket != route.reqSocket ||
+                p.route.reqSub != route.reqSub ||
+                p.route.homeSocket != route.homeSocket ||
+                p.route.homeSub != route.homeSub) {
+                flowsDirty_ = true;
+            }
+        }
+    }
     flows_.push_back({requestor, route, demand, high_priority});
 }
 
@@ -70,6 +90,62 @@ MemSystem::sncFactor(const Route &route) const
 void
 MemSystem::resolve(sim::Time dt)
 {
+    const bool hit = cacheEnabled_ && cacheValid_ && !flowsDirty_ &&
+                     flows_.size() == prevFlows_.size() &&
+                     dt == prevDt_;
+    if (hit) {
+        ++cacheHits_;
+#ifndef NDEBUG
+        // Debug builds pay for a full recompute on every hit and
+        // prove the cache would have returned exactly that.
+        const std::unordered_map<int, Grant> cached = grants_;
+        resolveFull(dt);
+        KELP_INVARIANT(grants_.size() == cached.size(),
+                       "resolve cache drifted: requestor set changed");
+        for (const auto &[req, g] : grants_) {
+            auto it = cached.find(req);
+            KELP_INVARIANT(it != cached.end() &&
+                               it->second.delivered == g.delivered &&
+                               it->second.fraction == g.fraction &&
+                               it->second.latency == g.latency,
+                           "resolve cache drifted for requestor ", req);
+        }
+#else
+        resolveCached(dt);
+#endif
+    } else {
+        ++cacheMisses_;
+        resolveFull(dt);
+    }
+    cacheValid_ = true;
+    prevDt_ = dt;
+}
+
+void
+MemSystem::resolveCached(sim::Time dt)
+{
+    // Demand registered with the controllers and the link is exactly
+    // last tick's; grants_ and all instantaneous state are already
+    // correct. Only time integrals and the (stateful) backpressure
+    // duty cycle advance.
+    upi_.accumulateCached(dt);
+    for (auto &s : sockets_)
+        for (auto &mc : s.mc)
+            mc->accumulateCached(dt);
+    updateBackpressure(dt);
+    accumulateSocketCounters(dt);
+}
+
+void
+MemSystem::resolveFull(sim::Time dt)
+{
+    // 0. Clear demand registered for the previous tick (deferred from
+    //    beginTick so cache hits can reuse it).
+    for (auto &s : sockets_)
+        for (auto &mc : s.mc)
+            mc->beginTick();
+    upi_.beginTick();
+
     // 1. Cross-socket link first: remote flows are capped by the link
     //    before they ever reach the remote controller.
     for (const auto &f : flows_) {
@@ -103,17 +179,8 @@ MemSystem::resolve(sim::Time dt)
         for (auto &mc : s.mc)
             mc->resolve(dt);
 
-    // 3. Distress signals (socket-wide shared backpressure). The
-    //    inter-socket link participates: the throttling mechanism
-    //    exists precisely "to avoid congesting the interconnection
-    //    network" (Section IV-B), so a saturated link distresses the
-    //    cores on both attached sockets.
-    for (auto &s : sockets_) {
-        double max_util = std::max({s.mc[0]->utilization(),
-                                    s.mc[1]->utilization(),
-                                    upi_.congestionUtilization()});
-        s.backpressure->update(max_util, dt);
-    }
+    // 3. Distress signals.
+    updateBackpressure(dt);
 
     // 4. Assemble per-requestor grants. The coherence tax from the
     //    inter-socket link inflates every access's latency.
@@ -172,6 +239,29 @@ MemSystem::resolve(sim::Time dt)
     }
 
     // 5. Socket-level counters for the HAL.
+    accumulateSocketCounters(dt);
+}
+
+void
+MemSystem::updateBackpressure(sim::Time dt)
+{
+    // Socket-wide shared distress. The inter-socket link
+    // participates: the throttling mechanism exists precisely "to
+    // avoid congesting the interconnection network" (Section IV-B),
+    // so a saturated link distresses the cores on both attached
+    // sockets.
+    for (auto &s : sockets_) {
+        double max_util = std::max({s.mc[0]->utilization(),
+                                    s.mc[1]->utilization(),
+                                    upi_.congestionUtilization()});
+        s.backpressure->update(max_util, dt);
+    }
+}
+
+void
+MemSystem::accumulateSocketCounters(sim::Time dt)
+{
+    double coh = upi_.coherenceInflation();
     for (auto &s : sockets_) {
         double bw0 = s.mc[0]->totalDelivered();
         double bw1 = s.mc[1]->totalDelivered();

@@ -20,6 +20,7 @@
 #define KELP_MEM_MEM_SYSTEM_HH
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -113,7 +114,11 @@ class MemSystem
     int numSockets() const { return static_cast<int>(sockets_.size()); }
 
     /** Enable/disable NUMA subdomains (SNC/CoD) on all sockets. */
-    void setSncEnabled(bool enabled) { sncEnabled_ = enabled; }
+    void setSncEnabled(bool enabled)
+    {
+        sncEnabled_ = enabled;
+        cacheValid_ = false;
+    }
     bool sncEnabled() const { return sncEnabled_; }
 
     /** Select controller arbitration for the what-if ablation. */
@@ -167,6 +172,23 @@ class MemSystem
 
     const MemSystemConfig &config() const { return cfg_; }
 
+    /**
+     * Resolve caching: when a tick's submitted flows are identical to
+     * the previous tick's (same requestors, routes, demands, priority
+     * bits, in the same order -- the common case, since task demand
+     * only moves on phase or knob changes), resolve() reuses the
+     * previous grants and only advances the time-integrated counters.
+     * Debug builds re-run the full computation on every hit and
+     * KELP_INVARIANT the cached grants against it.
+     */
+    void setResolveCacheEnabled(bool enabled)
+    {
+        cacheEnabled_ = enabled;
+        cacheValid_ = false;
+    }
+    uint64_t resolveCacheHits() const { return cacheHits_; }
+    uint64_t resolveCacheMisses() const { return cacheMisses_; }
+
   private:
     struct Flow
     {
@@ -186,12 +208,32 @@ class MemSystem
     /** Latency factor from SNC locality for a flow. */
     double sncFactor(const Route &route) const;
 
+    /** The pre-cache resolve pipeline (always correct, never reuses
+     * state). Clears and re-registers controller/link demand. */
+    void resolveFull(sim::Time dt);
+
+    /** Counter-only advance for a tick identical to the last one. */
+    void resolveCached(sim::Time dt);
+
+    /** Steps shared by both paths: backpressure + socket counters. */
+    void updateBackpressure(sim::Time dt);
+    void accumulateSocketCounters(sim::Time dt);
+
     MemSystemConfig cfg_;
     bool sncEnabled_ = false;
     std::vector<SocketState> sockets_;
     UpiLink upi_;
     std::vector<Flow> flows_;
     std::unordered_map<int, Grant> grants_;
+
+    /** Resolve-cache state (see setResolveCacheEnabled). */
+    std::vector<Flow> prevFlows_;
+    bool cacheEnabled_ = true;
+    bool cacheValid_ = false;
+    bool flowsDirty_ = false;
+    sim::Time prevDt_ = -1.0;
+    uint64_t cacheHits_ = 0;
+    uint64_t cacheMisses_ = 0;
 };
 
 } // namespace mem

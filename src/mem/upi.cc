@@ -45,6 +45,12 @@ UpiLink::resolve(sim::Time dt)
     bwAccum_.accumulate(std::min(demand_, capacity_), dt);
 }
 
+void
+UpiLink::accumulateCached(sim::Time dt)
+{
+    bwAccum_.accumulate(std::min(demand_, capacity_), dt);
+}
+
 sim::Nanoseconds
 UpiLink::remoteLatency() const
 {

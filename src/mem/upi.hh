@@ -45,6 +45,13 @@ class UpiLink
     /** Finalize this tick's utilization. */
     void resolve(sim::Time dt);
 
+    /**
+     * Advance the bandwidth integral for one tick whose link demand
+     * is known to equal the last resolve()'s (MemSystem resolve
+     * cache); utilization and grant fraction are already correct.
+     */
+    void accumulateCached(sim::Time dt);
+
     /** Utilization in [0, 1] from the last resolve(). */
     double utilization() const { return utilization_; }
 

@@ -233,7 +233,9 @@ Node::computeLlc()
             if (reqs.empty())
                 continue;
 
-            auto shares = llc.apportion(reqs);
+            const auto &shares =
+                llcCaches_[static_cast<size_t>(s * 2 + d)].get(llc,
+                                                               reqs);
             for (auto *st : present) {
                 wl::HostPhaseParams prof = st->task->llcProfile();
                 // Standalone reference: the full socket LLC, alone,

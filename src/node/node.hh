@@ -21,6 +21,7 @@
 #ifndef KELP_NODE_NODE_HH
 #define KELP_NODE_NODE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -152,6 +153,10 @@ class Node
     std::vector<std::unique_ptr<wl::Task>> tasks_;
     std::vector<TaskState> states_;
     bool priorityAwareBackpressure_ = false;
+
+    /** Per-(socket, domain) apportionment memos (2 sockets x 2
+     * domains; the non-SNC case uses domain 0 only). */
+    std::array<cpu::ApportionCache, 4> llcCaches_;
 };
 
 } // namespace node

@@ -1,5 +1,6 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
@@ -17,7 +18,9 @@ ContractMode g_contract_mode = ContractMode::Count;
 ContractMode g_contract_mode = ContractMode::Fatal;
 #endif
 
-uint64_t g_contract_violations = 0;
+// Atomic: Count-mode violations can be recorded from worker-pool
+// threads during parallel sweeps.
+std::atomic<uint64_t> g_contract_violations{0};
 
 /** Cap on per-violation warn() lines so a hot loop with a broken
  * invariant cannot flood stderr in Count mode. */
@@ -52,13 +55,13 @@ setContractMode(ContractMode mode)
 uint64_t
 contractViolations()
 {
-    return g_contract_violations;
+    return g_contract_violations.load();
 }
 
 void
 resetContractViolations()
 {
-    g_contract_violations = 0;
+    g_contract_violations.store(0);
 }
 
 namespace detail {
@@ -96,10 +99,10 @@ contractViolated(const char *kind, const char *cond, const char *file,
     if (g_contract_mode == ContractMode::Fatal)
         die("contract", os.str(), true);
 
-    ++g_contract_violations;
-    if (g_contract_violations <= kMaxContractWarnings) {
+    const uint64_t count = g_contract_violations.fetch_add(1) + 1;
+    if (count <= kMaxContractWarnings) {
         emit(LogLevel::Warn, "contract", os.str());
-        if (g_contract_violations == kMaxContractWarnings) {
+        if (count == kMaxContractWarnings) {
             emit(LogLevel::Warn, "contract",
                  "further contract violations will be counted "
                  "silently");

@@ -114,5 +114,18 @@ Rng::split(uint64_t salt)
     return Rng(splitMix64(x));
 }
 
+Rng
+Rng::derive(uint64_t base, uint64_t index)
+{
+    // Two SplitMix64 rounds over base, then fold in the index with an
+    // odd multiplier before a final round. Depends only on the
+    // arguments, never on any generator's position in its stream.
+    uint64_t x = base;
+    splitMix64(x);
+    uint64_t h = splitMix64(x);
+    uint64_t y = h ^ ((index + 1) * 0xD2B74407B1CE6E93ull);
+    return Rng(splitMix64(y));
+}
+
 } // namespace sim
 } // namespace kelp

@@ -56,6 +56,16 @@ class Rng
      */
     Rng split(uint64_t salt);
 
+    /**
+     * Derive the canonical per-job stream for job `index` of a run
+     * seeded with `base`. This is a pure function of (base, index):
+     * no parent Rng state is involved, so serial and parallel
+     * executors that agree on job indices agree on streams by
+     * construction. Used by the experiment pool and the fleet
+     * profiler.
+     */
+    static Rng derive(uint64_t base, uint64_t index);
+
   private:
     uint64_t s_[4];
 };

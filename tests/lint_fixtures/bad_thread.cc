@@ -1,0 +1,29 @@
+/**
+ * Fixture for the raw-parallelism rule: raw threading primitives are
+ * only legal inside the deterministic pool (src/exp/pool.*). Six
+ * findings, all in spawn_raw().
+ */
+
+void
+spawn_raw()
+{
+    std::thread worker([] {});
+    std::jthread scoped_worker([] {});
+    auto fut = std::async([] {});
+    std::mutex m;
+    std::recursive_mutex rm;
+    std::condition_variable cv;
+}
+
+// None of these may fire: member accesses and foreign-namespace
+// symbols belong to someone else, and this_thread sleeps do not
+// create parallelism (test stubs use them for adversarial timing).
+void
+legal(Engine &e, Duration d)
+{
+    e.thread();
+    e.mutex.lock();
+    mylib::thread t;
+    mylib::mutex guard;
+    std::this_thread::sleep_for(d);
+}

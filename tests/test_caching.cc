@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Equivalence tests for the hot-path caches: the MemSystem resolve
+ * cache and the LLC apportionment memo must be observationally
+ * invisible -- a cached instance driven through an arbitrary flow
+ * history must report bit-identical grants, counters, and shares to
+ * an uncached one, while actually hitting.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/llc.hh"
+#include "mem/mem_system.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+using namespace kelp;
+using namespace kelp::mem;
+
+namespace {
+
+MemSystemConfig
+testConfig()
+{
+    MemSystemConfig cfg;
+    cfg.numSockets = 2;
+    cfg.socket.peakBw = 100.0;
+    cfg.socket.baseLatency = 100.0;
+    cfg.socket.inflationAt95 = 4.0;
+    cfg.socket.distressThreshold = 0.8;
+    cfg.socket.throttleStrength = 0.5;
+    cfg.socket.sncLocalLatencyFactor = 0.9;
+    cfg.socket.sncRemoteLatencyFactor = 1.1;
+    cfg.upiCapacity = 40.0;
+    cfg.upiHopLatency = 70.0;
+    cfg.upiCoherenceTax = 1.0;
+    return cfg;
+}
+
+constexpr sim::Time dt = 100 * sim::usec;
+
+struct TickFlow
+{
+    int requestor;
+    Route route;
+    sim::GiBps demand;
+    bool highPriority;
+};
+
+/** A randomized flow history with long stable stretches (the case
+ * the cache exists for) and occasional demand/route churn. */
+std::vector<std::vector<TickFlow>>
+flowHistory(int ticks, uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<std::vector<TickFlow>> history;
+    std::vector<TickFlow> current;
+    for (int t = 0; t < ticks; ++t) {
+        if (current.empty() || rng.uniform() < 0.3) {
+            current.clear();
+            int n = 1 + static_cast<int>(rng.below(4));
+            for (int f = 0; f < n; ++f) {
+                TickFlow flow;
+                flow.requestor = f + 1;
+                flow.route.reqSocket =
+                    static_cast<sim::SocketId>(rng.below(2));
+                flow.route.reqSub =
+                    static_cast<sim::SubdomainId>(rng.below(2));
+                flow.route.homeSocket =
+                    static_cast<sim::SocketId>(rng.below(2));
+                flow.route.homeSub =
+                    static_cast<sim::SubdomainId>(rng.below(2));
+                flow.demand = rng.uniform(1.0, 80.0);
+                flow.highPriority = rng.chance(0.3);
+                current.push_back(flow);
+            }
+        }
+        history.push_back(current);
+    }
+    return history;
+}
+
+void
+driveTick(MemSystem &mem, const std::vector<TickFlow> &flows)
+{
+    mem.beginTick();
+    for (const TickFlow &f : flows)
+        mem.addFlow(f.requestor, f.route, f.demand, f.highPriority);
+    mem.resolve(dt);
+}
+
+} // namespace
+
+TEST(ResolveCache, CachedMatchesUncachedOverRandomChurn)
+{
+    MemSystem cached(testConfig());
+    MemSystem plain(testConfig());
+    plain.setResolveCacheEnabled(false);
+    cached.setSncEnabled(true);
+    plain.setSncEnabled(true);
+
+    const auto history = flowHistory(300, 42);
+    for (const auto &flows : history) {
+        driveTick(cached, flows);
+        driveTick(plain, flows);
+
+        for (const TickFlow &f : flows) {
+            Grant a = cached.grant(f.requestor);
+            Grant b = plain.grant(f.requestor);
+            EXPECT_EQ(a.delivered, b.delivered);
+            EXPECT_EQ(a.fraction, b.fraction);
+            EXPECT_EQ(a.latency, b.latency);
+        }
+        for (sim::SocketId s = 0; s < 2; ++s) {
+            EXPECT_EQ(cached.saturation(s), plain.saturation(s));
+            EXPECT_EQ(cached.coreThrottle(s), plain.coreThrottle(s));
+            EXPECT_EQ(cached.counters(s).bw.integral(),
+                      plain.counters(s).bw.integral());
+            EXPECT_EQ(cached.counters(s).latency.integral(),
+                      plain.counters(s).latency.integral());
+            EXPECT_EQ(cached.fastAsserted(s).integral(),
+                      plain.fastAsserted(s).integral());
+            for (sim::SubdomainId d = 0; d < 2; ++d) {
+                EXPECT_EQ(cached.controller(s, d).totalDelivered(),
+                          plain.controller(s, d).totalDelivered());
+            }
+        }
+        EXPECT_EQ(cached.upi().utilization(),
+                  plain.upi().utilization());
+    }
+
+    // The history has stable stretches, so the cache must have both
+    // hit and missed; the uncached instance must never engage.
+    EXPECT_GT(cached.resolveCacheHits(), 0u);
+    EXPECT_GT(cached.resolveCacheMisses(), 0u);
+    EXPECT_EQ(plain.resolveCacheHits(), 0u);
+}
+
+TEST(ResolveCache, StableLoadHitsEveryTickAfterTheFirst)
+{
+    MemSystem mem(testConfig());
+    const std::vector<TickFlow> flows{
+        {1, {0, 0, 0, 0}, 10.0, false},
+        {2, {0, 1, 0, 1}, 30.0, false},
+    };
+    const int ticks = 50;
+    for (int t = 0; t < ticks; ++t)
+        driveTick(mem, flows);
+    EXPECT_EQ(mem.resolveCacheMisses(), 1u);
+    EXPECT_EQ(mem.resolveCacheHits(),
+              static_cast<uint64_t>(ticks - 1));
+}
+
+TEST(ResolveCache, DemandChangeInvalidates)
+{
+    MemSystem mem(testConfig());
+    std::vector<TickFlow> flows{{1, {0, 0, 0, 0}, 10.0, false}};
+    driveTick(mem, flows);
+    driveTick(mem, flows);
+    EXPECT_EQ(mem.resolveCacheHits(), 1u);
+
+    flows[0].demand = 11.0;
+    driveTick(mem, flows);
+    EXPECT_EQ(mem.resolveCacheHits(), 1u);
+    EXPECT_EQ(mem.resolveCacheMisses(), 2u);
+
+    // The new demand must be reflected, not the cached grant.
+    EXPECT_NEAR(mem.grant(1).delivered, 11.0, 1e-9);
+}
+
+TEST(ResolveCache, DtChangeInvalidates)
+{
+    MemSystem mem(testConfig());
+    const std::vector<TickFlow> flows{{1, {0, 0, 0, 0}, 10.0, false}};
+    driveTick(mem, flows);
+    mem.beginTick();
+    mem.addFlow(1, {0, 0, 0, 0}, 10.0);
+    mem.resolve(2.0 * dt);
+    EXPECT_EQ(mem.resolveCacheHits(), 0u);
+    EXPECT_EQ(mem.resolveCacheMisses(), 2u);
+}
+
+TEST(ApportionCache, MemoMatchesFreshApportionment)
+{
+    cpu::Llc llc(32.0, 12);
+    cpu::ApportionCache memo;
+    sim::Rng rng(7);
+
+    std::vector<cpu::LlcRequest> reqs;
+    for (int iter = 0; iter < 200; ++iter) {
+        if (reqs.empty() || rng.uniform() < 0.4) {
+            reqs.clear();
+            int n = 1 + static_cast<int>(rng.below(3));
+            for (int g = 0; g < n; ++g) {
+                cpu::LlcRequest r;
+                r.group = g;
+                r.footprintMb = rng.uniform(1.0, 64.0);
+                r.weight = rng.uniform(0.5, 4.0);
+                r.dedicatedWays =
+                    static_cast<int>(rng.below(5));
+                r.hitMax = rng.uniform(0.5, 0.99);
+                reqs.push_back(r);
+            }
+        }
+        const auto &got = memo.get(llc, reqs);
+        const auto fresh = llc.apportion(reqs);
+        ASSERT_EQ(got.size(), fresh.size());
+        for (const auto &[group, share] : fresh) {
+            auto it = got.find(group);
+            ASSERT_NE(it, got.end());
+            EXPECT_EQ(it->second.capacityMb, share.capacityMb);
+            EXPECT_EQ(it->second.hitRate, share.hitRate);
+        }
+    }
+    EXPECT_GT(memo.hits(), 0u);
+    EXPECT_GT(memo.misses(), 0u);
+}
+
+TEST(ApportionCache, GeometryChangeMisses)
+{
+    cpu::Llc small(16.0, 8);
+    cpu::Llc large(32.0, 12);
+    cpu::ApportionCache memo;
+    std::vector<cpu::LlcRequest> reqs(1);
+    reqs[0].group = 1;
+    reqs[0].footprintMb = 8.0;
+
+    memo.get(small, reqs);
+    memo.get(small, reqs);
+    EXPECT_EQ(memo.hits(), 1u);
+
+    // Same requests against a different cache geometry must miss and
+    // return the new geometry's shares.
+    const auto &got = memo.get(large, reqs);
+    EXPECT_EQ(memo.misses(), 2u);
+    const auto fresh = large.apportion(reqs);
+    EXPECT_EQ(got.at(1).capacityMb, fresh.at(1).capacityMb);
+    EXPECT_EQ(got.at(1).hitRate, fresh.at(1).hitRate);
+}

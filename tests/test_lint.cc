@@ -192,10 +192,42 @@ TEST(LintBaseline, RejectsMalformedLines)
     EXPECT_FALSE(base.parse("only-one-field\n"));
 }
 
+TEST(LintRawParallelism, FlagsRawThreadingOutsidePool)
+{
+    auto fs = lintFixture("bad_thread.cc", "src/kelp/bad_thread.cc");
+    // thread, jthread, async, mutex, recursive_mutex,
+    // condition_variable -- member accesses, mylib:: symbols, and
+    // this_thread sleeps must not fire.
+    EXPECT_EQ(countRule(fs, "raw-parallelism"), 6);
+    for (const auto &f : fs)
+        if (f.rule == "raw-parallelism")
+            EXPECT_LE(f.line, 16) << f.message;
+}
+
+TEST(LintRawParallelism, PoolImplementationIsExempt)
+{
+    EXPECT_EQ(countRule(lintFixture("bad_thread.cc", "src/exp/pool.cc"),
+                        "raw-parallelism"),
+              0);
+    EXPECT_EQ(countRule(lintFixture("bad_thread.cc", "src/exp/pool.hh"),
+                        "raw-parallelism"),
+              0);
+}
+
+TEST(LintRawParallelism, TestsAreOutOfScope)
+{
+    // Tests may stage adversarial schedules with real sleeps/threads;
+    // the rule polices the library, tools, and benches.
+    EXPECT_EQ(countRule(lintFixture("bad_thread.cc",
+                                    "tests/test_parallel.cc"),
+                        "raw-parallelism"),
+              0);
+}
+
 TEST(LintEngine, RuleListIsStable)
 {
     const auto &rules = kelp::lint::allRules();
-    ASSERT_EQ(rules.size(), 7u);
+    ASSERT_EQ(rules.size(), 8u);
     EXPECT_EQ(rules.front(), "determinism");
 }
 

@@ -728,6 +728,72 @@ ruleUsingNamespace(const std::string &path,
     }
 }
 
+// ---------------------------------------------------------------
+// Rule: raw-parallelism. All concurrency must flow through the
+// deterministic worker pool (src/exp/pool.*): jobs indexed, RNG
+// streams derived per index, results committed in index order. A raw
+// std::thread / std::async / mutex anywhere else can reorder side
+// effects between runs and silently break the bit-identical-per-seed
+// guarantee the pool exists to preserve.
+
+const std::set<std::string> &
+bannedParallelism()
+{
+    static const std::set<std::string> kBanned = {
+        "thread",
+        "jthread",
+        "async",
+        "mutex",
+        "recursive_mutex",
+        "timed_mutex",
+        "recursive_timed_mutex",
+        "shared_mutex",
+        "shared_timed_mutex",
+        "condition_variable",
+        "condition_variable_any"};
+    return kBanned;
+}
+
+void
+ruleRawParallelism(const std::string &path,
+                   const std::vector<Tok> &toks,
+                   const std::vector<std::string> &lines,
+                   std::vector<Finding> &out)
+{
+    bool scoped = startsWith(path, "src/") ||
+                  startsWith(path, "tools/") ||
+                  startsWith(path, "bench/");
+    if (!scoped || startsWith(path, "src/exp/pool."))
+        return;
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Tok &t = toks[i];
+        if (t.kind != TokKind::Id || !bannedParallelism().count(t.text))
+            continue;
+        // Member accesses are someone else's symbols.
+        if (i > 0 &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+            continue;
+        // Qualified names: only the std:: (or global ::) versions are
+        // the real thing; this also keeps std::this_thread::sleep_for
+        // legal, since `this_thread` is not in the banned set.
+        if (i > 0 && toks[i - 1].text == "::" && i > 1 &&
+            toks[i - 2].kind == TokKind::Id &&
+            toks[i - 2].text != "std")
+            continue;
+        out.push_back(
+            {path, t.line, "raw-parallelism",
+             "raw '" + t.text +
+                 "' outside src/exp/pool.*; all parallelism must go "
+                 "through the deterministic worker pool (exp::runJobs "
+                 "/ exp::InitGuard) so results stay byte-identical to "
+                 "the serial path",
+             t.line <= static_cast<int>(lines.size())
+                 ? trimmed(lines[t.line - 1])
+                 : ""});
+    }
+}
+
 std::vector<std::string>
 splitLines(const std::string &content)
 {
@@ -752,9 +818,9 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> kRules = {
-        "determinism",   "unordered-iter", "knob-discipline",
-        "float-eq",      "include-guard",  "using-namespace",
-        "bad-suppression"};
+        "determinism",     "unordered-iter", "knob-discipline",
+        "float-eq",        "include-guard",  "using-namespace",
+        "raw-parallelism", "bad-suppression"};
     return kRules;
 }
 
@@ -811,6 +877,7 @@ lintSource(const std::string &path, const std::string &content)
     ruleFloatEq(path, lex.toks, lines, raw);
     ruleIncludeGuard(path, lines, raw);
     ruleUsingNamespace(path, lex.toks, lines, raw);
+    ruleRawParallelism(path, lex.toks, lines, raw);
 
     std::vector<Finding> out;
     for (auto &f : raw) {

@@ -29,6 +29,8 @@
  *   float-eq         ==/!= against floating-point literals
  *   include-guard    src/ headers must guard with KELP_<DIR>_<FILE>_HH
  *   using-namespace  `using namespace` in any header
+ *   raw-parallelism  raw std::thread/std::async/mutex use outside
+ *                    the deterministic pool in src/exp/pool.*
  *   bad-suppression  kelp-lint suppression comment without a reason
  *
  * Suppressions: `// kelp-lint: allow(<rule>): <reason>` on the same

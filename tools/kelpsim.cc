@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "exp/pool.hh"
 #include "exp/scenario.hh"
 #include "hal/counters.hh"
 #include "hal/fault_injector.hh"
@@ -138,6 +139,10 @@ main(int argc, char **argv)
                  "deliberately violate one contract before the run "
                  "(verifies the release-mode violation counter "
                  "end-to-end)");
+    opts.addInt("jobs", 0,
+                "worker threads (0 = all cores, 1 = serial); the "
+                "standalone reference and the measured run are "
+                "independent jobs");
     if (!opts.parse(argc, argv))
         return 0;
     if (!opts.positional().empty()) {
@@ -182,13 +187,22 @@ main(int argc, char **argv)
         KELP_INVARIANT(false, "contract self-test (--contract-selftest)");
     }
 
-    exp::RunResult ref = exp::standaloneReference(cfg.ml);
-
     std::string csv = opts.getString("telemetry");
+    exp::RunResult ref;
     exp::RunResult r;
     if (csv.empty()) {
-        r = exp::runScenario(cfg);
+        // The standalone reference and the measured run share no
+        // state (the reference memo is guarded), so they are two
+        // independent jobs; --jobs 1 reproduces the serial order.
+        exp::runJobs(2, static_cast<int>(opts.getInt("jobs")),
+                     [&](int i) {
+                         if (i == 0)
+                             ref = exp::standaloneReference(cfg.ml);
+                         else
+                             r = exp::runScenario(cfg);
+                     });
     } else {
+        ref = exp::standaloneReference(cfg.ml);
         // Instrumented run: sample knobs and hardware signals.
         exp::Scenario s = exp::buildScenario(cfg);
         trace::Telemetry tel;
