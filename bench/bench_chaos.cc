@@ -16,19 +16,24 @@
  * ML task's subdomain.
  *
  * The final section replays one degraded run twice with the same
- * fault seed and verifies the watchdog mode-transition traces are
- * identical -- fault injection is fully deterministic.
+ * fault seed and verifies both the watchdog mode-transition traces
+ * and the controller decision audit logs are byte-identical -- fault
+ * injection and the observability layer are fully deterministic.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
 #include "exp/sweep_runner.hh"
+#include "sim/log.hh"
 #include "sim/options.hh"
+#include "trace/decision_log.hh"
+#include "trace/run_manifest.hh"
 
 using namespace kelp;
 
@@ -120,9 +125,13 @@ main(int argc, char **argv)
     opts.addInt("jobs", 0,
                 "worker threads for the sweep (0 = all cores, 1 = "
                 "serial)");
+    opts.addString("manifest", "",
+                   "write a run manifest JSON for the sweep to this "
+                   "file");
     if (!opts.parse(argc, argv))
         return 0;
     const int jobs = static_cast<int>(opts.getInt("jobs"));
+    const std::string manifestPath = opts.getString("manifest");
 
     const FaultClass classes[] = {
         {"drop", dropPlan},     {"stuck", stuckPlan},
@@ -193,33 +202,57 @@ main(int argc, char **argv)
                 "of clean KP\n", hard_drop10, worstNaiveDrop10);
 
     // Determinism: same fault seed => identical watchdog transition
-    // trace, bit-identical results.
+    // trace, bit-identical results, and a byte-identical decision
+    // audit log.
     exp::banner("Determinism: replay under a heavy mixed fault plan");
     exp::RunConfig rep = base;
     rep.faults = mixedPlan(0.4);
     rep.hardened = true;
-    auto trace = [&rep]() {
-        exp::Scenario s = exp::buildScenario(rep);
+    auto replayOnce = [&rep]() {
+        trace::DecisionLog decisions;
+        exp::Observability obs;
+        obs.decisions = &decisions;
+        exp::Scenario s = exp::buildScenario(rep, obs);
         s.engine->run(rep.warmup + rep.measure);
         std::vector<runtime::RuntimeManager::ModeChange> t;
         if (s.manager)
             t = s.manager->modeTrace();
-        return t;
+        return std::make_pair(t, decisions.toJsonl());
     };
-    auto t1 = trace();
-    auto t2 = trace();
+    auto [t1, log1] = replayOnce();
+    auto [t2, log2] = replayOnce();
     bool same = t1.size() == t2.size();
     for (size_t i = 0; same && i < t1.size(); ++i) {
         same = t1[i].time == t2[i].time &&
                t1[i].failSafe == t2[i].failSafe;
     }
+    bool sameLog = log1 == log2 && !log1.empty();
     std::printf("transitions: %zu, replay identical: %s\n", t1.size(),
                 same ? "yes" : "NO");
+    std::printf("decision log: %zu bytes, replay byte-identical: %s\n",
+                log1.size(), sameLog ? "yes" : "NO");
+
+    if (!manifestPath.empty()) {
+        trace::RunManifest man;
+        man.set("tool", "bench_chaos");
+        man.set("ml", wl::mlName(base.ml));
+        man.set("cpu", base.cpu ? wl::cpuName(*base.cpu) : "");
+        man.set("cpu_instances", base.cpuInstances);
+        man.set("fault_cells",
+                static_cast<uint64_t>(cfgs.size() - 1));
+        man.set("contract_violations", sim::contractViolations());
+        man.set("worst_hardened_ml_ratio", worstHard);
+        man.set("replay_identical", same);
+        man.set("decision_replay_identical", sameLog);
+        if (!man.writeJson(manifestPath))
+            sim::fatal("cannot write manifest to ", manifestPath);
+        std::printf("manifest written to %s\n", manifestPath.c_str());
+    }
 
     std::printf("\nExpected shape: hardened ML stays within a few "
                 "percent of clean KP in every cell (within 5%% under "
                 "10%% dropout); naive ML and/or CPU degrades "
                 "measurably as p grows; fail-safe time rises with "
                 "fault rate; replay is identical.\n");
-    return same ? 0 : 1;
+    return same && sameLog ? 0 : 1;
 }

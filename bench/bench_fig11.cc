@@ -11,19 +11,44 @@
  * Paper shape: every mechanism throttles harder as Stitch instances
  * increase; KP leaves the CPU tasks more resources than CT at equal
  * protection (the efficiency argument of Section V-B).
+ *
+ * With --decisions the KP runs record every controller actuation to
+ * one JSONL audit log (one context per instance count); --manifest
+ * summarizes the sweep.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "exp/report.hh"
 #include "exp/scenario.hh"
 #include "node/platform.hh"
+#include "sim/log.hh"
+#include "sim/options.hh"
+#include "trace/decision_log.hh"
+#include "trace/run_manifest.hh"
 
 using namespace kelp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sim::Options opts("bench_fig11",
+                      "Figure 11: controller parameters, CNN1 + "
+                      "Stitch sweep");
+    opts.addString("decisions", "",
+                   "write the KP controller decision audit log "
+                   "(JSONL, one context per instance count) to this "
+                   "file");
+    opts.addString("manifest", "",
+                   "write a run manifest JSON for the sweep to this "
+                   "file");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    std::string decisionsPath = opts.getString("decisions");
+    std::string manifestPath = opts.getString("manifest");
+
     node::PlatformSpec spec = node::platformFor(accel::Kind::CloudTpu);
     wl::MlDesc desc = wl::mlDesc(wl::MlWorkload::Cnn1);
     double ct_max = spec.topo.coresPerSocket - desc.mlCores;
@@ -33,6 +58,8 @@ main()
                 "(normalized to each mechanism's maximum)");
     exp::Table table({"Instances", "CT cores", "KP-SD prefetchers",
                       "KP cores (lo+backfill)"});
+
+    trace::DecisionLog decisions;
 
     for (int inst = 1; inst <= 6; ++inst) {
         exp::RunConfig cfg;
@@ -47,7 +74,16 @@ main()
         double kpsd = exp::runScenario(cfg).avgLoPrefetchers / sub;
 
         cfg.config = exp::ConfigKind::KP;
-        exp::RunResult kp = exp::runScenario(cfg);
+        // The KP leg goes through the shared build+measure path so
+        // the audit log can attach; with no sinks installed it is
+        // the exact same computation as runScenario.
+        exp::Observability obs;
+        if (!decisionsPath.empty()) {
+            decisions.setContext("kp-stitch-" + std::to_string(inst));
+            obs.decisions = &decisions;
+        }
+        exp::Scenario s = exp::buildScenario(cfg, obs);
+        exp::RunResult kp = exp::measureScenario(s, cfg);
         double kp_cores =
             (kp.avgLoCores + kp.avgHiBackfill) / ct_max;
 
@@ -55,6 +91,25 @@ main()
                       exp::fmt(kpsd, 2), exp::fmt(kp_cores, 2)});
     }
     table.print();
+
+    if (!decisionsPath.empty()) {
+        if (!decisions.writeJsonl(decisionsPath))
+            sim::fatal("cannot write decision log to ", decisionsPath);
+        std::printf("\ndecision log written to %s (%zu events)\n",
+                    decisionsPath.c_str(), decisions.size());
+    }
+    if (!manifestPath.empty()) {
+        trace::RunManifest man;
+        man.set("tool", "bench_fig11");
+        man.set("ml", wl::mlName(wl::MlWorkload::Cnn1));
+        man.set("cpu", wl::cpuName(wl::CpuWorkload::Stitch));
+        man.set("instances_max", 6);
+        man.set("contract_violations", sim::contractViolations());
+        man.set("decision_events", decisions.size());
+        if (!man.writeJson(manifestPath))
+            sim::fatal("cannot write manifest to ", manifestPath);
+        std::printf("manifest written to %s\n", manifestPath.c_str());
+    }
 
     std::printf("\nPaper shape: all three throttle harder with more "
                 "instances; KP sustains more CPU-task cores than CT "

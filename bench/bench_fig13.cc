@@ -34,6 +34,9 @@ main(int argc, char **argv)
     opts.addDouble("measure", -1.0,
                    "override measure seconds per run (negative = "
                    "scenario default)");
+    opts.addString("manifest", "",
+                   "write a run manifest (build, grid settings, "
+                   "slowdown summary) JSON to this file");
     if (!opts.parse(argc, argv))
         return 0;
 
@@ -41,6 +44,7 @@ main(int argc, char **argv)
     gopt.jobs = static_cast<int>(opts.getInt("jobs"));
     gopt.warmup = opts.getDouble("warmup");
     gopt.measure = opts.getDouble("measure");
+    gopt.manifestPath = opts.getString("manifest");
 
     exp::banner("Figure 13: ML and CPU slowdown, all workload mixes");
     auto grid = exp::runEvaluationGrid(gopt);

@@ -1,10 +1,12 @@
 #include "exp/evaluation.hh"
 
+#include <cmath>
 #include <cstdio>
 
 #include "exp/sweep_runner.hh"
 #include "node/platform.hh"
 #include "sim/log.hh"
+#include "trace/run_manifest.hh"
 
 namespace kelp {
 namespace exp {
@@ -103,6 +105,43 @@ runMix(const Mix &mix)
     return runMix(mix, GridOptions{});
 }
 
+namespace {
+
+/** Grid manifest: settings + per-config geomean slowdowns. */
+void
+writeGridManifest(const std::vector<MixResult> &results,
+                  const GridOptions &opt)
+{
+    trace::RunManifest man;
+    man.set("tool", "evaluation-grid");
+    man.set("mixes", static_cast<uint64_t>(results.size()));
+    man.set("jobs", opt.jobs);
+    man.set("warmup_s", opt.warmup);
+    man.set("measure_s", opt.measure);
+    man.set("contract_violations", sim::contractViolations());
+    const char *names[4] = {"bl", "ct", "kpsd", "kp"};
+    for (int c = 0; c < 4; ++c) {
+        double ml_log = 0.0;
+        double cpu_log = 0.0;
+        for (const MixResult &r : results) {
+            ml_log += std::log(r.mlSlowdown[c]);
+            cpu_log += std::log(r.cpuSlowdown[c]);
+        }
+        double n = results.empty() ?
+            1.0 : static_cast<double>(results.size());
+        man.set(std::string("ml_slowdown_geomean_") + names[c],
+                std::exp(ml_log / n));
+        man.set(std::string("cpu_slowdown_geomean_") + names[c],
+                std::exp(cpu_log / n));
+    }
+    if (!man.writeJson(opt.manifestPath)) {
+        sim::fatal("cannot write grid manifest to ",
+                   opt.manifestPath);
+    }
+}
+
+} // namespace
+
 std::vector<MixResult>
 runEvaluationGrid(const GridOptions &opt)
 {
@@ -121,7 +160,7 @@ runEvaluationGrid(const GridOptions &opt)
         prewarmReferences(cfgs);
     }
 
-    return parallelMap<MixResult>(
+    std::vector<MixResult> results = parallelMap<MixResult>(
         static_cast<int>(mixes.size()), opt.jobs,
         [&](int i) { return runMix(mixes[static_cast<size_t>(i)], opt); },
         [&](int i) {
@@ -132,6 +171,9 @@ runEvaluationGrid(const GridOptions &opt)
                         wl::cpuName(mix.cpu));
             std::fflush(stdout);
         });
+    if (!opt.manifestPath.empty())
+        writeGridManifest(results, opt);
+    return results;
 }
 
 std::vector<MixResult>

@@ -8,6 +8,7 @@
 #ifndef KELP_EXP_EVALUATION_HH
 #define KELP_EXP_EVALUATION_HH
 
+#include <string>
 #include <vector>
 
 #include "exp/scenario.hh"
@@ -62,6 +63,10 @@ struct GridOptions
      * stay deterministic and jobs-invariant. */
     double warmup = -1.0;
     double measure = -1.0;
+
+    /** Non-empty: write a run-manifest JSON (build, grid settings,
+     * per-config slowdown summary) to this path after the grid. */
+    std::string manifestPath;
 };
 
 /** Run one mix across BL/CT/KP-SD/KP. */

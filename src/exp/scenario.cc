@@ -19,6 +19,9 @@
 #include "node/platform.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "trace/decision_log.hh"
+#include "trace/telemetry.hh"
+#include "trace/trace_recorder.hh"
 
 namespace kelp {
 namespace exp {
@@ -331,6 +334,43 @@ configure(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
     }
 }
 
+/**
+ * The standard probe set every instrumented run records: the four
+ * hardware signals the controller acts on plus its knob state and the
+ * process-wide contract-violation counter. Probes only read; they
+ * never perturb the simulated system.
+ */
+void
+installStandardProbes(Scenario &s, trace::Telemetry &tel)
+{
+    auto counters =
+        std::make_shared<hal::PerfCounters>(s.node->memSystem());
+    auto sample = std::make_shared<hal::CounterSample>();
+    tel.addProbe("socket_bw_gibps", [counters, sample]() {
+        *sample = counters->sample(0);
+        return sample->socketBw;
+    });
+    tel.addProbe("mem_latency_ns",
+                 [sample]() { return sample->memLatency; });
+    tel.addProbe("saturation",
+                 [sample]() { return sample->saturation; });
+    tel.addProbe("contract_violations", []() {
+        return static_cast<double>(sim::contractViolations());
+    });
+    if (s.manager) {
+        auto *mgr = s.manager.get();
+        tel.addProbe("lo_cores", [mgr]() {
+            return mgr->controller().params().loCores;
+        });
+        tel.addProbe("lo_prefetchers", [mgr]() {
+            return mgr->controller().params().loPrefetchers;
+        });
+        tel.addProbe("hi_backfill", [mgr]() {
+            return mgr->controller().params().hiBackfillCores;
+        });
+    }
+}
+
 } // namespace
 
 Scenario
@@ -371,11 +411,26 @@ buildScenario(const RunConfig &cfg)
     return s;
 }
 
-RunResult
-runScenario(const RunConfig &cfg)
+Scenario
+buildScenario(const RunConfig &cfg, const Observability &obs)
 {
     Scenario s = buildScenario(cfg);
+    if (obs.decisions && s.manager)
+        s.manager->controller().setDecisionLog(obs.decisions);
+    if (obs.recorder && s.inferTask)
+        s.inferTask->setTraceSink(obs.recorder->phaseSink());
+    if (obs.telemetry) {
+        installStandardProbes(s, *obs.telemetry);
+        sim::Time period = obs.telemetryPeriod > 0.0 ?
+            obs.telemetryPeriod : cfg.samplePeriod;
+        obs.telemetry->attach(*s.engine, period);
+    }
+    return s;
+}
 
+RunResult
+measureScenario(Scenario &s, const RunConfig &cfg)
+{
     s.engine->run(cfg.warmup);
 
     // Start the measurement window.
@@ -426,6 +481,13 @@ runScenario(const RunConfig &cfg)
     r.avgSaturation = cs.saturation;
     r.avgSocketBw = cs.socketBw;
     return r;
+}
+
+RunResult
+runScenario(const RunConfig &cfg)
+{
+    Scenario s = buildScenario(cfg);
+    return measureScenario(s, cfg);
 }
 
 RunResult

@@ -31,6 +31,13 @@
 #include "workload/ml_train_task.hh"
 
 namespace kelp {
+
+namespace trace {
+class DecisionLog;
+class Telemetry;
+class TraceRecorder;
+} // namespace trace
+
 namespace exp {
 
 /**
@@ -196,8 +203,50 @@ struct Scenario
     sim::GroupId cpuGroup = sim::invalidId;
 };
 
+/**
+ * Optional observability sinks for an instrumented run. All sinks are
+ * borrowed (must outlive the scenario) and all default to null: a
+ * default Observability installs nothing, and the run is bit-identical
+ * to the un-instrumented paper path.
+ */
+struct Observability
+{
+    /** Perfetto-compatible span recorder; receives the inference
+     * task's phase events (CPU/PCIe/Accel lanes) as they happen.
+     * Counter tracks and decision instants are imported at end of
+     * run by the caller (importTelemetry / importDecisions). */
+    trace::TraceRecorder *recorder = nullptr;
+
+    /** Controller decision audit log. */
+    trace::DecisionLog *decisions = nullptr;
+
+    /** Knob/hardware-signal time series, sampled on a periodic. The
+     * standard probe set (socket bandwidth, memory latency,
+     * saturation, contract violations, controller knobs) is
+     * installed automatically. */
+    trace::Telemetry *telemetry = nullptr;
+
+    /** Telemetry sampling period, simulated seconds (<= 0 follows
+     * the controller sampling period). */
+    sim::Time telemetryPeriod = 0.0;
+
+    /** True when any sink is attached. */
+    bool any() const { return recorder || decisions || telemetry; }
+};
+
 /** Build a scenario without running it. */
 Scenario buildScenario(const RunConfig &cfg);
+
+/** Build a scenario with observability sinks installed. */
+Scenario buildScenario(const RunConfig &cfg,
+                       const Observability &obs);
+
+/**
+ * Warm up, measure, and summarize an already-built scenario. Shared
+ * by the plain and instrumented paths so both compute the exact same
+ * RunResult from the same simulated run.
+ */
+RunResult measureScenario(Scenario &s, const RunConfig &cfg);
 
 /** Build, warm up, measure, and summarize. */
 RunResult runScenario(const RunConfig &cfg);

@@ -23,6 +23,11 @@
 #include "sim/types.hh"
 
 namespace kelp {
+
+namespace trace {
+class DecisionLog;
+} // namespace trace
+
 namespace runtime {
 
 /** Algorithm 1's per-group decision. */
@@ -207,8 +212,21 @@ class Controller
      */
     virtual int reconcile() { return 0; }
 
+    /**
+     * Attach a decision audit log (observability; null detaches).
+     * Not owned; must outlive the controller. When attached, every
+     * knob-state mutation is recorded with its trigger measurements
+     * and reason. When detached (the default), the control path is
+     * untouched -- runs stay bit-identical to the paper path.
+     */
+    void setDecisionLog(trace::DecisionLog *log) { decisionLog_ = log; }
+
+    /** The attached audit log, or null. */
+    trace::DecisionLog *decisionLog() const { return decisionLog_; }
+
   protected:
     Bindings bind_;
+    trace::DecisionLog *decisionLog_ = nullptr;
 };
 
 } // namespace runtime

@@ -1,8 +1,10 @@
 #include "kelp/kelp_controller.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/log.hh"
+#include "trace/decision_log.hh"
 
 namespace kelp {
 namespace runtime {
@@ -110,6 +112,7 @@ KelpController::sample(sim::Time now)
         // The high-priority subdomain is subdomain 0 by convention
         // (the ML task is bound there at placement time).
         m.bwH = s.subdomainBw[0];
+        lastMeasurements_ = m;
 
         KelpDecision d = decideActions(profile_, m);
         if (hardening_.enabled) {
@@ -119,20 +122,65 @@ KelpController::sample(sim::Time now)
             prevL_ = d.actionL;
         }
         lastDecision_ = d;
+        ResourceState before = state_;
         configurator_.configHiPriority(d.actionH, state_);
         configurator_.configLoPriority(d.actionL, state_);
+        if (decisionLog_ &&
+            (d.actionH != Action::Nop || d.actionL != Action::Nop)) {
+            std::ostringstream why;
+            why << "action_h=" << actionName(d.actionH)
+                << " action_l=" << actionName(d.actionL);
+            logDecision(now, "algorithm1", before, -1.0, why.str());
+        }
     }
-    if (dynamicMembership_ && !failSafe_)
+    if (dynamicMembership_ && !failSafe_) {
+        ResourceState before = state_;
         clampToMembership();
+        if (decisionLog_ &&
+            (before.coreNumH != state_.coreNumH ||
+             before.coreNumL != state_.coreNumL ||
+             before.prefetcherNumL != state_.prefetcherNumL)) {
+            logDecision(now, "membership-clamp", before, -1.0,
+                        "clamped to live low-priority membership");
+        }
+    }
     if (sloGuard_ && !failSafe_) {
         double ratio = measurePerfRatio(now);
+        int rungBefore = sloGuard_->rung();
         if (ratio >= 0.0)
             sloGuard_->observe(now, ratio);
         // Re-assert the active rung's clamps every sample: the
         // ladder outranks Algorithm 2's boosts until it de-escalates.
+        ResourceState before = state_;
+        size_t suspBefore = suspended_.size();
         applyRung(sloGuard_->rung());
+        int rungAfter = sloGuard_->rung();
+        if (decisionLog_) {
+            bool stateChanged =
+                before.coreNumH != state_.coreNumH ||
+                before.coreNumL != state_.coreNumL ||
+                before.prefetcherNumL != state_.prefetcherNumL ||
+                suspended_.size() != suspBefore;
+            if (rungAfter != rungBefore) {
+                std::ostringstream why;
+                why << "rung " << rungBefore << "->" << rungAfter
+                    << " (" << sloRungName(rungAfter) << ")";
+                if (suspended_.size() > suspBefore)
+                    why << ", evicted task " << suspended_.back();
+                else if (suspended_.size() < suspBefore)
+                    why << ", resumed suspended tasks";
+                logDecision(now, "slo-rung", before, ratio,
+                            why.str());
+            } else if (stateChanged) {
+                std::ostringstream why;
+                why << "re-asserted rung " << rungAfter << " ("
+                    << sloRungName(rungAfter) << ") clamps";
+                logDecision(now, "slo-clamp", before, ratio,
+                            why.str());
+            }
+        }
     }
-    actuate();
+    actuate(now);
 }
 
 void
@@ -317,12 +365,14 @@ KelpController::reconcile()
 }
 
 void
-KelpController::actuate()
+KelpController::actuate(sim::Time now)
 {
+    bool wasPending = enforcePending_;
     if (!hardening_.enabled) {
         // Paper behaviour: enforce every sample, no retry.
         health_.actuationOk = enforce();
         enforcePending_ = !health_.actuationOk;
+        logActuationEdge(now, wasPending);
         return;
     }
     if (retryWait_ > 0) {
@@ -346,6 +396,50 @@ KelpController::actuate()
     // the watchdog as unhealthy actuation.
     health_.actuationOk =
         failedAttempts_ < hardening_.actuationFailStreak;
+    logActuationEdge(now, wasPending);
+}
+
+void
+KelpController::logActuationEdge(sim::Time now, bool wasPending)
+{
+    if (!decisionLog_ || wasPending == enforcePending_)
+        return;
+    if (enforcePending_) {
+        std::ostringstream why;
+        why << "knob write failed";
+        if (hardening_.enabled)
+            why << "; retrying with backoff " << backoff_;
+        logDecision(now, "actuation-fail", state_, -1.0, why.str());
+    } else {
+        logDecision(now, "actuation-recovered", state_, -1.0,
+                    "pending knob writes landed");
+    }
+}
+
+void
+KelpController::logDecision(sim::Time now, const char *kind,
+                            const ResourceState &before,
+                            double perfRatio,
+                            const std::string &reason)
+{
+    if (!decisionLog_)
+        return;
+    trace::DecisionEvent ev;
+    ev.time = now;
+    ev.kind = kind;
+    ev.reason = reason;
+    ev.loCoresOld = before.coreNumL;
+    ev.loCoresNew = state_.coreNumL;
+    ev.loPrefetchersOld = before.prefetcherNumL;
+    ev.loPrefetchersNew = state_.prefetcherNumL;
+    ev.hiBackfillOld = before.coreNumH;
+    ev.hiBackfillNew = state_.coreNumH;
+    ev.bwS = lastMeasurements_.bwS;
+    ev.latS = lastMeasurements_.latS;
+    ev.satS = lastMeasurements_.satS;
+    ev.bwH = lastMeasurements_.bwH;
+    ev.perfRatio = perfRatio;
+    decisionLog_->append(ev);
 }
 
 ResourceState

@@ -106,6 +106,12 @@ class KelpController : public Controller
     /** Last decision taken (inspection). */
     const KelpDecision &lastDecision() const { return lastDecision_; }
 
+    /** Last accepted measurements (inspection/audit). */
+    const KelpMeasurements &lastMeasurements() const
+    {
+        return lastMeasurements_;
+    }
+
     /** Samples rejected by the guard so far (inspection). */
     uint64_t rejectedSamples() const { return guard_.rejected(); }
 
@@ -143,7 +149,15 @@ class KelpController : public Controller
     bool enforce();
 
     /** Enforce with the hardened retry/backoff machinery. */
-    void actuate();
+    void actuate(sim::Time now);
+
+    /** Append one audit event (no-op when no log is attached). */
+    void logDecision(sim::Time now, const char *kind,
+                     const ResourceState &before, double perfRatio,
+                     const std::string &reason);
+
+    /** Audit an actuation pending/landed transition. */
+    void logActuationEdge(sim::Time now, bool wasPending);
 
     /** Clamp managed state to the live low-priority membership. */
     void clampToMembership();
@@ -163,6 +177,7 @@ class KelpController : public Controller
     hal::CounterSource *counters_;
     hal::KnobSink *knobs_;
     KelpDecision lastDecision_;
+    KelpMeasurements lastMeasurements_;
 
     Hardening hardening_;
     SampleGuard guard_;

@@ -1,9 +1,41 @@
 #include "kelp/manager.hh"
 
+#include <sstream>
+
 #include "sim/log.hh"
+#include "trace/decision_log.hh"
 
 namespace kelp {
 namespace runtime {
+
+namespace {
+
+/**
+ * Audit a manager-level action: knob old/new bracket the controller
+ * transition the manager drove (fail-safe pinning, restart recovery).
+ */
+void
+auditManagerEvent(trace::DecisionLog *log, sim::Time now,
+                  const char *kind, const ControllerParams &before,
+                  const ControllerParams &after,
+                  const std::string &reason)
+{
+    if (!log)
+        return;
+    trace::DecisionEvent ev;
+    ev.time = now;
+    ev.kind = kind;
+    ev.reason = reason;
+    ev.loCoresOld = before.loCores;
+    ev.loCoresNew = after.loCores;
+    ev.loPrefetchersOld = before.loPrefetchers;
+    ev.loPrefetchersNew = after.loPrefetchers;
+    ev.hiBackfillOld = before.hiBackfillCores;
+    ev.hiBackfillNew = after.hiBackfillCores;
+    log->append(ev);
+}
+
+} // namespace
 
 RuntimeManager::RuntimeManager(std::unique_ptr<Controller> controller,
                                sim::Time period)
@@ -43,15 +75,35 @@ RuntimeManager::superviseHealth(sim::Time now)
         failSafe_ = true;
         ++entries_;
         modeTrace_.push_back({now, true});
+        ControllerParams before = controller_->params();
+        int streak = consecutiveBad_;
         controller_->setFailSafe(true);
         consecutiveBad_ = 0;
+        if (controller_->decisionLog()) {
+            std::ostringstream why;
+            why << streak << " consecutive unhealthy samples; "
+                << "entering fail-safe";
+            auditManagerEvent(controller_->decisionLog(), now,
+                              "watchdog-trip", before,
+                              controller_->params(), why.str());
+        }
     } else if (failSafe_ &&
                consecutiveGood_ >= watchdog_.recoverThreshold) {
         failSafe_ = false;
         ++exits_;
         modeTrace_.push_back({now, false});
+        ControllerParams before = controller_->params();
+        int streak = consecutiveGood_;
         controller_->setFailSafe(false);
         consecutiveGood_ = 0;
+        if (controller_->decisionLog()) {
+            std::ostringstream why;
+            why << streak << " consecutive healthy samples; "
+                << "leaving fail-safe";
+            auditManagerEvent(controller_->decisionLog(), now,
+                              "watchdog-rearm", before,
+                              controller_->params(), why.str());
+        }
     }
 
     if (failSafe_)
@@ -103,7 +155,11 @@ RuntimeManager::restart(sim::Time now)
     // The crash: the live controller (filter state, retry state,
     // perf baselines) is gone. Knob state stays wherever the
     // hardware last landed -- that is what reconciliation is for.
+    // The audit log outlives the controller -- carry it across.
+    trace::DecisionLog *audit = controller_->decisionLog();
+    ControllerParams paramsBefore = controller_->params();
     controller_ = factory_();
+    controller_->setDecisionLog(audit);
 
     RestartEvent ev;
     ev.time = now;
@@ -117,6 +173,15 @@ RuntimeManager::restart(sim::Time now)
     KELP_ENSURES(ev.repairs >= 0,
                  "reconcile() reported a negative repair count");
     restartTrace_.push_back(ev);
+    if (audit) {
+        std::ostringstream why;
+        why << "controller restarted "
+            << (ev.hadCheckpoint ? "from checkpoint"
+                                 : "without checkpoint")
+            << "; " << ev.repairs << " knob(s) reconciled";
+        auditManagerEvent(audit, now, "restart", paramsBefore,
+                          controller_->params(), why.str());
+    }
 
     // The watchdog's streaks described the dead controller; the
     // fail-safe flag follows the restored snapshot.

@@ -109,6 +109,15 @@ LatencyHistogram::bucketHigh(size_t i) const
 void
 LatencyHistogram::add(double x)
 {
+    // NaN would otherwise fall into bucket 0 (every comparison on it
+    // is false, including `x > minValue_`) and poison sum_ -- mean()
+    // and every percentile after it would be NaN. Reject it as a
+    // contract violation; in Count mode the sample is dropped and the
+    // histogram stays well-formed.
+    KELP_EXPECTS(!std::isnan(x),
+                 "NaN cannot be recorded in a latency histogram");
+    if (std::isnan(x))
+        return;
     ++buckets_[bucketFor(x)];
     ++total_;
     sum_ += x;

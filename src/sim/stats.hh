@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace kelp {
@@ -56,8 +57,12 @@ class OnlineStats
     size_t n_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
-    double min_;
-    double max_;
+
+    /** Empty-window identities (+inf/-inf) so min()/max() honour the
+     * documented contract instead of reading uninitialized memory
+     * when no observation has been added yet. */
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /** Exponentially weighted moving average. */

@@ -1,0 +1,83 @@
+#include "trace/decision_log.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+#include "trace/json.hh"
+
+namespace kelp {
+namespace trace {
+
+bool
+DecisionEvent::changedKnobs() const
+{
+    return loCoresOld != loCoresNew ||
+           loPrefetchersOld != loPrefetchersNew ||
+           hiBackfillOld != hiBackfillNew;
+}
+
+std::string
+DecisionEvent::toJson(const std::string &context) const
+{
+    std::ostringstream os;
+    os << "{\"t\":" << jsonNumber(time)
+       << ",\"kind\":" << jsonString(kind);
+    if (!context.empty())
+        os << ",\"run\":" << jsonString(context);
+    os << ",\"lo_cores\":[" << loCoresOld << "," << loCoresNew << "]"
+       << ",\"lo_prefetchers\":[" << loPrefetchersOld << ","
+       << loPrefetchersNew << "]"
+       << ",\"hi_backfill\":[" << hiBackfillOld << "," << hiBackfillNew
+       << "]"
+       << ",\"trigger\":{\"bw_s\":" << jsonNumber(bwS)
+       << ",\"lat_s\":" << jsonNumber(latS)
+       << ",\"sat_s\":" << jsonNumber(satS)
+       << ",\"bw_h\":" << jsonNumber(bwH) << "}"
+       << ",\"perf_ratio\":" << jsonNumber(perfRatio)
+       << ",\"reason\":" << jsonString(reason) << "}";
+    return os.str();
+}
+
+void
+DecisionLog::append(DecisionEvent ev)
+{
+    KELP_EXPECTS(!any_ || ev.time >= lastTime_,
+                 "decision log must be appended in time order "
+                 "(got t=", ev.time, " after t=", lastTime_, ")");
+    lastTime_ = ev.time;
+    any_ = true;
+    events_.push_back(std::move(ev));
+    eventContext_.push_back(context_);
+}
+
+void
+DecisionLog::setContext(const std::string &context)
+{
+    context_ = context;
+    // A fresh context is a fresh run: its simulated clock restarts.
+    any_ = false;
+    lastTime_ = 0.0;
+}
+
+std::string
+DecisionLog::toJsonl() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < events_.size(); ++i)
+        os << events_[i].toJson(eventContext_[i]) << "\n";
+    return os.str();
+}
+
+bool
+DecisionLog::writeJsonl(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJsonl();
+    return static_cast<bool>(out);
+}
+
+} // namespace trace
+} // namespace kelp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * DecisionLog: the controller's audit trail.
+ *
+ * Every actuation the runtime takes -- an Algorithm 1 knob move, a
+ * churn membership clamp, an SLO-ladder rung transition or clamp, a
+ * fail-safe entry/exit, a failed/recovered knob write, a watchdog
+ * trip, a crash/restart -- is recorded as one DecisionEvent: when it
+ * happened (simulated time), what triggered it (the sample values the
+ * controller acted on), the old -> new knob state, and a
+ * human-readable reason. The log is queryable in tests and exports as
+ * JSONL (one JSON object per line), so a degraded or surprising run
+ * can be replayed decision by decision.
+ *
+ * The log never samples anything itself: producers (KelpController,
+ * RuntimeManager) append events at the moment they act, which keeps
+ * the record exact and the tick path allocation-light (events are
+ * buffered in memory and serialized once at end of run).
+ *
+ * Determinism: events carry simulated time only; with the same seed,
+ * two runs produce byte-identical JSONL.
+ */
+
+#ifndef KELP_TRACE_DECISION_LOG_HH
+#define KELP_TRACE_DECISION_LOG_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace kelp {
+namespace trace {
+
+/** One audited controller action. */
+struct DecisionEvent
+{
+    /** Simulated time of the action, seconds. */
+    sim::Time time = 0.0;
+
+    /**
+     * Action class: "algorithm1", "membership-clamp", "slo-rung",
+     * "slo-clamp", "actuation-fail", "actuation-recovered",
+     * "watchdog-trip" (fail-safe entry), "watchdog-rearm" (fail-safe
+     * exit), "restart".
+     */
+    std::string kind;
+
+    /** Deterministic human-readable explanation. */
+    std::string reason;
+
+    /** Knob state before -> after (low-priority cores, low-priority
+     * prefetchers, backfilled high-priority-subdomain cores). For
+     * events that change no knob, old == new == current state. */
+    int loCoresOld = 0;
+    int loCoresNew = 0;
+    int loPrefetchersOld = 0;
+    int loPrefetchersNew = 0;
+    int hiBackfillOld = 0;
+    int hiBackfillNew = 0;
+
+    /** Trigger sample the decision was made on (0 when the event was
+     * not driven by a counter sample). */
+    double bwS = 0.0;
+    double latS = 0.0;
+    double satS = 0.0;
+    double bwH = 0.0;
+
+    /** ML performance ratio that drove an SLO event (negative when
+     * not applicable). */
+    double perfRatio = -1.0;
+
+    /** True when any knob differs between old and new. */
+    bool changedKnobs() const;
+
+    /** One JSONL line (no trailing newline). */
+    std::string toJson(const std::string &context) const;
+};
+
+/** Append-only audit log; one instance per run (or per labelled
+ * sub-run via setContext). */
+class DecisionLog
+{
+  public:
+    DecisionLog() = default;
+
+    /**
+     * Append one event. Within a context, event times must be
+     * non-decreasing (the producers act in simulated-time order; an
+     * out-of-order append means a producer is mis-stamping events).
+     */
+    void append(DecisionEvent ev);
+
+    /**
+     * Label subsequent events (exported as a "run" field). Benches
+     * that pool several runs into one log set a fresh context per
+     * run; the monotonic-time check restarts with it.
+     */
+    void setContext(const std::string &context);
+    const std::string &context() const { return context_; }
+
+    const std::vector<DecisionEvent> &events() const { return events_; }
+    size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** All events as JSONL (one object per line, trailing newline). */
+    std::string toJsonl() const;
+
+    /** Write JSONL to a file; false on I/O failure. */
+    bool writeJsonl(const std::string &path) const;
+
+  private:
+    std::vector<DecisionEvent> events_;
+
+    /** Per-event context label ("" = unlabelled), parallel to
+     * events_. */
+    std::vector<std::string> eventContext_;
+
+    std::string context_;
+    sim::Time lastTime_ = 0.0;
+    bool any_ = false;
+};
+
+} // namespace trace
+} // namespace kelp
+
+#endif // KELP_TRACE_DECISION_LOG_HH

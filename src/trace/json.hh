@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal JSON output helpers shared by the observability writers
+ * (TraceRecorder, DecisionLog, RunManifest).
+ *
+ * Only serialization lives here -- the exports are consumed by
+ * Perfetto, chrome://tracing, and ad-hoc analysis scripts, never read
+ * back by the simulator. Formatting is fully deterministic: a given
+ * value always renders to the same bytes, which is what lets CI
+ * byte-diff same-seed runs' JSON outputs.
+ */
+
+#ifndef KELP_TRACE_JSON_HH
+#define KELP_TRACE_JSON_HH
+
+#include <string>
+
+namespace kelp {
+namespace trace {
+
+/**
+ * Escape a string for embedding between JSON double quotes: quote,
+ * backslash, and control characters are encoded per RFC 8259 (the
+ * result does NOT include the surrounding quotes).
+ */
+std::string jsonEscape(const std::string &s);
+
+/** `"escaped"` -- jsonEscape with the surrounding quotes. */
+std::string jsonString(const std::string &s);
+
+/**
+ * Render a double as a JSON number. Integral values within the
+ * exactly-representable range print without a fraction ("3" not
+ * "3.0"); everything else uses round-trip precision. Non-finite
+ * values (which JSON cannot express) render as `null`.
+ */
+std::string jsonNumber(double v);
+
+} // namespace trace
+} // namespace kelp
+
+#endif // KELP_TRACE_JSON_HH

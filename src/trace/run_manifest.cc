@@ -1,0 +1,139 @@
+#include "trace/run_manifest.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/stats.hh"
+#include "trace/json.hh"
+
+#ifndef KELP_GIT_DESCRIBE
+#define KELP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace kelp {
+namespace trace {
+
+RunManifest::RunManifest()
+{
+    set("schema", "kelp-run-manifest-v1");
+    set("git_describe", gitDescribe());
+}
+
+const char *
+RunManifest::gitDescribe()
+{
+    return KELP_GIT_DESCRIBE;
+}
+
+void
+RunManifest::set(const std::string &key, const std::string &value)
+{
+    entries_.push_back({key, Kind::String, value, 0.0});
+}
+
+void
+RunManifest::set(const std::string &key, const char *value)
+{
+    set(key, std::string(value));
+}
+
+void
+RunManifest::set(const std::string &key, double value)
+{
+    entries_.push_back({key, Kind::Number, "", value});
+}
+
+void
+RunManifest::set(const std::string &key, int value)
+{
+    set(key, static_cast<double>(value));
+}
+
+void
+RunManifest::set(const std::string &key, uint64_t value)
+{
+    set(key, static_cast<double>(value));
+}
+
+void
+RunManifest::set(const std::string &key, bool value)
+{
+    entries_.push_back({key, Kind::Bool, value ? "true" : "false", 0.0});
+}
+
+void
+RunManifest::addHistogram(const std::string &name,
+                          const sim::LatencyHistogram &histogram)
+{
+    HistogramSummary h;
+    h.name = name;
+    h.count = histogram.count();
+    h.mean = histogram.mean();
+    h.p50 = histogram.percentile(50.0);
+    h.p90 = histogram.percentile(90.0);
+    h.p95 = histogram.percentile(95.0);
+    h.p99 = histogram.percentile(99.0);
+    h.p999 = histogram.percentile(99.9);
+    histograms_.push_back(h);
+}
+
+std::string
+RunManifest::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    for (const Entry &e : entries_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  " << jsonString(e.key) << ": ";
+        switch (e.kind) {
+          case Kind::String:
+            os << jsonString(e.str);
+            break;
+          case Kind::Number:
+            os << jsonNumber(e.num);
+            break;
+          case Kind::Bool:
+            os << e.str;
+            break;
+        }
+    }
+    if (!histograms_.empty()) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"histograms\": {\n";
+        for (size_t i = 0; i < histograms_.size(); ++i) {
+            const HistogramSummary &h = histograms_[i];
+            os << "    " << jsonString(h.name) << ": {"
+               << "\"count\": " << h.count
+               << ", \"mean\": " << jsonNumber(h.mean)
+               << ", \"p50\": " << jsonNumber(h.p50)
+               << ", \"p90\": " << jsonNumber(h.p90)
+               << ", \"p95\": " << jsonNumber(h.p95)
+               << ", \"p99\": " << jsonNumber(h.p99)
+               << ", \"p999\": " << jsonNumber(h.p999) << "}";
+            if (i + 1 < histograms_.size())
+                os << ",";
+            os << "\n";
+        }
+        os << "  }";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+bool
+RunManifest::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace trace
+} // namespace kelp

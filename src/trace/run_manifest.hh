@@ -1,0 +1,91 @@
+/**
+ * @file
+ * RunManifest: the JSON "what produced this output" record written
+ * next to every instrumented kelpsim or bench output.
+ *
+ * A manifest captures everything needed to reproduce and interpret a
+ * run: seed and configuration, the build's `git describe`, the
+ * contract-violation count, run timing (simulated seconds -- wall
+ * clocks are banned by the determinism rules, and a wall time would
+ * break the byte-identical-per-seed guarantee CI enforces on manifest
+ * files), and percentile summaries of any latency histograms.
+ *
+ * Keys render in insertion order, so a producer that sets the same
+ * fields in the same order always emits the same bytes.
+ */
+
+#ifndef KELP_TRACE_RUN_MANIFEST_HH
+#define KELP_TRACE_RUN_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kelp {
+
+namespace sim {
+class LatencyHistogram;
+} // namespace sim
+
+namespace trace {
+
+/** Ordered key/value manifest with histogram summaries. */
+class RunManifest
+{
+  public:
+    /** Starts with the standard preamble: schema identifier and the
+     * build's git describe. */
+    RunManifest();
+
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, int value);
+    void set(const std::string &key, uint64_t value);
+    void set(const std::string &key, bool value);
+
+    /**
+     * Summarize a histogram under `histograms.<name>`: count, mean,
+     * and the p50/p90/p95/p99/p999 percentiles, each matching
+     * LatencyHistogram::percentile exactly.
+     */
+    void addHistogram(const std::string &name,
+                      const sim::LatencyHistogram &histogram);
+
+    /** The build's `git describe` (baked in at configure time;
+     * "unknown" outside a git checkout). */
+    static const char *gitDescribe();
+
+    /** The manifest as a JSON object (trailing newline). */
+    std::string toJson() const;
+
+    /** Write the JSON to a file; false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    enum class Kind { String, Number, Bool };
+
+    struct Entry
+    {
+        std::string key;
+        Kind kind;
+        std::string str;
+        double num = 0.0;
+    };
+
+    struct HistogramSummary
+    {
+        std::string name;
+        uint64_t count;
+        double mean;
+        double p50, p90, p95, p99, p999;
+    };
+
+    std::vector<Entry> entries_;
+    std::vector<HistogramSummary> histograms_;
+};
+
+} // namespace trace
+} // namespace kelp
+
+#endif // KELP_TRACE_RUN_MANIFEST_HH

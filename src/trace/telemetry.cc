@@ -13,7 +13,45 @@ namespace trace {
 TimeSeries::TimeSeries(std::string name)
     : name_(std::move(name))
 {
+    // Newlines in a series name would break the CSV's one-row-per-
+    // sample framing even with RFC 4180 quoting (multi-line headers
+    // defeat every line-oriented consumer). Commas and quotes are
+    // legal -- toCsv escapes them.
+    KELP_EXPECTS(name_.find('\n') == std::string::npos &&
+                     name_.find('\r') == std::string::npos,
+                 "telemetry series name must not contain newlines");
 }
+
+namespace {
+
+/**
+ * Render a CSV header cell: names containing a comma, quote, or
+ * newline are quoted per RFC 4180 (quotes doubled). Newlines -- which
+ * only appear if the constructor contract above was violated in
+ * Count mode -- are replaced by spaces so the header stays one line.
+ */
+std::string
+csvCell(const std::string &name)
+{
+    std::string clean = name;
+    for (char &c : clean)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    if (clean.find(',') == std::string::npos &&
+        clean.find('"') == std::string::npos) {
+        return clean;
+    }
+    std::string out = "\"";
+    for (char c : clean) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
 
 void
 TimeSeries::record(sim::Time t, double value)
@@ -101,7 +139,10 @@ Telemetry::sampleProbes(sim::Time now)
 std::string
 Telemetry::toCsv() const
 {
-    // Union of all sample times, carried-forward values.
+    // Union of all sample times; values carry forward between a
+    // series' samples. Before a series' first sample there is no
+    // value to carry -- those cells are left empty rather than
+    // fabricating a 0.0 the series never recorded.
     std::set<sim::Time> times;
     for (const auto &s : series_)
         times.insert(s->times().begin(), s->times().end());
@@ -109,22 +150,27 @@ Telemetry::toCsv() const
     std::ostringstream os;
     os << "time";
     for (const auto &s : series_)
-        os << "," << s->name();
+        os << "," << csvCell(s->name());
     os << "\n";
 
     std::vector<size_t> cursor(series_.size(), 0);
     std::vector<double> current(series_.size(), 0.0);
+    std::vector<bool> started(series_.size(), false);
     for (sim::Time t : times) {
         for (size_t i = 0; i < series_.size(); ++i) {
             const auto &s = *series_[i];
             while (cursor[i] < s.size() && s.times()[cursor[i]] <= t) {
                 current[i] = s.values()[cursor[i]];
+                started[i] = true;
                 ++cursor[i];
             }
         }
         os << t;
-        for (double v : current)
-            os << "," << v;
+        for (size_t i = 0; i < series_.size(); ++i) {
+            os << ",";
+            if (started[i])
+                os << current[i];
+        }
         os << "\n";
     }
     return os.str();

@@ -1,0 +1,227 @@
+#include "trace/trace_recorder.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+#include "trace/decision_log.hh"
+#include "trace/json.hh"
+#include "trace/telemetry.hh"
+
+namespace kelp {
+namespace trace {
+
+namespace {
+
+/** Trace-event process ids of the three lane groups. */
+constexpr int kPidNode = 1;
+constexpr int kPidController = 2;
+constexpr int kPidCounters = 3;
+
+/** Controller-lane thread id. */
+constexpr int kTidController = 1;
+
+/** Simulated seconds -> trace-event microseconds. */
+double
+toTraceUs(sim::Time t)
+{
+    return t * 1e6;
+}
+
+/** One `ph:"M"` metadata event naming a process or thread. */
+void
+metadata(std::ostringstream &os, const char *what, int pid, int tid,
+         const char *name)
+{
+    os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
+       << "\"}}";
+}
+
+} // namespace
+
+uint32_t
+TraceRecorder::intern(const std::string &s)
+{
+    // Index 0 is reserved for "no detail"; series/name sets are tiny
+    // (a handful of phase and series names), so linear scan wins over
+    // a map -- and keeps iteration order trivially deterministic.
+    if (names_.empty())
+        names_.push_back("");
+    for (uint32_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == s)
+            return i;
+    names_.push_back(s);
+    return static_cast<uint32_t>(names_.size() - 1);
+}
+
+void
+TraceRecorder::addSpan(Lane lane, sim::Time start, sim::Time end,
+                       const std::string &name, int iteration)
+{
+    KELP_EXPECTS(end >= start, "trace span must not end before it "
+                 "starts (", name, ": ", start, " .. ", end, ")");
+    Event ev{};
+    ev.ph = 'X';
+    ev.pid = kPidNode;
+    ev.tid = static_cast<int>(lane);
+    ev.ts = start;
+    ev.dur = end - start;
+    ev.iteration = iteration;
+    ev.name = intern(name);
+    ev.detail = intern("");
+    events_.push_back(ev);
+}
+
+void
+TraceRecorder::addInstant(sim::Time t, const std::string &name,
+                          const std::string &detail)
+{
+    Event ev{};
+    ev.ph = 'i';
+    ev.pid = kPidController;
+    ev.tid = kTidController;
+    ev.ts = t;
+    ev.iteration = -1;
+    ev.name = intern(name);
+    ev.detail = intern(detail);
+    events_.push_back(ev);
+}
+
+void
+TraceRecorder::addCounter(sim::Time t, const std::string &series,
+                          double value)
+{
+    Event ev{};
+    ev.ph = 'C';
+    ev.pid = kPidCounters;
+    ev.tid = 0;
+    ev.ts = t;
+    ev.value = value;
+    ev.iteration = -1;
+    ev.name = intern(series);
+    ev.detail = intern("");
+    events_.push_back(ev);
+}
+
+std::function<void(const wl::TraceEvent &)>
+TraceRecorder::phaseSink()
+{
+    return [this](const wl::TraceEvent &ev) {
+        Lane lane = Lane::Cpu;
+        const char *name = "host";
+        switch (ev.kind) {
+          case wl::SegmentKind::Host:
+            lane = Lane::Cpu;
+            name = "host";
+            break;
+          case wl::SegmentKind::Pcie:
+            lane = Lane::Pcie;
+            name = "pcie";
+            break;
+          case wl::SegmentKind::Accel:
+            lane = Lane::Accel;
+            name = "accel";
+            break;
+        }
+        addSpan(lane, ev.start, ev.end, name, ev.iteration);
+    };
+}
+
+void
+TraceRecorder::importTelemetry(const Telemetry &telemetry)
+{
+    for (const auto &series : telemetry.all()) {
+        for (size_t i = 0; i < series->size(); ++i) {
+            addCounter(series->times()[i], series->name(),
+                       series->values()[i]);
+        }
+    }
+}
+
+void
+TraceRecorder::importDecisions(const DecisionLog &log)
+{
+    for (const DecisionEvent &d : log.events()) {
+        std::ostringstream detail;
+        if (d.changedKnobs()) {
+            detail << "lo_cores " << d.loCoresOld << "->"
+                   << d.loCoresNew << ", lo_prefetchers "
+                   << d.loPrefetchersOld << "->" << d.loPrefetchersNew
+                   << ", hi_backfill " << d.hiBackfillOld << "->"
+                   << d.hiBackfillNew << "; ";
+        }
+        detail << d.reason;
+        addInstant(d.time, d.kind, detail.str());
+    }
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[\n";
+
+    // Lane metadata: stable, emitted whether or not a lane has
+    // events, so traces from different runs line up in the viewer.
+    metadata(os, "process_name", kPidNode, 0, "node");
+    os << ",\n";
+    metadata(os, "thread_name", kPidNode,
+             static_cast<int>(Lane::Cpu), "CPU");
+    os << ",\n";
+    metadata(os, "thread_name", kPidNode,
+             static_cast<int>(Lane::Pcie), "PCIe");
+    os << ",\n";
+    metadata(os, "thread_name", kPidNode,
+             static_cast<int>(Lane::Accel), "Accel");
+    os << ",\n";
+    metadata(os, "process_name", kPidController, 0, "controller");
+    os << ",\n";
+    metadata(os, "thread_name", kPidController, kTidController,
+             "decisions");
+    os << ",\n";
+    metadata(os, "process_name", kPidCounters, 0, "telemetry");
+
+    for (const Event &ev : events_) {
+        os << ",\n{\"name\":" << jsonString(names_[ev.name])
+           << ",\"ph\":\"" << ev.ph << "\""
+           << ",\"ts\":" << jsonNumber(toTraceUs(ev.ts))
+           << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+        switch (ev.ph) {
+          case 'X':
+            os << ",\"dur\":" << jsonNumber(toTraceUs(ev.dur));
+            if (ev.iteration >= 0)
+                os << ",\"args\":{\"iteration\":" << ev.iteration
+                   << "}";
+            break;
+          case 'C':
+            os << ",\"args\":{\"value\":" << jsonNumber(ev.value)
+               << "}";
+            break;
+          case 'i':
+            os << ",\"s\":\"t\"";
+            if (ev.detail != 0)
+                os << ",\"args\":{\"detail\":"
+                   << jsonString(names_[ev.detail]) << "}";
+            break;
+          default:
+            break;
+        }
+        os << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return os.str();
+}
+
+bool
+TraceRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace trace
+} // namespace kelp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TraceRecorder: Chrome trace-event / Perfetto-compatible JSON export.
+ *
+ * Captures the run as a `traceEvents` array that chrome://tracing and
+ * ui.perfetto.dev open directly:
+ *
+ *  - Phase spans (`ph:"X"`) on the node's three execution lanes --
+ *    CPU, PCIe, Accel -- fed by the inference task's TraceEvent sink
+ *    (the same stream the ASCII timeline renders).
+ *  - Controller decisions (`ph:"i"` instants) on a dedicated
+ *    controller lane, imported from a DecisionLog.
+ *  - Telemetry series (`ph:"C"` counter tracks), imported from a
+ *    Telemetry registry, so knob trajectories and saturation signals
+ *    plot directly above the execution lanes.
+ *
+ * Lanes are modelled with the trace-event pid/tid convention: pid 1
+ * is the node (tids 1..3 = CPU/PCIe/Accel), pid 2 the controller,
+ * pid 3 the telemetry counters. Metadata events name them.
+ *
+ * Determinism and overhead: timestamps are simulated time only
+ * (exported in microseconds, the trace-event unit); events are
+ * buffered as small structs with interned names and serialized once
+ * at end of run, so recording never perturbs the run it observes.
+ */
+
+#ifndef KELP_TRACE_TRACE_RECORDER_HH
+#define KELP_TRACE_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/ml_infer_task.hh"
+
+namespace kelp {
+namespace trace {
+
+class DecisionLog;
+class Telemetry;
+
+/** Buffers trace events and serializes them as trace-event JSON. */
+class TraceRecorder
+{
+  public:
+    /** Execution lanes of the node process (trace tids). */
+    enum class Lane : int { Cpu = 1, Pcie = 2, Accel = 3 };
+
+    TraceRecorder() = default;
+
+    /** A completed span on an execution lane ([start, end] in
+     * simulated seconds). */
+    void addSpan(Lane lane, sim::Time start, sim::Time end,
+                 const std::string &name, int iteration = -1);
+
+    /** An instant on the controller lane (decisions, mode changes). */
+    void addInstant(sim::Time t, const std::string &name,
+                    const std::string &detail = "");
+
+    /** One sample of a counter track. */
+    void addCounter(sim::Time t, const std::string &series,
+                    double value);
+
+    /**
+     * Sink for MlInferTask::setTraceSink: maps phase-execution
+     * records onto the CPU/PCIe/Accel lanes. The returned callable
+     * holds a pointer to this recorder, which must outlive it.
+     */
+    std::function<void(const wl::TraceEvent &)> phaseSink();
+
+    /** Import every series of a telemetry registry as counter
+     * tracks. */
+    void importTelemetry(const Telemetry &telemetry);
+
+    /** Import a decision log as controller-lane instants. */
+    void importDecisions(const DecisionLog &log);
+
+    /** Buffered event count (excluding lane metadata). */
+    size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** The full trace-event JSON document. */
+    std::string toJson() const;
+
+    /** Write the JSON to a file; false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char ph;          ///< 'X', 'i', or 'C'.
+        int pid;
+        int tid;
+        sim::Time ts;     ///< Start, seconds.
+        sim::Time dur;    ///< Span length, seconds ('X' only).
+        double value;     ///< Counter value ('C' only).
+        int iteration;    ///< Span iteration arg (-1 = none).
+        uint32_t name;    ///< Interned name index.
+        uint32_t detail;  ///< Interned detail index (0 = none).
+    };
+
+    uint32_t intern(const std::string &s);
+
+    std::vector<Event> events_;
+    std::vector<std::string> names_;
+};
+
+} // namespace trace
+} // namespace kelp
+
+#endif // KELP_TRACE_TRACE_RECORDER_HH

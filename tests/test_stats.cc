@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "sim/log.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -20,6 +21,31 @@ TEST(OnlineStats, Empty)
     EXPECT_EQ(s.count(), 0u);
     EXPECT_EQ(s.mean(), 0.0);
     EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, EmptyMinMaxAreIdentities)
+{
+    // Regression: min_/max_ had no initializers, so these reads
+    // returned uninitialized memory on an empty instance instead of
+    // the documented +inf/-inf identities.
+    OnlineStats s;
+    EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(OnlineStats, ResetRestoresMinMaxIdentities)
+{
+    OnlineStats s;
+    s.add(3.0);
+    s.add(-7.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+    // And the identities fold correctly into the next window.
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
 }
 
 TEST(OnlineStats, SingleValue)
@@ -148,6 +174,43 @@ TEST(LatencyHistogram, ClampsOutOfRange)
     h.add(100.0);
     EXPECT_EQ(h.count(), 2u);
     EXPECT_LE(h.percentile(100.0), 1.2);
+}
+
+TEST(LatencyHistogram, NanSamplePanicsInFatalMode)
+{
+    // Regression: NaN satisfied `!(x > minValue_)` and landed in
+    // bucket 0 while poisoning sum_, so mean() and percentiles went
+    // NaN. It is now a contract violation.
+    LatencyHistogram h;
+    EXPECT_DEATH(
+        {
+            setContractMode(ContractMode::Fatal);
+            h.add(std::nan(""));
+        },
+        "NaN");
+}
+
+TEST(LatencyHistogram, NanSampleDroppedInCountMode)
+{
+    ContractMode saved = contractMode();
+    LogLevel savedLevel = logLevel();
+    setContractMode(ContractMode::Count);
+    setLogLevel(LogLevel::Quiet);
+    resetContractViolations();
+
+    LatencyHistogram h;
+    h.add(0.002);
+    h.add(std::nan(""));
+    EXPECT_EQ(contractViolations(), 1u);
+    // The poisoned sample is dropped: count, mean, and percentiles
+    // are those of the valid samples alone.
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.002);
+    EXPECT_FALSE(std::isnan(h.percentile(50.0)));
+
+    setContractMode(saved);
+    setLogLevel(savedLevel);
+    resetContractViolations();
 }
 
 TEST(LatencyHistogram, BadParamsPanic)

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "sim/engine.hh"
+#include "sim/log.hh"
 #include "trace/telemetry.hh"
 
 using namespace kelp;
@@ -110,11 +111,65 @@ TEST(Telemetry, CsvHeaderAndAlignment)
     std::getline(in, line);
     EXPECT_EQ(line, "time,a,b");
     std::getline(in, line);
-    EXPECT_EQ(line, "0,1,0");  // b has no sample yet
+    EXPECT_EQ(line, "0,1,");  // b has no sample yet: empty, not 0
     std::getline(in, line);
     EXPECT_EQ(line, "1,1,9");  // a carried forward
     std::getline(in, line);
     EXPECT_EQ(line, "2,3,9");
+}
+
+TEST(Telemetry, CsvLeadingCellsAreEmptyNotZero)
+{
+    // Regression: cells before a series' first sample used to be
+    // fabricated as 0.0, indistinguishable from a real zero sample.
+    Telemetry t;
+    t.series("early").record(0.0, 5.0);
+    t.series("late").record(2.0, 7.0);
+    t.series("early").record(1.0, 6.0);
+    std::string csv = t.toCsv();
+    std::istringstream in(csv);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "time,early,late");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0,5,");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,6,");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,6,7");
+}
+
+TEST(Telemetry, CsvHeaderEscapesCommasAndQuotes)
+{
+    // RFC 4180: names with commas or quotes are quote-wrapped with
+    // inner quotes doubled, so the header stays parseable.
+    Telemetry t;
+    t.series("bw,GiB/s").record(0.0, 1.0);
+    t.series("say \"hi\"").record(0.0, 2.0);
+    t.series("plain").record(0.0, 3.0);
+    std::string csv = t.toCsv();
+    std::istringstream in(csv);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "time,\"bw,GiB/s\",\"say \"\"hi\"\"\",plain");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0,1,2,3");
+}
+
+TEST(Telemetry, NewlineInSeriesNamePanics)
+{
+    EXPECT_DEATH(
+        {
+            sim::setContractMode(sim::ContractMode::Fatal);
+            TimeSeries bad("bad\nname");
+        },
+        "newline");
+    EXPECT_DEATH(
+        {
+            sim::setContractMode(sim::ContractMode::Fatal);
+            TimeSeries bad("bad\rname");
+        },
+        "newline");
 }
 
 TEST(Telemetry, WriteCsvRoundTrips)

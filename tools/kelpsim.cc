@@ -4,13 +4,16 @@
  *
  * Runs one workload mix under one runtime configuration and reports
  * the normalized results; optionally records a telemetry CSV of the
- * controller's knobs and the hardware signals over the run.
+ * controller's knobs and the hardware signals, a Perfetto-compatible
+ * JSON trace, a controller decision audit log (JSONL), and a run
+ * manifest over the run.
  *
  * Examples:
  *   kelpsim --ml=cnn1 --cpu=stitch --instances=4 --config=kp
  *   kelpsim --ml=rnn1 --cpu=cpuml --threads=12 --config=ct
  *   kelpsim --ml=cnn2 --cpu=dram --level=high --config=kpsd \
- *           --telemetry=run.csv
+ *           --telemetry=run.csv --trace=run.trace.json \
+ *           --decisions=run.decisions.jsonl --manifest=run.json
  */
 
 #include <cstdio>
@@ -22,7 +25,10 @@
 #include "hal/fault_injector.hh"
 #include "sim/log.hh"
 #include "sim/options.hh"
+#include "trace/decision_log.hh"
+#include "trace/run_manifest.hh"
 #include "trace/telemetry.hh"
+#include "trace/trace_recorder.hh"
 
 using namespace kelp;
 
@@ -119,6 +125,16 @@ main(int argc, char **argv)
                  "watchdog under --faults");
     opts.addString("telemetry", "",
                    "write knob/signal time series to this CSV file");
+    opts.addString("trace", "",
+                   "write a Perfetto/chrome://tracing JSON trace "
+                   "(phase spans, decision instants, counter tracks) "
+                   "to this file");
+    opts.addString("decisions", "",
+                   "write the controller decision audit log (JSONL) "
+                   "to this file");
+    opts.addString("manifest", "",
+                   "write a run manifest (seed, config, build, "
+                   "result summary) JSON to this file");
     opts.addBool("churn", false,
                  "dynamic colocation churn: seeded task arrival/"
                  "departure/crash events mid-run");
@@ -188,9 +204,26 @@ main(int argc, char **argv)
     }
 
     std::string csv = opts.getString("telemetry");
+    std::string tracePath = opts.getString("trace");
+    std::string decisionsPath = opts.getString("decisions");
+    std::string manifestPath = opts.getString("manifest");
+
+    trace::Telemetry tel;
+    trace::TraceRecorder recorder;
+    trace::DecisionLog decisions;
+    exp::Observability obs;
+    // A trace wants the telemetry counter tracks too, so the probes
+    // run whenever either output is requested.
+    if (!csv.empty() || !tracePath.empty())
+        obs.telemetry = &tel;
+    if (!tracePath.empty())
+        obs.recorder = &recorder;
+    if (!decisionsPath.empty() || !tracePath.empty())
+        obs.decisions = &decisions;
+
     exp::RunResult ref;
     exp::RunResult r;
-    if (csv.empty()) {
+    if (!obs.any() && manifestPath.empty()) {
         // The standalone reference and the measured run share no
         // state (the reference memo is guarded), so they are two
         // independent jobs; --jobs 1 reproduces the serial order.
@@ -202,74 +235,70 @@ main(int argc, char **argv)
                              r = exp::runScenario(cfg);
                      });
     } else {
+        // Instrumented run. measureScenario is the same measurement
+        // body runScenario uses, so the observability sinks never
+        // change the reported numbers.
         ref = exp::standaloneReference(cfg.ml);
-        // Instrumented run: sample knobs and hardware signals.
-        exp::Scenario s = exp::buildScenario(cfg);
-        trace::Telemetry tel;
-        auto counters = std::make_shared<hal::PerfCounters>(
-            s.node->memSystem());
-        auto sample = std::make_shared<hal::CounterSample>();
-        tel.addProbe("socket_bw_gibps", [counters, sample,
-                                         &node = *s.node]() {
-            *sample = counters->sample(0);
-            (void)node;
-            return sample->socketBw;
-        });
-        tel.addProbe("mem_latency_ns",
-                     [sample]() { return sample->memLatency; });
-        tel.addProbe("saturation",
-                     [sample]() { return sample->saturation; });
-        tel.addProbe("contract_violations", []() {
-            return static_cast<double>(sim::contractViolations());
-        });
-        if (s.manager) {
-            auto *mgr = s.manager.get();
-            tel.addProbe("lo_cores", [mgr]() {
-                return mgr->controller().params().loCores;
-            });
-            tel.addProbe("lo_prefetchers", [mgr]() {
-                return mgr->controller().params().loPrefetchers;
-            });
-            tel.addProbe("hi_backfill", [mgr]() {
-                return mgr->controller().params().hiBackfillCores;
-            });
-        }
-        tel.attach(*s.engine, cfg.samplePeriod);
+        exp::Scenario s = exp::buildScenario(cfg, obs);
+        r = exp::measureScenario(s, cfg);
 
-        s.engine->run(cfg.warmup);
-        double ml0 = s.mlTask->completedWork();
-        std::vector<double> cpu0;
-        for (auto *t : s.cpuTasks)
-            cpu0.push_back(t->completedWork());
-        if (s.inferTask)
-            s.inferTask->resetLatency();
-        s.engine->run(cfg.measure);
-
-        r.mlPerf = (s.mlTask->completedWork() - ml0) / cfg.measure;
-        if (s.inferTask)
-            r.mlTailP95 = s.inferTask->latency().percentile(95.0);
-        for (size_t i = 0; i < s.cpuTasks.size(); ++i) {
-            r.cpuThroughput +=
-                (s.cpuTasks[i]->completedWork() - cpu0[i]) /
-                cfg.measure;
+        if (!csv.empty()) {
+            if (!tel.writeCsv(csv))
+                sim::fatal("cannot write telemetry to ", csv);
+            std::printf("telemetry written to %s\n", csv.c_str());
         }
-        if (s.manager) {
-            r.avgLoCores = s.manager->avgLoCores();
-            r.avgLoPrefetchers = s.manager->avgLoPrefetchers();
-            r.avgHiBackfill = s.manager->avgHiBackfill();
-            r.timeInFailSafe = s.manager->timeInFailSafe();
-            r.failSafeEntries = s.manager->failSafeEntries();
-            r.restarts = s.manager->restarts();
+        if (!tracePath.empty()) {
+            recorder.importTelemetry(tel);
+            recorder.importDecisions(decisions);
+            if (!recorder.writeJson(tracePath))
+                sim::fatal("cannot write trace to ", tracePath);
+            std::printf("trace written to %s (%zu events)\n",
+                        tracePath.c_str(), recorder.size());
         }
-        if (s.lifecycle) {
-            r.churnArrivals = s.lifecycle->arrivals();
-            r.churnFinishes = s.lifecycle->finishes();
-            r.churnCrashes = s.lifecycle->crashes();
-            r.churnRejected = s.lifecycle->rejected();
+        if (!decisionsPath.empty()) {
+            if (!decisions.writeJsonl(decisionsPath))
+                sim::fatal("cannot write decision log to ",
+                           decisionsPath);
+            std::printf("decision log written to %s (%zu events)\n",
+                        decisionsPath.c_str(), decisions.size());
         }
-        if (!tel.writeCsv(csv))
-            sim::fatal("cannot write telemetry to ", csv);
-        std::printf("telemetry written to %s\n", csv.c_str());
+        if (!manifestPath.empty()) {
+            trace::RunManifest man;
+            man.set("tool", "kelpsim");
+            man.set("ml", wl::mlName(cfg.ml));
+            man.set("cpu", cfg.cpu ? wl::cpuName(*cfg.cpu) : "");
+            man.set("config", exp::configName(cfg.config));
+            man.set("cpu_instances", cfg.cpuInstances);
+            man.set("seed", cfg.seed);
+            man.set("tick_s", cfg.tick);
+            man.set("warmup_s", cfg.warmup);
+            man.set("measure_s", cfg.measure);
+            man.set("sample_period_s", cfg.samplePeriod);
+            man.set("faults", cfg.faults.any());
+            man.set("hardened", cfg.hardened);
+            man.set("churn", cfg.churn.enabled);
+            man.set("slo", cfg.slo.enabled);
+            man.set("contract_violations", sim::contractViolations());
+            man.set("ml_perf", r.mlPerf);
+            man.set("ml_perf_ref", ref.mlPerf);
+            man.set("ml_tail_p95_s", r.mlTailP95);
+            man.set("cpu_throughput", r.cpuThroughput);
+            man.set("avg_lo_cores", r.avgLoCores);
+            man.set("avg_lo_prefetchers", r.avgLoPrefetchers);
+            man.set("avg_hi_backfill", r.avgHiBackfill);
+            man.set("fail_safe_entries", r.failSafeEntries);
+            man.set("time_in_fail_safe_s", r.timeInFailSafe);
+            man.set("restarts", r.restarts);
+            man.set("decision_events", decisions.size());
+            if (s.inferTask) {
+                man.addHistogram("ml_request_latency_s",
+                                 s.inferTask->latency());
+            }
+            if (!man.writeJson(manifestPath))
+                sim::fatal("cannot write manifest to ", manifestPath);
+            std::printf("manifest written to %s\n",
+                        manifestPath.c_str());
+        }
     }
 
     std::printf("%s %s%s under %s:\n", wl::mlName(cfg.ml),
