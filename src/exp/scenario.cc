@@ -398,13 +398,27 @@ buildScenario(const RunConfig &cfg)
         s.lifecycle->attach(*s.engine);
     }
 
-    if (s.manager && cfg.killAt > 0.0) {
-        // One-shot crash/restart: a periodic whose period is far
-        // beyond any run length fires exactly once, at killAt.
+    if (s.manager) {
+        // Crash/restart schedule: killAt plus any extra kill times,
+        // each registered as a periodic whose period is far beyond
+        // any run length so it fires exactly once. Sorted so the
+        // registration order (which breaks same-tick ties in the
+        // engine) is a pure function of the config, not of how the
+        // caller assembled the list.
+        std::vector<sim::Time> kills;
+        if (cfg.killAt > 0.0)
+            kills.push_back(cfg.killAt);
+        for (sim::Time t : cfg.kills) {
+            KELP_EXPECTS(t > 0.0, "kill times must be positive");
+            kills.push_back(t);
+        }
+        std::sort(kills.begin(), kills.end());
         runtime::RuntimeManager *mgr = s.manager.get();
-        s.engine->every(1e18,
-                        [mgr](sim::Time t) { mgr->restart(t); },
-                        cfg.killAt);
+        for (sim::Time at : kills) {
+            s.engine->every(1e18,
+                            [mgr](sim::Time t) { mgr->restart(t); },
+                            at);
+        }
     }
 
     s.node->attach(*s.engine);

@@ -131,6 +131,16 @@ struct RunConfig
      */
     sim::Time killAt = 0.0;
 
+    /**
+     * Full kill/restart schedule: additional controller crash times
+     * beyond killAt, each handled exactly like killAt. The scenario
+     * fuzzer mutates this list to search for restart-recovery corner
+     * cases (repeated crashes, crashes inside SLO escalations); the
+     * single killAt knob remains for the CLI and the existing
+     * benches. Times must be positive; order does not matter.
+     */
+    std::vector<sim::Time> kills;
+
     /** SLO degradation ladder (KP/KP-SD; disabled by default). */
     runtime::SloConfig slo;
 };

@@ -1,0 +1,466 @@
+#include "fuzz/spec.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace fuzz {
+
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+const char *
+mlKey(wl::MlWorkload w)
+{
+    switch (w) {
+      case wl::MlWorkload::Rnn1:
+        return "rnn1";
+      case wl::MlWorkload::Cnn1:
+        return "cnn1";
+      case wl::MlWorkload::Cnn2:
+        return "cnn2";
+      case wl::MlWorkload::Cnn3:
+        return "cnn3";
+    }
+    return "?";
+}
+
+const char *
+configKey(exp::ConfigKind k)
+{
+    switch (k) {
+      case exp::ConfigKind::BL:
+        return "bl";
+      case exp::ConfigKind::CT:
+        return "ct";
+      case exp::ConfigKind::KPSD:
+        return "kpsd";
+      case exp::ConfigKind::KP:
+        return "kp";
+      case exp::ConfigKind::FG:
+        return "fg";
+    }
+    return "?";
+}
+
+const char *
+cpuKey(const std::optional<wl::CpuWorkload> &cpu)
+{
+    if (!cpu)
+        return "none";
+    switch (*cpu) {
+      case wl::CpuWorkload::Stream:
+        return "stream";
+      case wl::CpuWorkload::Stitch:
+        return "stitch";
+      case wl::CpuWorkload::Cpuml:
+        return "cpuml";
+      case wl::CpuWorkload::LlcAggressor:
+        return "llc";
+      case wl::CpuWorkload::DramAggressor:
+        return "dram";
+    }
+    return "?";
+}
+
+const char *
+levelKey(wl::AggressorLevel l)
+{
+    switch (l) {
+      case wl::AggressorLevel::Low:
+        return "low";
+      case wl::AggressorLevel::Medium:
+        return "medium";
+      case wl::AggressorLevel::High:
+        return "high";
+    }
+    return "?";
+}
+
+/** The full kill schedule (killAt folded in), sorted. */
+std::vector<sim::Time>
+killSchedule(const exp::RunConfig &cfg)
+{
+    std::vector<sim::Time> kills;
+    if (cfg.killAt > 0.0)
+        kills.push_back(cfg.killAt);
+    kills.insert(kills.end(), cfg.kills.begin(), cfg.kills.end());
+    std::sort(kills.begin(), kills.end());
+    return kills;
+}
+
+// ---------------------------------------------------------------
+// Parse helpers. All return false on malformed input and leave an
+// explanation in `err`.
+
+bool
+parseDoubleValue(const std::string &s, double &out, std::string &err)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || !end || *end != '\0') {
+        err = "bad number '" + s + "'";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseIntValue(const std::string &s, long &out, std::string &err)
+{
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (s.empty() || !end || *end != '\0') {
+        err = "bad integer '" + s + "'";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseU64Value(const std::string &s, uint64_t &out, std::string &err)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || !end || *end != '\0' ||
+        s.find('-') != std::string::npos) {
+        err = "bad unsigned integer '" + s + "'";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseBoolValue(const std::string &s, bool &out, std::string &err)
+{
+    if (s == "true") {
+        out = true;
+        return true;
+    }
+    if (s == "false") {
+        out = false;
+        return true;
+    }
+    err = "bad boolean '" + s + "' (true|false)";
+    return false;
+}
+
+std::string
+trimmedCopy(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+std::string
+ScenarioSpec::toString() const
+{
+    std::ostringstream os;
+    os << "ml=" << mlKey(cfg.ml) << "\n";
+    os << "config=" << configKey(cfg.config) << "\n";
+    os << "cpu=" << cpuKey(cfg.cpu) << "\n";
+    os << "instances=" << cfg.cpuInstances << "\n";
+    os << "threads=" << cfg.cpuThreadsOverride << "\n";
+    os << "level=" << levelKey(cfg.aggressorLevel) << "\n";
+    os << "warmup=" << formatDouble(cfg.warmup) << "\n";
+    os << "measure=" << formatDouble(cfg.measure) << "\n";
+    os << "period=" << formatDouble(cfg.samplePeriod) << "\n";
+    os << "seed=" << cfg.seed << "\n";
+    os << "faults=" << cfg.faults.toString() << "\n";
+    os << "fault-seed=" << cfg.faultSeed << "\n";
+    os << "hardened=" << (cfg.hardened ? "true" : "false") << "\n";
+    os << "churn=" << (cfg.churn.enabled ? "true" : "false") << "\n";
+    os << "churn-rate=" << formatDouble(cfg.churn.arrivalRate) << "\n";
+    os << "churn-life=" << formatDouble(cfg.churn.lifetimeScale)
+       << "\n";
+    os << "churn-crash=" << formatDouble(cfg.churn.crashProb) << "\n";
+    os << "churn-max=" << cfg.churn.maxLive << "\n";
+    os << "churn-seed=" << cfg.churn.seed << "\n";
+    os << "churn-check=" << formatDouble(cfg.churn.checkPeriod)
+       << "\n";
+    os << "kills=";
+    const std::vector<sim::Time> kills = killSchedule(cfg);
+    for (size_t i = 0; i < kills.size(); ++i)
+        os << (i ? "," : "") << formatDouble(kills[i]);
+    os << "\n";
+    os << "slo=" << (cfg.slo.enabled ? "true" : "false") << "\n";
+    os << "slo-floor=" << formatDouble(cfg.slo.minPerfRatio) << "\n";
+    os << "slo-escalate=" << cfg.slo.escalateAfter << "\n";
+    os << "slo-deescalate=" << cfg.slo.deescalateAfter << "\n";
+    return os.str();
+}
+
+std::optional<ScenarioSpec>
+ScenarioSpec::tryParse(const std::string &text, std::string *error)
+{
+    ScenarioSpec spec;
+    exp::RunConfig &cfg = spec.cfg;
+    std::set<std::string> seen;
+
+    auto fail = [&](int line, const std::string &what)
+        -> std::optional<ScenarioSpec> {
+        if (error) {
+            *error = "spec line " + std::to_string(line) + ": " + what;
+        }
+        return std::nullopt;
+    };
+
+    std::istringstream is(text);
+    std::string raw;
+    int lineNo = 0;
+    while (std::getline(is, raw)) {
+        ++lineNo;
+        std::string line = trimmedCopy(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail(lineNo, "expected key=value, got '" + line +
+                                "'");
+        std::string key = trimmedCopy(line.substr(0, eq));
+        std::string value = trimmedCopy(line.substr(eq + 1));
+        if (!seen.insert(key).second)
+            return fail(lineNo, "duplicate key '" + key + "'");
+
+        std::string err;
+        double d = 0.0;
+        long n = 0;
+        uint64_t u = 0;
+        bool b = false;
+
+        if (key == "ml") {
+            if (value == "rnn1")
+                cfg.ml = wl::MlWorkload::Rnn1;
+            else if (value == "cnn1")
+                cfg.ml = wl::MlWorkload::Cnn1;
+            else if (value == "cnn2")
+                cfg.ml = wl::MlWorkload::Cnn2;
+            else if (value == "cnn3")
+                cfg.ml = wl::MlWorkload::Cnn3;
+            else
+                return fail(lineNo, "unknown ml workload '" + value +
+                                    "' (rnn1|cnn1|cnn2|cnn3)");
+        } else if (key == "config") {
+            if (value == "bl")
+                cfg.config = exp::ConfigKind::BL;
+            else if (value == "ct")
+                cfg.config = exp::ConfigKind::CT;
+            else if (value == "kpsd")
+                cfg.config = exp::ConfigKind::KPSD;
+            else if (value == "kp")
+                cfg.config = exp::ConfigKind::KP;
+            else if (value == "fg")
+                cfg.config = exp::ConfigKind::FG;
+            else
+                return fail(lineNo, "unknown config '" + value +
+                                    "' (bl|ct|kpsd|kp|fg)");
+        } else if (key == "cpu") {
+            if (value == "none")
+                cfg.cpu.reset();
+            else if (value == "stream")
+                cfg.cpu = wl::CpuWorkload::Stream;
+            else if (value == "stitch")
+                cfg.cpu = wl::CpuWorkload::Stitch;
+            else if (value == "cpuml")
+                cfg.cpu = wl::CpuWorkload::Cpuml;
+            else if (value == "llc")
+                cfg.cpu = wl::CpuWorkload::LlcAggressor;
+            else if (value == "dram")
+                cfg.cpu = wl::CpuWorkload::DramAggressor;
+            else
+                return fail(lineNo,
+                            "unknown cpu workload '" + value +
+                            "' (none|stream|stitch|cpuml|llc|dram)");
+        } else if (key == "instances") {
+            if (!parseIntValue(value, n, err))
+                return fail(lineNo, err);
+            if (n < 0 || n > 64)
+                return fail(lineNo, "instances out of range [0, 64]");
+            cfg.cpuInstances = static_cast<int>(n);
+        } else if (key == "threads") {
+            if (!parseIntValue(value, n, err))
+                return fail(lineNo, err);
+            if (n < 0 || n > 1024)
+                return fail(lineNo, "threads out of range [0, 1024]");
+            cfg.cpuThreadsOverride = static_cast<int>(n);
+        } else if (key == "level") {
+            if (value == "low")
+                cfg.aggressorLevel = wl::AggressorLevel::Low;
+            else if (value == "medium")
+                cfg.aggressorLevel = wl::AggressorLevel::Medium;
+            else if (value == "high")
+                cfg.aggressorLevel = wl::AggressorLevel::High;
+            else
+                return fail(lineNo, "unknown level '" + value +
+                                    "' (low|medium|high)");
+        } else if (key == "warmup") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d >= 0.0) || d > 1e6)
+                return fail(lineNo, "warmup out of range [0, 1e6]");
+            cfg.warmup = d;
+        } else if (key == "measure") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d > 0.0) || d > 1e6)
+                return fail(lineNo, "measure out of range (0, 1e6]");
+            cfg.measure = d;
+        } else if (key == "period") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d > 0.0) || d > 1e4)
+                return fail(lineNo, "period out of range (0, 1e4]");
+            cfg.samplePeriod = d;
+        } else if (key == "seed") {
+            if (!parseU64Value(value, u, err))
+                return fail(lineNo, err);
+            cfg.seed = u;
+        } else if (key == "faults") {
+            std::string ferr;
+            std::optional<hal::FaultPlan> plan =
+                hal::FaultPlan::tryParse(value, &ferr);
+            if (!plan)
+                return fail(lineNo, ferr);
+            cfg.faults = *plan;
+        } else if (key == "fault-seed") {
+            if (!parseU64Value(value, u, err))
+                return fail(lineNo, err);
+            cfg.faultSeed = u;
+        } else if (key == "hardened") {
+            if (!parseBoolValue(value, b, err))
+                return fail(lineNo, err);
+            cfg.hardened = b;
+        } else if (key == "churn") {
+            if (!parseBoolValue(value, b, err))
+                return fail(lineNo, err);
+            cfg.churn.enabled = b;
+        } else if (key == "churn-rate") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d > 0.0) || d > 1e3)
+                return fail(lineNo,
+                            "churn-rate out of range (0, 1e3]");
+            cfg.churn.arrivalRate = d;
+        } else if (key == "churn-life") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d > 0.0) || d > 1e3)
+                return fail(lineNo,
+                            "churn-life out of range (0, 1e3]");
+            cfg.churn.lifetimeScale = d;
+        } else if (key == "churn-crash") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d >= 0.0) || d > 1.0)
+                return fail(lineNo, "churn-crash out of range [0, 1]");
+            cfg.churn.crashProb = d;
+        } else if (key == "churn-max") {
+            if (!parseIntValue(value, n, err))
+                return fail(lineNo, err);
+            if (n < 1 || n > 64)
+                return fail(lineNo, "churn-max out of range [1, 64]");
+            cfg.churn.maxLive = static_cast<int>(n);
+        } else if (key == "churn-seed") {
+            if (!parseU64Value(value, u, err))
+                return fail(lineNo, err);
+            cfg.churn.seed = u;
+        } else if (key == "churn-check") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d > 0.0) || d > 1e3)
+                return fail(lineNo,
+                            "churn-check out of range (0, 1e3]");
+            cfg.churn.checkPeriod = d;
+        } else if (key == "kills") {
+            cfg.killAt = 0.0;
+            cfg.kills.clear();
+            size_t pos = 0;
+            while (pos < value.size()) {
+                size_t comma = value.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = value.size();
+                std::string item = value.substr(pos, comma - pos);
+                pos = comma + 1;
+                if (!parseDoubleValue(item, d, err))
+                    return fail(lineNo, "kills: " + err);
+                if (!(d > 0.0))
+                    return fail(lineNo,
+                                "kill times must be positive");
+                cfg.kills.push_back(d);
+            }
+        } else if (key == "slo") {
+            if (!parseBoolValue(value, b, err))
+                return fail(lineNo, err);
+            cfg.slo.enabled = b;
+        } else if (key == "slo-floor") {
+            if (!parseDoubleValue(value, d, err))
+                return fail(lineNo, err);
+            if (!(d > 0.0) || d > 1.0)
+                return fail(lineNo, "slo-floor out of range (0, 1]");
+            cfg.slo.minPerfRatio = d;
+        } else if (key == "slo-escalate") {
+            if (!parseIntValue(value, n, err))
+                return fail(lineNo, err);
+            if (n < 1 || n > 1000)
+                return fail(lineNo,
+                            "slo-escalate out of range [1, 1000]");
+            cfg.slo.escalateAfter = static_cast<int>(n);
+        } else if (key == "slo-deescalate") {
+            if (!parseIntValue(value, n, err))
+                return fail(lineNo, err);
+            if (n < 1 || n > 1000)
+                return fail(lineNo,
+                            "slo-deescalate out of range [1, 1000]");
+            cfg.slo.deescalateAfter = static_cast<int>(n);
+        } else {
+            return fail(lineNo, "unknown key '" + key + "'");
+        }
+    }
+    return spec;
+}
+
+ScenarioSpec
+ScenarioSpec::parse(const std::string &text)
+{
+    std::string error;
+    std::optional<ScenarioSpec> spec = tryParse(text, &error);
+    if (!spec)
+        sim::fatal("bad scenario spec: ", error);
+    return *spec;
+}
+
+bool
+ScenarioSpec::operator==(const ScenarioSpec &o) const
+{
+    return toString() == o.toString();
+}
+
+bool
+ScenarioSpec::operator!=(const ScenarioSpec &o) const
+{
+    return !(*this == o);
+}
+
+} // namespace fuzz
+} // namespace kelp

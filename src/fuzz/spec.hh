@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ScenarioSpec: a canonical, round-trippable text serialization of
+ * everything that defines one robustness run -- the exp::RunConfig
+ * workload mix and timing, the churn plan, the HAL fault plan, the
+ * SLO target, the controller kill/restart schedule, and the seeds.
+ *
+ * The grammar is deliberately dumb: one `key=value` per line, `#`
+ * comments, every key printed on every spec in a fixed order, doubles
+ * rendered in shortest round-trip decimal form. That buys the three
+ * properties the fuzzer needs:
+ *
+ *  - canonical: toString() is a fixpoint (parsing a printed spec and
+ *    printing it again reproduces the same bytes), so specs can be
+ *    compared, deduplicated, and diffed as strings;
+ *  - mutable: the mutator and the shrinker edit the typed RunConfig
+ *    and re-print, never the text;
+ *  - archival: a shrunk failing spec checked into tests/corpus/
+ *    replays byte-identically years later.
+ *
+ * Parsing is strict -- unknown keys, duplicate keys, malformed
+ * values, and out-of-range values are errors -- so a typo in a hand-
+ * edited corpus entry cannot silently run a different scenario.
+ *
+ * The grammar covers the robustness subspace of RunConfig (the knobs
+ * the fuzzer searches). Fields outside it (aggressor data placement,
+ * forced prefetcher fractions, open-loop QPS) keep their defaults;
+ * serializing a config that changed them loses those changes.
+ */
+
+#ifndef KELP_FUZZ_SPEC_HH
+#define KELP_FUZZ_SPEC_HH
+
+#include <optional>
+#include <string>
+
+#include "exp/scenario.hh"
+
+namespace kelp {
+namespace fuzz {
+
+/** Shortest decimal form of @p v that strtod() parses back to the
+ * exact same double; re-rendering the reparse reproduces the same
+ * bytes. The canonical number format of the spec grammar. */
+std::string formatDouble(double v);
+
+/** One fuzzable scenario. */
+struct ScenarioSpec
+{
+    exp::RunConfig cfg;
+
+    /** Canonical text form (see file comment). */
+    std::string toString() const;
+
+    /**
+     * Strict parse of a spec text. Returns std::nullopt on any error
+     * and, when @p error is non-null, stores a description. Keys not
+     * present keep their RunConfig defaults; present keys must be
+     * unique and well-formed.
+     */
+    static std::optional<ScenarioSpec>
+    tryParse(const std::string &text, std::string *error = nullptr);
+
+    /** Fatal-on-error parse (CLI paths). */
+    static ScenarioSpec parse(const std::string &text);
+
+    /** Specs compare by their canonical text. */
+    bool operator==(const ScenarioSpec &o) const;
+    bool operator!=(const ScenarioSpec &o) const;
+};
+
+} // namespace fuzz
+} // namespace kelp
+
+#endif // KELP_FUZZ_SPEC_HH

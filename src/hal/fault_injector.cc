@@ -1,6 +1,8 @@
 #include "hal/fault_injector.hh"
 
+#include <charconv>
 #include <cstdlib>
+#include <sstream>
 
 #include "sim/log.hh"
 
@@ -98,6 +100,39 @@ FaultPlan::tryParse(const std::string &spec, std::string *error)
         }
     }
     return plan;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    // Shortest round-trip decimal: strtod() of the result gives back
+    // the exact double, and re-rendering that double gives back the
+    // exact bytes, which is what makes the spec canonical.
+    auto shortest = [](double v) {
+        char buf[32];
+        auto res = std::to_chars(buf, buf + sizeof(buf), v);
+        return std::string(buf, res.ptr);
+    };
+    const FaultPlan def;
+    std::ostringstream os;
+    auto field = [&](const char *key, double value, double defValue) {
+        // Exact comparison is the point: a field is printed iff its
+        // bits differ from the default-constructed plan.
+        if (value == defValue) // kelp-lint: allow(float-eq): canonical print must distinguish exact default values
+            return;
+        if (os.tellp() > 0)
+            os << ",";
+        os << key << "=" << shortest(value);
+    };
+    field("drop", dropProb, def.dropProb);
+    field("stuck", stuckProb, def.stuckProb);
+    field("noise", noiseProb, def.noiseProb);
+    field("noisefrac", noiseFrac, def.noiseFrac);
+    field("spike", spikeProb, def.spikeProb);
+    field("spikescale", spikeScale, def.spikeScale);
+    field("knobfail", knobFailProb, def.knobFailProb);
+    field("knobdelay", knobDelayProb, def.knobDelayProb);
+    return os.str();
 }
 
 FaultPlan

@@ -75,6 +75,17 @@ struct FaultPlan
      */
     static std::optional<FaultPlan>
     tryParse(const std::string &spec, std::string *error = nullptr);
+
+    /**
+     * Canonical spec string: keys in the documented order, only
+     * fields that differ from a default-constructed plan, values in
+     * shortest round-trip decimal form. The result parses back to an
+     * identical plan (toString . tryParse is the identity, and
+     * toString of the reparse reproduces the same bytes); an all-
+     * default plan renders as the empty string. Used by the scenario
+     * fuzzer's spec serialization and by manifest/decision reporting.
+     */
+    std::string toString() const;
 };
 
 /** Telemetry-side injection counts (inspection/reporting). */

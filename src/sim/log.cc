@@ -22,6 +22,11 @@ ContractMode g_contract_mode = ContractMode::Fatal;
 // threads during parallel sweeps.
 std::atomic<uint64_t> g_contract_violations{0};
 
+// Per-thread tally alongside the global one, so a pool worker can
+// attribute violations to the run it is executing (the fuzzer's
+// contract oracle differences this around each trial).
+thread_local uint64_t g_contract_violations_here = 0;
+
 /** Cap on per-violation warn() lines so a hot loop with a broken
  * invariant cannot flood stderr in Count mode. */
 constexpr uint64_t kMaxContractWarnings = 10;
@@ -64,6 +69,12 @@ resetContractViolations()
     g_contract_violations.store(0);
 }
 
+uint64_t
+contractViolationsHere()
+{
+    return g_contract_violations_here;
+}
+
 namespace detail {
 
 void
@@ -99,6 +110,7 @@ contractViolated(const char *kind, const char *cond, const char *file,
     if (g_contract_mode == ContractMode::Fatal)
         die("contract", os.str(), true);
 
+    ++g_contract_violations_here;
     const uint64_t count = g_contract_violations.fetch_add(1) + 1;
     if (count <= kMaxContractWarnings) {
         emit(LogLevel::Warn, "contract", os.str());

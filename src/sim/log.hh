@@ -124,6 +124,16 @@ uint64_t contractViolations();
 /** Reset the violation counter (test isolation). */
 void resetContractViolations();
 
+/**
+ * Contract violations recorded by the *calling thread* since it
+ * started (Count mode). The process-wide counter above is useless for
+ * attributing violations to one run when pool workers execute several
+ * runs concurrently; a worker that brackets a run with two reads of
+ * this counter gets an exact per-run delta regardless of what the
+ * other workers are doing. Never reset: callers difference it.
+ */
+uint64_t contractViolationsHere();
+
 namespace detail {
 
 void contractViolated(const char *kind, const char *cond,

@@ -76,6 +76,15 @@ Options::parse(int argc, const char *const *argv)
         if (it == options_.end())
             fatal("unknown flag --", name, "\n", usage());
         Option &opt = it->second;
+        if (opt.set) {
+            // Silently taking the last occurrence would let a sweep
+            // script that pastes `--seed=1 ... --seed=2` collect data
+            // under the wrong seed without any sign of trouble.
+            fatal("flag --", name,
+                  " given more than once; each flag may appear at "
+                  "most once\n",
+                  usage());
+        }
         if (!have_value) {
             if (opt.kind == Kind::Bool) {
                 value = "true";

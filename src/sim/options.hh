@@ -5,7 +5,9 @@
  *
  * Flags take the forms `--name=value`, `--name value`, or bare
  * `--name` for booleans. Unknown flags are fatal (user error), so
- * typos do not silently run the wrong experiment. Every option is
+ * typos do not silently run the wrong experiment, and so is giving
+ * the same flag twice (the silent last-one-wins alternative lets
+ * pasted sweep command lines collect data under the wrong knob). Every option is
  * registered with a description, and `--help` prints them.
  */
 
@@ -41,7 +43,8 @@ class Options
 
     /**
      * Parse argv. Returns false if `--help` was requested (usage has
-     * been printed); exits fatally on malformed or unknown flags.
+     * been printed); exits fatally (with usage text) on malformed,
+     * unknown, or repeated flags.
      */
     bool parse(int argc, const char *const *argv);
 

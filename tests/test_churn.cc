@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "exp/lifecycle.hh"
 #include "exp/scenario.hh"
+#include "fuzz/oracle.hh"
 #include "kelp/kelp_controller.hh"
 #include "kelp/manager.hh"
 #include "kelp/slo_guard.hh"
@@ -303,6 +305,61 @@ TEST(SloGuard, RestoreClampsAndRestartsStreaks)
     EXPECT_EQ(g.rung(), 2);
     g.observe(3, 0.1);
     EXPECT_EQ(g.rung(), 3);
+}
+
+TEST(SloGuard, RapidBoundaryOscillationIsHysteresisBounded)
+{
+    // Reference fixture for the fuzzer's ladder-thrash oracle: under
+    // rapid oscillation around the SLO floor, the streak counters
+    // must keep the rung-transition rate bounded -- at most one
+    // transition per min(escalateAfter, deescalateAfter) samples --
+    // and strict alternation must produce no transitions at all.
+
+    // Strict good/bad alternation: neither streak ever completes.
+    {
+        SloConfig cfg;
+        cfg.enabled = true;
+        cfg.minPerfRatio = 0.85;
+        cfg.escalateAfter = 2;
+        cfg.deescalateAfter = 2;
+        SloGuard g(cfg);
+        for (int i = 1; i <= 40; ++i)
+            g.observe(i, (i % 2) ? 0.5 : 1.0);
+        EXPECT_EQ(g.rung(), kRungNormal);
+        EXPECT_TRUE(g.trace().empty());
+        EXPECT_DOUBLE_EQ(
+            fuzz::ladderThrashRate(g.trace().size(), 40.0, 1.0), 0.0);
+    }
+
+    // Worst-case square wave tuned to the streak lengths: every
+    // completed streak flips the rung, but never faster than the
+    // hysteresis allows.
+    {
+        SloConfig cfg;
+        cfg.enabled = true;
+        cfg.minPerfRatio = 0.85;
+        cfg.escalateAfter = 3;
+        cfg.deescalateAfter = 5;
+        SloGuard g(cfg);
+        const int samples = 160;
+        for (int i = 1; i <= samples; ++i) {
+            const bool bad = (i - 1) % 8 < 3; // 3 bad, 5 good, repeat
+            g.observe(i, bad ? 0.5 : 1.0);
+        }
+        const double rate = fuzz::ladderThrashRate(
+            g.trace().size(), static_cast<double>(samples), 1.0);
+        const double bound =
+            1.0 / std::min(cfg.escalateAfter, cfg.deescalateAfter);
+        EXPECT_LE(rate, bound);
+        EXPECT_GT(g.trace().size(), 0u); // the wave does move rungs
+        // Adjacent transitions are at least min-streak samples apart.
+        for (size_t i = 1; i < g.trace().size(); ++i) {
+            EXPECT_GE(g.trace()[i].time - g.trace()[i - 1].time,
+                      std::min(cfg.escalateAfter,
+                               cfg.deescalateAfter) -
+                          1e-9);
+        }
+    }
 }
 
 TEST(KelpController, LadderDrainsThrottlesAndEvicts)

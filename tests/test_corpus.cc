@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regression-corpus replay: every shrunk failure archived under
+ * tests/corpus/ must still fire the oracle named in its
+ * `# oracle:` directive, deterministically, and must still be
+ * 1-minimal (no single-step reduction fires it). A test failure
+ * here means a robustness regression -- or a genuine fix, in which
+ * case the healed entry should be deleted with the fixing commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.hh"
+#include "fuzz/oracle.hh"
+#include "fuzz/shrink.hh"
+#include "sim/log.hh"
+
+using namespace kelp;
+using namespace kelp::fuzz;
+
+namespace {
+
+const std::vector<std::pair<std::string, CorpusEntry>> &
+corpus()
+{
+    static const auto entries = loadCorpus(CORPUS_DIR);
+    return entries;
+}
+
+} // namespace
+
+TEST(Corpus, HasEntries)
+{
+    EXPECT_FALSE(corpus().empty())
+        << "tests/corpus/ lost its *.scenario entries";
+}
+
+TEST(Corpus, FileNamesAreCanonical)
+{
+    for (const auto &[name, entry] : corpus())
+        EXPECT_EQ(name, corpusFileName(entry));
+}
+
+TEST(Corpus, EveryEntryStillFiresItsOracle)
+{
+    sim::setContractMode(sim::ContractMode::Count);
+    for (const auto &[name, entry] : corpus()) {
+        EXPECT_TRUE(oracleFires(entry.spec, entry.oracle,
+                                OracleConfig{}))
+            << name << " no longer reproduces '" << entry.oracle
+            << "'";
+    }
+}
+
+TEST(Corpus, ReplayIsDeterministic)
+{
+    sim::setContractMode(sim::ContractMode::Count);
+    OracleConfig ocfg;
+    ocfg.twinRun = false;
+    ocfg.doubleRun = false;
+    for (const auto &[name, entry] : corpus()) {
+        TrialOutcome a = runTrial(entry.spec, ocfg);
+        TrialOutcome b = runTrial(entry.spec, ocfg);
+        EXPECT_EQ(a.resultText, b.resultText) << name;
+        EXPECT_EQ(a.coverage, b.coverage) << name;
+    }
+}
+
+TEST(Corpus, EntriesAreOneMinimal)
+{
+    sim::setContractMode(sim::ContractMode::Count);
+    OracleConfig ocfg;
+    for (const auto &[name, entry] : corpus()) {
+        for (const ScenarioSpec &cand : shrinkCandidates(entry.spec)) {
+            EXPECT_FALSE(oracleFires(cand, entry.oracle, ocfg))
+                << name << " is not minimal: a smaller spec still "
+                << "fires '" << entry.oracle << "':\n"
+                << cand.toString();
+        }
+    }
+}

@@ -118,6 +118,75 @@ TEST(FaultPlan, ParsesEveryKey)
     EXPECT_DOUBLE_EQ(p.knobDelayProb, 0.25);
 }
 
+TEST(FaultPlan, ToStringIsCanonicalAndRoundTrips)
+{
+    // Default plan renders empty and reparses to default.
+    FaultPlan def;
+    EXPECT_EQ(def.toString(), "");
+    ASSERT_TRUE(FaultPlan::tryParse("").has_value());
+
+    // Only non-default fields print, in documented key order.
+    FaultPlan p;
+    p.dropProb = 0.1;
+    p.knobFailProb = 0.25;
+    EXPECT_EQ(p.toString(), "drop=0.1,knobfail=0.25");
+
+    // A scale knob at its default stays silent even when its
+    // probability prints.
+    FaultPlan q;
+    q.noiseProb = 0.2;
+    EXPECT_EQ(q.toString(), "noise=0.2");
+    q.noiseFrac = 0.3;
+    EXPECT_EQ(q.toString(), "noise=0.2,noisefrac=0.3");
+}
+
+TEST(FaultPlan, RandomizedToStringRoundTrip)
+{
+    // toString . tryParse is the identity, and toString of the
+    // reparse reproduces the same bytes, across a seeded sweep of
+    // plans (including awkward decimals).
+    sim::Rng rng(31337);
+    for (int i = 0; i < 500; ++i) {
+        FaultPlan p;
+        auto prob = [&]() {
+            switch (rng.below(4)) {
+              case 0:
+                return 0.0;
+              case 1:
+                return 0.1 * static_cast<double>(rng.below(11));
+              case 2:
+                return rng.uniform();
+              default:
+                return 1.0 / 3.0;
+            }
+        };
+        p.dropProb = prob();
+        p.stuckProb = prob();
+        p.noiseProb = prob();
+        p.noiseFrac = prob();
+        p.spikeProb = prob();
+        p.spikeScale = 1.0 + 20.0 * rng.uniform();
+        p.knobFailProb = prob();
+        p.knobDelayProb = prob();
+
+        const std::string text = p.toString();
+        std::string error;
+        auto back = FaultPlan::tryParse(text, &error);
+        ASSERT_TRUE(back.has_value()) << error << " <- " << text;
+        EXPECT_EQ(back->toString(), text);
+        EXPECT_DOUBLE_EQ(back->dropProb, p.dropProb);
+        EXPECT_DOUBLE_EQ(back->stuckProb, p.stuckProb);
+        EXPECT_DOUBLE_EQ(back->noiseProb, p.noiseProb);
+        EXPECT_DOUBLE_EQ(back->spikeProb, p.spikeProb);
+        EXPECT_DOUBLE_EQ(back->knobFailProb, p.knobFailProb);
+        EXPECT_DOUBLE_EQ(back->knobDelayProb, p.knobDelayProb);
+        // Scale knobs print whenever non-default, so they round-trip
+        // exactly even when their probability class is disarmed.
+        EXPECT_DOUBLE_EQ(back->noiseFrac, p.noiseFrac);
+        EXPECT_DOUBLE_EQ(back->spikeScale, p.spikeScale);
+    }
+}
+
 TEST(FaultPlan, UnknownKeyFatal)
 {
     EXPECT_EXIT(FaultPlan::parse("bogus=0.5"),

@@ -132,6 +132,41 @@ TEST(Options, MissingValueFatal)
                 "needs a value");
 }
 
+TEST(Options, RepeatedFlagFatalWithUsage)
+{
+    Options o = makeOptions();
+    const char *argv[] = {"prog", "--count=1", "--count=2"};
+    EXPECT_EXIT(o.parse(3, argv), ::testing::ExitedWithCode(1),
+                "--count given more than once");
+}
+
+TEST(Options, RepeatedFlagFatalAcrossForms)
+{
+    // --name=x and a later bare "--name y" are still the same flag.
+    Options o = makeOptions();
+    const char *argv[] = {"prog", "--name=x", "--name", "y"};
+    EXPECT_EXIT(o.parse(4, argv), ::testing::ExitedWithCode(1),
+                "more than once");
+}
+
+TEST(Options, RepeatedBoolFlagFatal)
+{
+    Options o = makeOptions();
+    const char *argv[] = {"prog", "--verbose", "--verbose"};
+    EXPECT_EXIT(o.parse(3, argv), ::testing::ExitedWithCode(1),
+                "--verbose given more than once");
+}
+
+TEST(Options, RepeatedFlagMessageIncludesUsage)
+{
+    // The death message carries the usage text, so the user sees the
+    // registered flags, not just the complaint.
+    Options o = makeOptions();
+    const char *argv[] = {"prog", "--ratio=1", "--ratio=2"};
+    EXPECT_EXIT(o.parse(3, argv), ::testing::ExitedWithCode(1),
+                "at most once.*--ratio");
+}
+
 TEST(Options, TypeMismatchPanics)
 {
     Options o = makeOptions();

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * kelp-fuzz: deterministic adversarial scenario fuzzing for the Kelp
+ * runtime.
+ *
+ * Two modes:
+ *
+ *  - campaign (default): generate and execute --trials fuzzed
+ *    scenarios, coverage-guided by the controller's decision log,
+ *    shrink every failure to a 1-minimal spec, and print a canonical
+ *    report. The report is byte-identical for any --jobs value (run
+ *    twice with --jobs 1 and --jobs 8 and diff it -- CI does).
+ *    --archive-dir writes each finding as a corpus entry for triage
+ *    and possible promotion into tests/corpus/.
+ *
+ *  - replay (--replay DIR): load every *.scenario entry in DIR and
+ *    check that each still fires the oracle named in its
+ *    `# oracle:` directive. Exit status 1 when any entry no longer
+ *    reproduces; this is the regression gate the tests/corpus/ ctest
+ *    target wraps.
+ *
+ * Exit status: 0 on success (campaign complete, or all replays
+ * fire), 1 when a replay entry fails to reproduce or the replay
+ * directory holds no entries at all.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "fuzz/fuzzer.hh"
+#include "sim/log.hh"
+#include "sim/options.hh"
+
+using namespace kelp;
+
+namespace {
+
+int
+replayCorpus(const std::string &dir, const fuzz::OracleConfig &ocfg)
+{
+    const auto entries = fuzz::loadCorpus(dir);
+    if (entries.empty()) {
+        // A replay gate that finds nothing must not pass: a typo'd
+        // path would otherwise read as a green regression run.
+        std::fprintf(stderr, "no *.scenario entries under %s\n",
+                     dir.c_str());
+        return 1;
+    }
+    int misses = 0;
+    for (const auto &[name, entry] : entries) {
+        const bool fires =
+            fuzz::oracleFires(entry.spec, entry.oracle, ocfg);
+        std::printf("%s %s (%s)\n", fires ? "ok  " : "MISS",
+                    name.c_str(), entry.oracle.c_str());
+        if (!fires)
+            ++misses;
+    }
+    std::printf("%zu entr%s, %d miss%s\n", entries.size(),
+                entries.size() == 1 ? "y" : "ies", misses,
+                misses == 1 ? "" : "es");
+    return misses ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::Options opts(
+        "kelp-fuzz",
+        "deterministic adversarial scenario fuzzer (see DESIGN.md "
+        "section 12)");
+    opts.addInt("seed", 1, "base campaign seed");
+    opts.addInt("trials", 64, "scenarios to generate and execute");
+    opts.addInt("jobs", 1,
+                "worker threads (0 = all cores); never changes the "
+                "report");
+    opts.addInt("batch", 8,
+                "trials per generation batch (guidance granularity)");
+    opts.addBool("shrink", true,
+                 "minimize failing specs before reporting");
+    opts.addInt("max-shrink", 400,
+                "shrink budget: candidate evaluations per finding");
+    opts.addDouble("thrash-rate", 0.25,
+                   "ladder-thrash oracle threshold, SLO rung "
+                   "transitions per controller sample");
+    opts.addString("report", "",
+                   "write the report to this file instead of stdout");
+    opts.addString("archive-dir", "",
+                   "archive shrunk findings as corpus entries here");
+    opts.addString("corpus", "",
+                   "seed the mutation pool with this corpus "
+                   "directory's entries");
+    opts.addString("replay", "",
+                   "replay this corpus directory instead of fuzzing; "
+                   "exit 1 unless every entry fires its oracle");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    fuzz::OracleConfig ocfg;
+    ocfg.thrashRate = opts.getDouble("thrash-rate");
+
+    // Oracles count contract violations instead of aborting on them.
+    sim::setContractMode(sim::ContractMode::Count);
+
+    if (opts.isSet("replay"))
+        return replayCorpus(opts.getString("replay"), ocfg);
+
+    fuzz::FuzzOptions fopts;
+    fopts.seed = static_cast<uint64_t>(opts.getInt("seed"));
+    fopts.trials = static_cast<int>(opts.getInt("trials"));
+    fopts.jobs = static_cast<int>(opts.getInt("jobs"));
+    fopts.batch = static_cast<int>(opts.getInt("batch"));
+    fopts.shrink = opts.getBool("shrink");
+    fopts.maxShrinkAttempts =
+        static_cast<int>(opts.getInt("max-shrink"));
+    fopts.oracle = ocfg;
+
+    if (opts.isSet("corpus")) {
+        for (auto &[name, entry] :
+             fuzz::loadCorpus(opts.getString("corpus")))
+            fopts.extraSeeds.push_back(entry.spec);
+    }
+
+    fuzz::FuzzReport report = fuzz::fuzz(fopts);
+    const std::string text = report.toText() + "\n";
+
+    if (opts.isSet("report")) {
+        std::ofstream out(opts.getString("report"));
+        out << text;
+        out.close();
+        if (!out)
+            sim::fatal("cannot write report to ",
+                       opts.getString("report"));
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+
+    if (opts.isSet("archive-dir")) {
+        const std::string dir = opts.getString("archive-dir");
+        for (const fuzz::Finding &f : report.findings) {
+            const std::string name = fuzz::saveCorpusEntry(
+                dir, fuzz::CorpusEntry{f.oracle, f.shrunk});
+            std::fprintf(stderr, "archived %s/%s\n", dir.c_str(),
+                         name.c_str());
+        }
+    }
+
+    return 0;
+}
