@@ -65,6 +65,14 @@ placeMlTask(Scenario &s, const wl::MlDesc &desc, const RunConfig &cfg)
             infer.targetQps = cfg.openLoopQps;
             infer.pipelineDepth = 4;
         }
+        if (cfg.serving.enabled) {
+            // The serving layer owns arrival generation and batch
+            // admission; the pipeline is sized to take one dispatch
+            // batch at a time.
+            infer.externalArrivals = true;
+            infer.serial = false;
+            infer.pipelineDepth = cfg.serving.maxBatch;
+        }
         auto task = std::make_unique<wl::MlInferTask>(
             desc.name, s.mlGroup, infer,
             &s.node->accelerator(), cfg.seed);
@@ -398,6 +406,15 @@ buildScenario(const RunConfig &cfg)
         s.lifecycle->attach(*s.engine);
     }
 
+    // Open-loop serving layer: only inference workloads have a
+    // request stream to serve; a traffic spec on a training workload
+    // is ignored rather than fatal so fuzzed configs stay runnable.
+    if (cfg.serving.enabled && s.inferTask) {
+        s.server = std::make_unique<serve::RequestServer>(
+            cfg.serving, *s.inferTask, cfg.seed);
+        s.server->attach(*s.engine);
+    }
+
     if (s.manager) {
         // Crash/restart schedule: killAt plus any extra kill times,
         // each registered as a periodic whose period is far beyond
@@ -431,6 +448,8 @@ buildScenario(const RunConfig &cfg, const Observability &obs)
     Scenario s = buildScenario(cfg);
     if (obs.decisions && s.manager)
         s.manager->controller().setDecisionLog(obs.decisions);
+    if (obs.decisions && s.server)
+        s.server->setDecisionLog(obs.decisions);
     if (obs.recorder && s.inferTask)
         s.inferTask->setTraceSink(obs.recorder->phaseSink());
     if (obs.telemetry) {
@@ -454,6 +473,8 @@ measureScenario(Scenario &s, const RunConfig &cfg)
         cpu_work0.push_back(t->completedWork());
     if (s.inferTask)
         s.inferTask->resetLatency();
+    if (s.server)
+        s.server->resetLatency();
     hal::PerfCounters counters(s.node->memSystem());
     counters.sample(0);  // reset the window cursor
 
@@ -484,6 +505,22 @@ measureScenario(Scenario &s, const RunConfig &cfg)
             r.sloTransitions = g.trace().size();
             r.sloFinalRung = g.rung();
         }
+    }
+    if (s.server) {
+        s.server->checkConservation();
+        const serve::ServeStats st = s.server->stats();
+        r.reqArrivals = st.arrivals;
+        r.reqAdmitted = st.admitted;
+        r.reqRejected = st.rejected;
+        r.reqShed = st.shed;
+        r.reqExpired = st.expired;
+        r.reqCompleted = st.completed;
+        r.reqInFlight = st.inFlight;
+        r.brownoutTransitions = st.brownoutTransitions;
+        r.brownoutFinal = st.brownoutLevel;
+        r.reqP99 = s.server->latency().percentile(99.0);
+        r.reqP999 = s.server->latency().percentile(99.9);
+        r.reqP9999 = s.server->latency().percentile(99.99);
     }
     if (s.lifecycle) {
         r.churnArrivals = s.lifecycle->arrivals();

@@ -24,6 +24,7 @@
 #include "kelp/manager.hh"
 #include "kelp/slo_guard.hh"
 #include "node/node.hh"
+#include "serve/server.hh"
 #include "sim/engine.hh"
 #include "workload/batch_task.hh"
 #include "workload/catalog.hh"
@@ -143,6 +144,14 @@ struct RunConfig
 
     /** SLO degradation ladder (KP/KP-SD; disabled by default). */
     runtime::SloConfig slo;
+
+    /**
+     * Open-loop serving layer (traffic shaping, admission control,
+     * batching, brownout; see src/serve/). Disabled by default; only
+     * honored when the ML workload is an inference server, training
+     * workloads ignore it.
+     */
+    serve::ServeConfig serving;
 };
 
 /** Normalized results of a run. */
@@ -185,6 +194,26 @@ struct RunResult
     uint64_t sloViolations = 0;
     uint64_t sloTransitions = 0;
     int sloFinalRung = 0;
+
+    /** Request-serving drop accounting, whole run (traffic runs;
+     * all-zero otherwise). */
+    uint64_t reqArrivals = 0;
+    uint64_t reqAdmitted = 0;
+    uint64_t reqRejected = 0;
+    uint64_t reqShed = 0;
+    uint64_t reqExpired = 0;
+    uint64_t reqCompleted = 0;
+    uint64_t reqInFlight = 0;
+
+    /** Brownout-ladder telemetry (traffic runs). */
+    uint64_t brownoutTransitions = 0;
+    int brownoutFinal = 0;
+
+    /** Request-latency tail over the measurement window, seconds
+     * (traffic runs; 0 otherwise). */
+    double reqP99 = 0.0;
+    double reqP999 = 0.0;
+    double reqP9999 = 0.0;
 };
 
 /**
@@ -204,6 +233,9 @@ struct Scenario
 
     /** Churn driver (churn runs only). */
     std::unique_ptr<LifecycleEngine> lifecycle;
+
+    /** Open-loop request server (traffic runs only). */
+    std::unique_ptr<serve::RequestServer> server;
 
     wl::Task *mlTask = nullptr;
     wl::MlInferTask *inferTask = nullptr;

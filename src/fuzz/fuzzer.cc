@@ -184,6 +184,8 @@ corpusEntryText(const CorpusEntry &entry)
     std::ostringstream os;
     os << "# kelp-fuzz regression scenario\n";
     os << "# oracle: " << entry.oracle << "\n";
+    if (entry.fixed)
+        os << "# status: fixed\n";
     os << entry.spec.toString();
     return os.str();
 }
@@ -198,19 +200,36 @@ parseCorpusEntry(const std::string &text, std::string *error)
         return std::nullopt;
     };
 
-    static const std::string kDirective = "# oracle:";
+    static const std::string kOracle = "# oracle:";
+    static const std::string kStatus = "# status:";
     CorpusEntry entry;
+    bool sawStatus = false;
     std::istringstream is(text);
     std::string line;
     while (std::getline(is, line)) {
-        if (line.compare(0, kDirective.size(), kDirective) != 0)
+        const std::string *directive = nullptr;
+        if (line.compare(0, kOracle.size(), kOracle) == 0)
+            directive = &kOracle;
+        else if (line.compare(0, kStatus.size(), kStatus) == 0)
+            directive = &kStatus;
+        else
             continue;
-        std::string name = line.substr(kDirective.size());
+        std::string name = line.substr(directive->size());
         size_t b = name.find_first_not_of(" \t");
         size_t e = name.find_last_not_of(" \t\r");
         if (b == std::string::npos)
-            return fail("empty '# oracle:' directive");
+            return fail("empty '" + *directive + "' directive");
         name = name.substr(b, e - b + 1);
+        if (directive == &kStatus) {
+            if (sawStatus)
+                return fail("multiple '# status:' directives");
+            if (name != "fixed")
+                return fail("unknown status '" + name +
+                            "' (only 'fixed' is recognized)");
+            sawStatus = true;
+            entry.fixed = true;
+            continue;
+        }
         if (!entry.oracle.empty())
             return fail("multiple '# oracle:' directives");
         entry.oracle = name;

@@ -132,8 +132,18 @@ FuzzReport fuzz(const FuzzOptions &opts);
 /** One archived regression scenario. */
 struct CorpusEntry
 {
-    /** Oracle this entry must fire when replayed. */
+    /** Oracle this entry is judged against when replayed. */
     std::string oracle;
+
+    /**
+     * Lifecycle of the entry. An open entry (the default) is a
+     * still-unfixed find: replay expects its oracle to fire, and a
+     * miss means the corpus is stale. A fixed entry is a regression
+     * gate for a bug that has been repaired: replay expects its
+     * oracle NOT to fire, and a hit means the fix regressed.
+     * Serialized as a '# status: fixed' directive.
+     */
+    bool fixed = false;
 
     ScenarioSpec spec;
 };

@@ -59,7 +59,7 @@ void
 mutateOnce(ScenarioSpec &spec, sim::Rng &rng)
 {
     exp::RunConfig &cfg = spec.cfg;
-    switch (rng.below(18)) {
+    switch (rng.below(19)) {
       case 0:
         cfg.ml = static_cast<wl::MlWorkload>(rng.below(4));
         break;
@@ -202,6 +202,35 @@ mutateOnce(ScenarioSpec &spec, sim::Rng &rng)
         cfg.slo.escalateAfter = pickInt(rng, 1, 5);
         cfg.slo.deescalateAfter = pickInt(rng, 1, 8);
         break;
+      case 17: {
+        // Open-loop request traffic: shape, rate and spike intensity.
+        cfg.serving.enabled = rng.chance(0.75);
+        if (cfg.serving.enabled) {
+            serve::TrafficSpec &t = cfg.serving.traffic;
+            t = serve::TrafficSpec{};
+            t.qps = pickDouble(rng, {100.0, 200.0, 300.0, 600.0});
+            t.lowFrac = pickDouble(rng, {0.0, 0.2, 0.5});
+            switch (rng.below(3)) {
+              case 0:
+                t.shape = serve::TrafficSpec::Shape::Poisson;
+                break;
+              case 1:
+                t.shape = serve::TrafficSpec::Shape::Diurnal;
+                t.diurnalAmp = pickDouble(rng, {0.25, 0.5, 0.9});
+                t.diurnalPeriod = pickDouble(rng, {10.0, 20.0});
+                break;
+              default:
+                t.shape = serve::TrafficSpec::Shape::Burst;
+                t.spikeFactor =
+                    pickDouble(rng, {2.0, 4.0, 8.0, 16.0});
+                t.spikeStart = pickDouble(rng, {1.0, 2.0, 4.0});
+                t.spikePeriod = pickDouble(rng, {5.0, 10.0});
+                t.spikeLen = pickDouble(rng, {1.0, 2.0});
+                break;
+            }
+        }
+        break;
+      }
       default:
         cfg.cpuInstances = pickInt(rng, 1, 4);
         cfg.cpuThreadsOverride = 0;
@@ -259,6 +288,25 @@ seedSpecs()
         s.cfg.samplePeriod = 1.0;
         s.cfg.faults.dropProb = 0.1;
         s.cfg.faults.knobFailProb = 0.2;
+        seeds.push_back(s);
+    }
+
+    // Overloaded request serving: open-loop burst traffic against a
+    // colocated antagonist, exercising the admission/brownout ladder.
+    {
+        ScenarioSpec s;
+        s.cfg.ml = wl::MlWorkload::Rnn1;
+        s.cfg.config = exp::ConfigKind::KP;
+        s.cfg.cpu = wl::CpuWorkload::Stitch;
+        s.cfg.cpuInstances = 3;
+        s.cfg.warmup = 2.0;
+        s.cfg.measure = 12.0;
+        s.cfg.samplePeriod = 1.0;
+        s.cfg.serving.enabled = true;
+        s.cfg.serving.traffic.shape =
+            serve::TrafficSpec::Shape::Burst;
+        s.cfg.serving.traffic.qps = 300.0;
+        s.cfg.serving.traffic.spikeFactor = 8.0;
         seeds.push_back(s);
     }
 

@@ -99,6 +99,9 @@ firstBadMetric(const exp::RunResult &r)
         {"timeInFailSafe", r.timeInFailSafe},
         {"avgSaturation", r.avgSaturation},
         {"avgSocketBw", r.avgSocketBw},
+        {"reqP99", r.reqP99},
+        {"reqP999", r.reqP999},
+        {"reqP9999", r.reqP9999},
     };
     for (const auto &c : checks) {
         if (badDouble(c.value))
@@ -156,8 +159,10 @@ const std::vector<std::string> &
 oracleNames()
 {
     static const std::vector<std::string> kNames = {
-        "contract-violation", "watchdog-stuck", "ladder-thrash",
-        "bad-metric",         "restart-divergence", "nondeterminism",
+        "contract-violation", "watchdog-stuck",
+        "ladder-thrash",      "bad-metric",
+        "request-conservation", "restart-divergence",
+        "nondeterminism",
     };
     return kNames;
 }
@@ -184,6 +189,18 @@ resultText(const exp::RunResult &r)
     field(os, "sloViolations", r.sloViolations);
     field(os, "sloTransitions", r.sloTransitions);
     os << "sloFinalRung=" << r.sloFinalRung << "\n";
+    field(os, "reqArrivals", r.reqArrivals);
+    field(os, "reqAdmitted", r.reqAdmitted);
+    field(os, "reqRejected", r.reqRejected);
+    field(os, "reqShed", r.reqShed);
+    field(os, "reqExpired", r.reqExpired);
+    field(os, "reqCompleted", r.reqCompleted);
+    field(os, "reqInFlight", r.reqInFlight);
+    field(os, "brownoutTransitions", r.brownoutTransitions);
+    os << "brownoutFinal=" << r.brownoutFinal << "\n";
+    field(os, "reqP99", r.reqP99);
+    field(os, "reqP999", r.reqP999);
+    field(os, "reqP9999", r.reqP9999);
     return os.str();
 }
 
@@ -255,6 +272,30 @@ runTrial(const ScenarioSpec &spec, const OracleConfig &ocfg)
 
     if (std::string bad = firstBadMetric(primary.result); !bad.empty())
         out.hits.push_back({"bad-metric", bad});
+
+    /*
+     * Request conservation: every arrival is accounted for exactly
+     * once. The server enforces the same books with KELP_INVARIANT
+     * every tick; this end-of-run check re-derives it from the
+     * summary counters so a broken drop path is caught even when a
+     * build strips contracts.
+     */
+    if (cfg.serving.enabled) {
+        const exp::RunResult &r = primary.result;
+        const uint64_t admitted =
+            r.reqCompleted + r.reqShed + r.reqExpired + r.reqInFlight;
+        const uint64_t arrivals = r.reqAdmitted + r.reqRejected;
+        if (r.reqAdmitted != admitted || r.reqArrivals != arrivals) {
+            std::ostringstream os;
+            os << "arrivals=" << r.reqArrivals << " admitted="
+               << r.reqAdmitted << " rejected=" << r.reqRejected
+               << " completed=" << r.reqCompleted << " shed="
+               << r.reqShed << " expired=" << r.reqExpired
+               << " in-flight=" << r.reqInFlight
+               << " do not balance";
+            out.hits.push_back({"request-conservation", os.str()});
+        }
+    }
 
     /*
      * restart-divergence is only a defect where restart is specified

@@ -18,6 +18,11 @@
  *                        faster than the hysteresis bound;
  *  - bad-metric          a NaN, infinity, or negative value in the
  *                        run's summary metrics;
+ *  - request-conservation  the request-serving drop accounting does
+ *                        not balance: admitted != completed + shed +
+ *                        expired + in-flight, or arrivals !=
+ *                        admitted + rejected (only judged when the
+ *                        spec enables open-loop traffic);
  *  - restart-divergence  a kill/restart schedule changed the result
  *                        versus an unkilled twin run (only judged in
  *                        the fault-free, SLO-off regime where restart

@@ -113,6 +113,42 @@ shrinkCandidates(const ScenarioSpec &spec)
         push(std::move(cand));
     }
 
+    // Turn off request traffic wholesale, then soften its shape.
+    if (c.serving.enabled) {
+        {
+            ScenarioSpec cand = spec;
+            cand.cfg.serving = serve::ServeConfig{};
+            push(std::move(cand));
+        }
+        if (c.serving.traffic.shape !=
+            serve::TrafficSpec::Shape::Poisson) {
+            ScenarioSpec cand = spec;
+            serve::TrafficSpec plain;
+            plain.qps = c.serving.traffic.qps;
+            plain.lowFrac = c.serving.traffic.lowFrac;
+            cand.cfg.serving.traffic = plain;
+            push(std::move(cand));
+        }
+        if (c.serving.traffic.shape ==
+                serve::TrafficSpec::Shape::Burst &&
+            c.serving.traffic.spikeFactor > 2.0) {
+            ScenarioSpec cand = spec;
+            cand.cfg.serving.traffic.spikeFactor = 2.0;
+            push(std::move(cand));
+        }
+        if (c.serving.traffic.qps > 100.0) {
+            ScenarioSpec cand = spec;
+            cand.cfg.serving.traffic.qps =
+                std::max(100.0, grid(c.serving.traffic.qps / 2.0));
+            push(std::move(cand));
+        }
+        if (c.serving.traffic.lowFrac > 0.0) {
+            ScenarioSpec cand = spec;
+            cand.cfg.serving.traffic.lowFrac = 0.0;
+            push(std::move(cand));
+        }
+    }
+
     // Disarm the SLO ladder; restore default hysteresis.
     if (c.slo.enabled) {
         ScenarioSpec cand = spec;

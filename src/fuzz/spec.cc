@@ -183,6 +183,9 @@ ScenarioSpec::toString() const
     os << "instances=" << cfg.cpuInstances << "\n";
     os << "threads=" << cfg.cpuThreadsOverride << "\n";
     os << "level=" << levelKey(cfg.aggressorLevel) << "\n";
+    os << "traffic="
+       << (cfg.serving.enabled ? cfg.serving.traffic.toString() : "")
+       << "\n";
     os << "warmup=" << formatDouble(cfg.warmup) << "\n";
     os << "measure=" << formatDouble(cfg.measure) << "\n";
     os << "period=" << formatDouble(cfg.samplePeriod) << "\n";
@@ -314,6 +317,18 @@ ScenarioSpec::tryParse(const std::string &text, std::string *error)
             else
                 return fail(lineNo, "unknown level '" + value +
                                     "' (low|medium|high)");
+        } else if (key == "traffic") {
+            if (value.empty()) {
+                cfg.serving.enabled = false;
+            } else {
+                std::string terr;
+                std::optional<serve::TrafficSpec> traffic =
+                    serve::TrafficSpec::tryParse(value, &terr);
+                if (!traffic)
+                    return fail(lineNo, terr);
+                cfg.serving.traffic = *traffic;
+                cfg.serving.enabled = true;
+            }
         } else if (key == "warmup") {
             if (!parseDoubleValue(value, d, err))
                 return fail(lineNo, err);

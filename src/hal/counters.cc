@@ -43,5 +43,37 @@ PerfCounters::sample(sim::SocketId socket)
     return out;
 }
 
+std::array<double, PerfCounters::kCursorDoubles>
+PerfCounters::cursorState(sim::SocketId socket) const
+{
+    KELP_ASSERT(socket >= 0 && socket < mem_.numSockets(),
+                "socket out of range");
+    const SocketCursors &cur = cursors_[socket];
+    return {cur.bw.integral,        cur.bw.time,
+            cur.lat.integral,       cur.lat.time,
+            cur.sat.integral,       cur.sat.time,
+            cur.sub[0].integral,    cur.sub[0].time,
+            cur.sub[1].integral,    cur.sub[1].time,
+            cur.subLat[0].integral, cur.subLat[0].time,
+            cur.subLat[1].integral, cur.subLat[1].time};
+}
+
+void
+PerfCounters::restoreCursorState(
+    sim::SocketId socket,
+    const std::array<double, kCursorDoubles> &state)
+{
+    KELP_ASSERT(socket >= 0 && socket < mem_.numSockets(),
+                "socket out of range");
+    SocketCursors &cur = cursors_[socket];
+    cur.bw = {state[0], state[1]};
+    cur.lat = {state[2], state[3]};
+    cur.sat = {state[4], state[5]};
+    cur.sub[0] = {state[6], state[7]};
+    cur.sub[1] = {state[8], state[9]};
+    cur.subLat[0] = {state[10], state[11]};
+    cur.subLat[1] = {state[12], state[13]};
+}
+
 } // namespace hal
 } // namespace kelp

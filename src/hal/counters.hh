@@ -80,6 +80,24 @@ class PerfCounters : public CounterSource
      */
     CounterSample sample(sim::SocketId socket) override;
 
+    /** Doubles in one socket's flattened window-cursor state. */
+    static constexpr size_t kCursorDoubles = 14;
+
+    /**
+     * Export one socket's window cursors as a flat array (controller
+     * checkpointing). A reader rebuilt after a crash would otherwise
+     * prime fresh cursors at construction time and its first window
+     * would start mid-period, diverging from an uninterrupted
+     * reader's.
+     */
+    std::array<double, kCursorDoubles>
+    cursorState(sim::SocketId socket) const;
+
+    /** Restore cursors exported with cursorState(): the next
+     * sample() continues the pre-crash window exactly. */
+    void restoreCursorState(sim::SocketId socket,
+                            const std::array<double, kCursorDoubles> &state);
+
   private:
     struct SocketCursors
     {

@@ -31,10 +31,21 @@ ControllerSnapshot::serialize() const
     char head[256];
     std::snprintf(head, sizeof(head),
                   "t=%.17g;h=%d;l=%d;p=%d;fs=%d;rung=%d;ph=%d;pl=%d;"
-                  "susp=",
+                  "cw=",
                   time, coreNumH, coreNumL, prefetcherNumL,
                   failSafe ? 1 : 0, rung, prevH, prevL);
     std::string out = head;
+    if (hasCounterWindow) {
+        char num[32];
+        for (size_t i = 0; i < counterWindow.size(); ++i) {
+            std::snprintf(num, sizeof(num), "%.17g",
+                          counterWindow[i]);
+            if (i)
+                out += '|';
+            out += num;
+        }
+    }
+    out += ";susp=";
     for (size_t i = 0; i < suspended.size(); ++i) {
         if (i)
             out += '|';
@@ -52,7 +63,7 @@ ControllerSnapshot::deserialize(const std::string &text,
     int consumed = 0;
     int n = std::sscanf(text.c_str(),
                         "t=%lf;h=%d;l=%d;p=%d;fs=%d;rung=%d;ph=%d;"
-                        "pl=%d;susp=%n",
+                        "pl=%d;cw=%n",
                         &snap.time, &snap.coreNumH, &snap.coreNumL,
                         &snap.prefetcherNumL, &fs, &snap.rung,
                         &snap.prevH, &snap.prevL, &consumed);
@@ -61,6 +72,29 @@ ControllerSnapshot::deserialize(const std::string &text,
     snap.failSafe = fs != 0;
 
     const char *p = text.c_str() + consumed;
+    if (*p != ';') {
+        // Counter-window cursors: exactly kCursorDoubles
+        // '|'-separated doubles (or nothing at all).
+        size_t idx = 0;
+        while (true) {
+            char *end = nullptr;
+            double v = std::strtod(p, &end);
+            if (end == p || idx >= snap.counterWindow.size())
+                return false;
+            snap.counterWindow[idx++] = v;
+            p = end;
+            if (*p == '|')
+                ++p;
+            else
+                break;
+        }
+        if (idx != snap.counterWindow.size())
+            return false;
+        snap.hasCounterWindow = true;
+    }
+    if (std::strncmp(p, ";susp=", 6) != 0)
+        return false;
+    p += 6;
     while (*p) {
         char *end = nullptr;
         long id = std::strtol(p, &end, 10);

@@ -14,6 +14,7 @@
 #ifndef KELP_KELP_CONTROLLER_HH
 #define KELP_KELP_CONTROLLER_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -149,8 +150,23 @@ struct ControllerSnapshot
     /** Node task ids suspended by the SLO ladder. */
     std::vector<int> suspended;
 
+    /**
+     * Measurement-window cursors of the controller's own counter
+     * reader (hal::PerfCounters::cursorState). Without these a
+     * restarted controller primes fresh cursors at restart time, its
+     * first post-restart window starts mid-period, and its next
+     * decision diverges from an uninterrupted controller's -- the
+     * restart-divergence failure the fuzzer found. Only set when the
+     * controller owns its reader; shared/injected telemetry backends
+     * keep their own cursors across restarts already.
+     */
+    bool hasCounterWindow = false;
+    std::array<double, hal::PerfCounters::kCursorDoubles>
+        counterWindow{};
+
     /** One-line text form:
-     * "t=..;h=..;l=..;p=..;fs=..;rung=..;ph=..;pl=..;susp=a|b". */
+     * "t=..;h=..;l=..;p=..;fs=..;rung=..;ph=..;pl=..;cw=a|b|..;
+     *  susp=a|b". */
     std::string serialize() const;
 
     /** Parse serialize()'s format; false (and *this untouched) on
@@ -189,6 +205,16 @@ class Controller
 
     /** True while the controller is pinned to its fail-safe config. */
     virtual bool failSafe() const { return false; }
+
+    /**
+     * Fail-safe escape probe: attempt one full knob-write pass right
+     * now and report whether it landed. The watchdog calls this on
+     * an exponential backoff while in fail-safe, so a controller
+     * whose actuation path heals re-arms even when lingering retry
+     * state would otherwise hold its health report bad forever.
+     * Default: no actuation to probe, never re-arm this way.
+     */
+    virtual bool probeActuation() { return false; }
 
     /**
      * Checkpoint the controller's intent state. Default: an invalid

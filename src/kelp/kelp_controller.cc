@@ -273,6 +273,27 @@ KelpController::applyRung(int rung)
     }
 }
 
+bool
+KelpController::probeActuation()
+{
+    // Out-of-band knob-write pass for the watchdog's fail-safe
+    // escape. A landed pass is direct evidence the actuation path
+    // healed, so the retry machinery resets: the accumulated failure
+    // streak is what keeps lastHealth() bad through backoff windows
+    // and would otherwise hold the node in fail-safe forever under
+    // intermittent write faults (the watchdog-stuck corpus
+    // findings). A failed probe changes nothing; the watchdog backs
+    // off and tries again.
+    if (!enforce())
+        return false;
+    enforcePending_ = false;
+    backoff_ = 1;
+    retryWait_ = 0;
+    failedAttempts_ = 0;
+    health_.actuationOk = true;
+    return true;
+}
+
 ControllerSnapshot
 KelpController::snapshot() const
 {
@@ -286,6 +307,14 @@ KelpController::snapshot() const
     snap.prevH = static_cast<int>(prevH_);
     snap.prevL = static_cast<int>(prevL_);
     snap.suspended = suspended_;
+    // Only the controller-owned reader's cursors are worth
+    // checkpointing: an injected telemetry backend outlives the
+    // controller and keeps its own windows across restarts.
+    if (const auto *pc = dynamic_cast<const hal::PerfCounters *>(
+            ownedCounters_.get())) {
+        snap.hasCounterWindow = true;
+        snap.counterWindow = pc->cursorState(bind_.socket);
+    }
     return snap;
 }
 
@@ -313,6 +342,16 @@ KelpController::restore(const ControllerSnapshot &snap)
     // process: re-prime both from the next sample.
     guard_.reset();
     lastWork_ = -1.0;
+
+    // Resume the pre-crash measurement window: the constructor
+    // primed fresh cursors at restart time, which would make the
+    // first post-restart window start mid-period and diverge from an
+    // uninterrupted controller's reads.
+    if (snap.hasCounterWindow) {
+        if (auto *pc = dynamic_cast<hal::PerfCounters *>(
+                ownedCounters_.get()))
+            pc->restoreCursorState(bind_.socket, snap.counterWindow);
+    }
 
     // Replay consistency: a restored controller must checkpoint the
     // same intent it was rebuilt from (modulo the snapshot timestamp,

@@ -96,6 +96,7 @@ class KelpController : public Controller
 
     void setFailSafe(bool on) override;
     bool failSafe() const override { return failSafe_; }
+    bool probeActuation() override;
 
     /** The configuration fail-safe mode pins (inspection/tests). */
     ResourceState failSafeState() const;

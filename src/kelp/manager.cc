@@ -1,5 +1,6 @@
 #include "kelp/manager.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -79,6 +80,8 @@ RuntimeManager::superviseHealth(sim::Time now)
         int streak = consecutiveBad_;
         controller_->setFailSafe(true);
         consecutiveBad_ = 0;
+        probeWait_ = 1;
+        probeBackoff_ = 1;
         if (controller_->decisionLog()) {
             std::ostringstream why;
             why << streak << " consecutive unhealthy samples; "
@@ -103,6 +106,40 @@ RuntimeManager::superviseHealth(sim::Time now)
             auditManagerEvent(controller_->decisionLog(), now,
                               "watchdog-rearm", before,
                               controller_->params(), why.str());
+        }
+    } else if (failSafe_ && watchdog_.probeBackoffCap > 0) {
+        // Bounded fail-safe escape: the healthy-streak exit above can
+        // be unreachable when lingering retry state holds the health
+        // report bad through backoff windows, so while telemetry is
+        // trustworthy we periodically probe the actuation path
+        // out-of-band and re-arm the moment a probe lands. Failed
+        // probes back off exponentially (capped), keeping the knob
+        // traffic of a genuinely dead path bounded.
+        if (probeWait_ > 0)
+            --probeWait_;
+        if (probeWait_ <= 0 && h.sampleValid) {
+            ++probes_;
+            if (controller_->probeActuation()) {
+                failSafe_ = false;
+                ++exits_;
+                modeTrace_.push_back({now, false});
+                ControllerParams before = controller_->params();
+                controller_->setFailSafe(false);
+                consecutiveGood_ = 0;
+                consecutiveBad_ = 0;
+                if (controller_->decisionLog()) {
+                    auditManagerEvent(
+                        controller_->decisionLog(), now,
+                        "watchdog-rearm", before,
+                        controller_->params(),
+                        "fail-safe escape: knob-write probe landed; "
+                        "leaving fail-safe");
+                }
+            } else {
+                probeWait_ = probeBackoff_;
+                probeBackoff_ = std::min(
+                    probeBackoff_ * 2, watchdog_.probeBackoffCap);
+            }
         }
     }
 
@@ -188,6 +225,8 @@ RuntimeManager::restart(sim::Time now)
     failSafe_ = controller_->failSafe();
     consecutiveBad_ = 0;
     consecutiveGood_ = 0;
+    probeWait_ = 1;
+    probeBackoff_ = 1;
     return true;
 }
 

@@ -43,6 +43,19 @@ struct WatchdogConfig
 
     /** Consecutive healthy samples before re-arming. */
     int recoverThreshold = 3;
+
+    /**
+     * Fail-safe escape probe: while in fail-safe (and telemetry is
+     * valid) the watchdog periodically calls the controller's
+     * probeActuation() on an exponential backoff, re-arming
+     * immediately when a probe lands. This cap bounds the backoff,
+     * in samples; 0 disables probing. Without the probe, a
+     * controller whose actuation-failure streak keeps its health
+     * report bad through backoff windows can never assemble the
+     * recoverThreshold healthy streak and is pinned in fail-safe
+     * forever under intermittent knob faults.
+     */
+    int probeBackoffCap = 8;
 };
 
 /** Drives one controller at a fixed sampling period. */
@@ -89,6 +102,9 @@ class RuntimeManager
     /** Fail-safe entry/exit counts (telemetry). */
     uint64_t failSafeEntries() const { return entries_; }
     uint64_t failSafeExits() const { return exits_; }
+
+    /** Fail-safe escape probes attempted (telemetry). */
+    uint64_t probes() const { return probes_; }
 
     /** Total sampled time spent in fail-safe mode, seconds. */
     double timeInFailSafe() const { return timeInFailSafe_; }
@@ -160,6 +176,9 @@ class RuntimeManager
     bool failSafe_ = false;
     int consecutiveBad_ = 0;
     int consecutiveGood_ = 0;
+    int probeWait_ = 1;
+    int probeBackoff_ = 1;
+    uint64_t probes_ = 0;
     uint64_t entries_ = 0;
     uint64_t exits_ = 0;
     double timeInFailSafe_ = 0.0;

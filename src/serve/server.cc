@@ -1,0 +1,237 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/engine.hh"
+#include "sim/log.hh"
+#include "trace/decision_log.hh"
+#include "workload/ml_infer_task.hh"
+
+namespace kelp {
+namespace serve {
+
+RequestServer::RequestServer(const ServeConfig &cfg,
+                             wl::MlInferTask &task, uint64_t seed)
+    : cfg_(cfg), task_(task), gen_(cfg.traffic, seed),
+      tokens_(cfg.admitBurst)
+{
+    KELP_EXPECTS(cfg_.enabled,
+                 "RequestServer built from a disabled ServeConfig");
+    KELP_EXPECTS(cfg_.maxBatch >= 1 && cfg_.maxQueue >= 1,
+                 "serving layer needs a positive batch size and "
+                 "queue cap");
+    KELP_EXPECTS(cfg_.deadline > 0.0 && cfg_.batchTimeout > 0.0 &&
+                 cfg_.tick > 0.0,
+                 "serving deadlines and tick must be positive");
+    KELP_EXPECTS(task_.config().externalArrivals,
+                 "the inference task must run in externally-driven "
+                 "mode when a RequestServer feeds it");
+    if (cfg_.admitRate <= 0.0)
+        cfg_.admitRate = 2.0 * cfg_.traffic.qps;
+    task_.setCompletionSink(
+        [this](sim::Time arrival, sim::Time completion) {
+            ++completed_;
+            latency_.add(completion - arrival);
+        });
+}
+
+void
+RequestServer::attach(sim::Engine &engine)
+{
+    engine.every(cfg_.tick,
+                 [this](sim::Time now) { onTick(now); });
+}
+
+void
+RequestServer::onTick(sim::Time now)
+{
+    drainArrivals(now);
+    expireQueued(now);
+    updateBrownout(now);
+    maybeDispatch(now);
+    checkConservation();
+}
+
+void
+RequestServer::drainArrivals(sim::Time now)
+{
+    while (gen_.peekTime() <= now + 1e-12) {
+        const ArrivalGenerator::Arrival a = gen_.next();
+        ++arrivals_;
+        // Refill the token bucket up to the arrival instant; using
+        // the arrival's own timestamp (not the tick boundary) keeps
+        // admission independent of the server tick length.
+        tokens_ = std::min(cfg_.admitBurst,
+                           tokens_ + (a.time - lastRefill_) *
+                                         cfg_.admitRate);
+        lastRefill_ = a.time;
+        bool admit = true;
+        if (level_ >= 2 && a.lowPriority) {
+            // Brownout shed-low: stop low-priority at the door so
+            // the queue drains toward the interactive class.
+            admit = false;
+        } else if (queueDepth() >=
+                   static_cast<size_t>(cfg_.maxQueue)) {
+            admit = false;
+        } else if (tokens_ < 1.0) {
+            admit = false;
+        }
+        if (!admit) {
+            ++rejected_;
+            continue;
+        }
+        tokens_ -= 1.0;
+        ++admitted_;
+        const Queued q{a.time, a.index, a.time + cfg_.deadline};
+        (a.lowPriority ? loQ_ : hiQ_).push_back(q);
+    }
+}
+
+void
+RequestServer::expireQueued(sim::Time now)
+{
+    // Per class the queue is FIFO by arrival and deadlines are
+    // arrival + a constant, so expired requests are exactly a prefix.
+    for (std::deque<Queued> *q : {&hiQ_, &loQ_}) {
+        while (!q->empty() && q->front().deadline <= now) {
+            q->pop_front();
+            ++expired_;
+        }
+    }
+}
+
+sim::Time
+RequestServer::oldestWait(sim::Time now) const
+{
+    sim::Time oldest = now;
+    if (!hiQ_.empty())
+        oldest = std::min(oldest, hiQ_.front().arrival);
+    if (!loQ_.empty())
+        oldest = std::min(oldest, loQ_.front().arrival);
+    return now - oldest;
+}
+
+double
+RequestServer::effectiveBatchTimeout() const
+{
+    // Level 1+ "tighten": dispatch 4x sooner, trading batching
+    // efficiency for queueing delay.
+    return level_ >= 1 ? cfg_.batchTimeout * 0.25 : cfg_.batchTimeout;
+}
+
+void
+RequestServer::updateBrownout(sim::Time now)
+{
+    const bool pressured =
+        queueDepth() >= static_cast<size_t>(3 * cfg_.maxQueue) / 4 ||
+        oldestWait(now) > 0.5 * cfg_.deadline;
+    if (pressured) {
+        ++pressureStreak_;
+        calmStreak_ = 0;
+    } else {
+        ++calmStreak_;
+        pressureStreak_ = 0;
+    }
+    if (pressured && pressureStreak_ >= cfg_.brownoutEscalate &&
+        level_ < 2) {
+        setLevel(now, level_ + 1, "overload pressure");
+        pressureStreak_ = 0;
+    } else if (!pressured &&
+               calmStreak_ >= cfg_.brownoutDeescalate && level_ > 0) {
+        setLevel(now, level_ - 1, "pressure cleared");
+        calmStreak_ = 0;
+    }
+}
+
+void
+RequestServer::setLevel(sim::Time now, int to, const char *why)
+{
+    const int from = level_;
+    level_ = to;
+    ++transitions_;
+    levelTrace_.push_back(LevelChange{now, from, to});
+    if (to >= 2 && from < 2) {
+        // Shed-low entry: drop everything already queued in the
+        // low-priority class; admission keeps rejecting the class
+        // until the ladder steps back down.
+        shed_ += loQ_.size();
+        loQ_.clear();
+    }
+    if (log_) {
+        char reason[160];
+        std::snprintf(reason, sizeof(reason),
+                      "brownout level %d -> %d (%s; queue %zu/%d, "
+                      "oldest wait %.4f s)",
+                      from, to, why, queueDepth(), cfg_.maxQueue,
+                      oldestWait(now));
+        trace::DecisionEvent ev;
+        ev.time = now;
+        ev.kind = "brownout";
+        ev.reason = reason;
+        log_->append(ev);
+    }
+}
+
+void
+RequestServer::maybeDispatch(sim::Time now)
+{
+    // At most one undispatched batch sits inside the task: waiting
+    // happens here, where deadlines and shedding still apply.
+    if (task_.queued() != 0 || queueDepth() == 0)
+        return;
+    const bool full =
+        queueDepth() >= static_cast<size_t>(cfg_.maxBatch);
+    const bool timedOut =
+        oldestWait(now) + 1e-12 >= effectiveBatchTimeout();
+    if (!full && !timedOut)
+        return;
+    // Deterministic batch order: interactive class first, then
+    // low-priority; FIFO (arrival time, then generation index)
+    // within a class.
+    int budget = cfg_.maxBatch;
+    for (std::deque<Queued> *q : {&hiQ_, &loQ_}) {
+        while (budget > 0 && !q->empty()) {
+            task_.submit(q->front().arrival);
+            q->pop_front();
+            --budget;
+        }
+    }
+}
+
+uint64_t
+RequestServer::inFlight() const
+{
+    return queueDepth() + task_.queued() + task_.inService();
+}
+
+void
+RequestServer::checkConservation() const
+{
+    KELP_INVARIANT(arrivals_ == admitted_ + rejected_,
+                   "request accounting: every arrival is admitted "
+                   "or rejected");
+    KELP_INVARIANT(admitted_ ==
+                       completed_ + shed_ + expired_ + inFlight(),
+                   "request accounting: admitted = completed + shed "
+                   "+ expired + in-flight");
+}
+
+ServeStats
+RequestServer::stats() const
+{
+    ServeStats s;
+    s.arrivals = arrivals_;
+    s.admitted = admitted_;
+    s.rejected = rejected_;
+    s.shed = shed_;
+    s.expired = expired_;
+    s.completed = completed_;
+    s.inFlight = inFlight();
+    s.brownoutTransitions = transitions_;
+    s.brownoutLevel = level_;
+    return s;
+}
+
+} // namespace serve
+} // namespace kelp

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * RequestServer: overload-robust open-loop request serving in front
+ * of the accelerated inference task.
+ *
+ * The server sits between a deterministic arrival generator
+ * (serve/traffic.hh) and wl::MlInferTask running in
+ * externally-driven mode. Per simulated tick it:
+ *
+ *  1. drains arrivals due by now and runs admission control: a
+ *     token bucket (rate + burst) in front of a queue-depth cap;
+ *  2. expires queued requests whose deadline passed before dispatch;
+ *  3. updates the hysteretic brownout ladder (see below) and sheds
+ *     the lowest-priority class when it escalates far enough;
+ *  4. dispatches a batch into the inference pipeline when the batch
+ *     fills or the oldest admitted request has waited out the batch
+ *     timeout, with deterministic tie-breaking (priority class, then
+ *     arrival time, then arrival index).
+ *
+ * Brownout ladder (composes with the node-level kelp::SloGuard: that
+ * ladder trades antagonist throughput for ML QoS, this one trades
+ * request quality-of-service for stability; both audit into the same
+ * DecisionLog):
+ *
+ *   level 0  normal       full batch timeout, all classes admitted
+ *   level 1  tighten      batch timeout shrinks 4x (dispatch early)
+ *   level 2  shed-low     queued low-priority shed; new low-priority
+ *                         arrivals rejected at admission
+ *
+ * Escalation needs `brownoutEscalate` consecutive pressured ticks
+ * (queue depth >= 3/4 cap, or oldest wait past half the deadline);
+ * de-escalation needs `brownoutDeescalate` consecutive calm ticks.
+ *
+ * Drop accounting is exact and enforced every tick as a
+ * KELP_INVARIANT:
+ *
+ *   arrivals == admitted + rejected
+ *   admitted == completed + shed + expired + in-flight
+ *
+ * where in-flight counts requests queued here plus queued or in
+ * service inside the inference task. Determinism: all state advances
+ * on simulated time only; identical (config, seed) runs are
+ * byte-identical.
+ */
+
+#ifndef KELP_SERVE_SERVER_HH
+#define KELP_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/traffic.hh"
+#include "sim/stats.hh"
+
+namespace kelp {
+
+namespace sim { class Engine; }
+namespace trace { class DecisionLog; }
+namespace wl { class MlInferTask; }
+
+namespace serve {
+
+/** Serving-layer policy knobs (defaults are the bench/CLI baseline). */
+struct ServeConfig
+{
+    /** Arrival process; only read when `enabled`. */
+    TrafficSpec traffic;
+
+    /** Master switch: false leaves the workload in its native
+     * closed/open loop and builds no server. */
+    bool enabled = false;
+
+    /** Per-request deadline, seconds from arrival; a request not
+     * dispatched by then is dropped as expired. */
+    double deadline = 0.25;
+
+    /** Dispatch batch size (also the inference pipeline depth). */
+    int maxBatch = 4;
+
+    /** Max wait to fill a batch before dispatching short, seconds. */
+    double batchTimeout = 0.02;
+
+    /** Token-bucket admission rate, requests/s; 0 = 2x base qps. */
+    double admitRate = 0.0;
+
+    /** Token-bucket burst capacity, requests. */
+    double admitBurst = 16.0;
+
+    /** Queue-depth admission cap, requests. */
+    int maxQueue = 64;
+
+    /** Server tick period, seconds. */
+    double tick = 0.005;
+
+    /** Pressured ticks before the brownout ladder escalates. */
+    int brownoutEscalate = 3;
+
+    /** Calm ticks before it de-escalates. */
+    int brownoutDeescalate = 40;
+};
+
+/** Drop-accounting counters (whole run, never reset). */
+struct ServeStats
+{
+    uint64_t arrivals = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t expired = 0;
+    uint64_t completed = 0;
+    uint64_t inFlight = 0;
+    uint64_t brownoutTransitions = 0;
+    int brownoutLevel = 0;
+};
+
+class RequestServer
+{
+  public:
+    /** One brownout-ladder move (for tests and reports). */
+    struct LevelChange
+    {
+        sim::Time time;
+        int from;
+        int to;
+    };
+
+    /** The task must outlive the server and be configured with
+     * externalArrivals (the server owns arrival generation). */
+    RequestServer(const ServeConfig &cfg, wl::MlInferTask &task,
+                  uint64_t seed);
+
+    /** Register the serving tick with the engine. */
+    void attach(sim::Engine &engine);
+
+    /** Audit brownout transitions into this log (optional). */
+    void setDecisionLog(trace::DecisionLog *log) { log_ = log; }
+
+    /** Request latency (arrival to completion), seconds. */
+    const sim::LatencyHistogram &latency() const { return latency_; }
+
+    /** Forget recorded latencies (end-of-warmup reset); drop
+     * accounting is not reset, it spans the whole run. */
+    void resetLatency() { latency_.reset(); }
+
+    /** Counters; inFlight/brownoutLevel reflect the current state. */
+    ServeStats stats() const;
+
+    /** Requests admitted but not yet completed, shed, or expired. */
+    uint64_t inFlight() const;
+
+    int brownoutLevel() const { return level_; }
+    const std::vector<LevelChange> &brownoutTrace() const
+    {
+        return levelTrace_;
+    }
+
+    /** Enforce the drop-accounting invariants (also runs per tick). */
+    void checkConservation() const;
+
+  private:
+    struct Queued
+    {
+        sim::Time arrival;
+        uint64_t index;
+        sim::Time deadline;
+    };
+
+    void onTick(sim::Time now);
+    void drainArrivals(sim::Time now);
+    void expireQueued(sim::Time now);
+    void updateBrownout(sim::Time now);
+    void maybeDispatch(sim::Time now);
+    void setLevel(sim::Time now, int to, const char *why);
+
+    size_t queueDepth() const { return hiQ_.size() + loQ_.size(); }
+
+    /** Wait time of the oldest queued request (0 when empty). */
+    sim::Time oldestWait(sim::Time now) const;
+
+    /** Effective batch timeout at the current brownout level. */
+    double effectiveBatchTimeout() const;
+
+    ServeConfig cfg_;
+    wl::MlInferTask &task_;
+    ArrivalGenerator gen_;
+    trace::DecisionLog *log_ = nullptr;
+
+    /** Admitted-but-undispatched requests, FIFO per class. */
+    std::deque<Queued> hiQ_;
+    std::deque<Queued> loQ_;
+
+    double tokens_;
+    sim::Time lastRefill_ = 0.0;
+
+    int level_ = 0;
+    int pressureStreak_ = 0;
+    int calmStreak_ = 0;
+    std::vector<LevelChange> levelTrace_;
+
+    uint64_t arrivals_ = 0;
+    uint64_t admitted_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t expired_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t transitions_ = 0;
+
+    sim::LatencyHistogram latency_;
+};
+
+} // namespace serve
+} // namespace kelp
+
+#endif // KELP_SERVE_SERVER_HH

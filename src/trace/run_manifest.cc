@@ -74,6 +74,7 @@ RunManifest::addHistogram(const std::string &name,
     h.p95 = histogram.percentile(95.0);
     h.p99 = histogram.percentile(99.0);
     h.p999 = histogram.percentile(99.9);
+    h.p9999 = histogram.percentile(99.99);
     histograms_.push_back(h);
 }
 
@@ -114,7 +115,8 @@ RunManifest::toJson() const
                << ", \"p90\": " << jsonNumber(h.p90)
                << ", \"p95\": " << jsonNumber(h.p95)
                << ", \"p99\": " << jsonNumber(h.p99)
-               << ", \"p999\": " << jsonNumber(h.p999) << "}";
+               << ", \"p999\": " << jsonNumber(h.p999)
+               << ", \"p9999\": " << jsonNumber(h.p9999) << "}";
             if (i + 1 < histograms_.size())
                 os << ",";
             os << "\n";

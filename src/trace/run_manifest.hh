@@ -46,7 +46,7 @@ class RunManifest
 
     /**
      * Summarize a histogram under `histograms.<name>`: count, mean,
-     * and the p50/p90/p95/p99/p999 percentiles, each matching
+     * and the p50/p90/p95/p99/p999/p9999 percentiles, each matching
      * LatencyHistogram::percentile exactly.
      */
     void addHistogram(const std::string &name,
@@ -78,7 +78,7 @@ class RunManifest
         std::string name;
         uint64_t count;
         double mean;
-        double p50, p90, p95, p99, p999;
+        double p50, p90, p95, p99, p999, p9999;
     };
 
     std::vector<Entry> entries_;

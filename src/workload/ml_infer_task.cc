@@ -24,10 +24,24 @@ MlInferTask::MlInferTask(std::string name, sim::GroupId group,
         cfg_.closedLoop = true;
         cfg_.pipelineDepth = 1;
     }
-    if (!cfg_.closedLoop) {
+    KELP_ASSERT(!(cfg_.serial && cfg_.externalArrivals),
+                "serial trace mode cannot be externally driven");
+    if (cfg_.externalArrivals) {
+        cfg_.closedLoop = false;
+        // Never reached: submit() is the only arrival source.
+        nextArrival_ = 1e300;
+    } else if (!cfg_.closedLoop) {
         KELP_ASSERT(cfg_.targetQps > 0.0, "target QPS must be > 0");
         nextArrival_ = rng_.exponential(1.0 / cfg_.targetQps);
     }
+}
+
+void
+MlInferTask::submit(sim::Time arrival)
+{
+    KELP_EXPECTS(cfg_.externalArrivals,
+                 "submit() is only valid in externalArrivals mode");
+    queue_.push_back(arrival);
 }
 
 const StepSegment &
@@ -130,6 +144,9 @@ MlInferTask::advance(sim::Time dt, const ExecEnv &env)
 
         // Admit arrivals that have already happened.
         if (!cfg_.closedLoop) {
+            // Externally-driven tasks get arrivals via submit()
+            // only; the self-generating branch never runs for them
+            // (nextArrival_ stays at its sentinel).
             while (nextArrival_ <= now_ + 1e-12) {
                 queue_.push_back(nextArrival_);
                 nextArrival_ += rng_.exponential(1.0 / cfg_.targetQps);
@@ -212,6 +229,8 @@ MlInferTask::advance(sim::Time dt, const ExecEnv &env)
                 if (advanceStage(inFlight_[i])) {
                     latency_.add(now_ - inFlight_[i].arrival);
                     ++completed_;
+                    if (completionSink_)
+                        completionSink_(inFlight_[i].arrival, now_);
                     inFlight_.erase(inFlight_.begin() +
                                     static_cast<long>(i));
                     continue;

@@ -59,6 +59,13 @@ struct InferConfig
 
     /** Closed-loop with one request at a time (Figure 3 trace). */
     bool serial = false;
+
+    /**
+     * Externally-driven mode: the task generates no arrivals of its
+     * own (neither closed-loop top-up nor open-loop Poisson); a
+     * serving layer feeds it via submit(). Incompatible with serial.
+     */
+    bool externalArrivals = false;
 };
 
 /** Phase-execution record for timeline traces. */
@@ -103,6 +110,22 @@ class MlInferTask : public Task
     /** Requests currently queued (not yet admitted). */
     size_t queued() const { return queue_.size(); }
 
+    /** Requests currently in service (admitted, not yet retired). */
+    size_t inService() const { return inFlight_.size(); }
+
+    /** Enqueue one externally-generated request carrying its true
+     * arrival time (externalArrivals mode; the latency sample spans
+     * queueing in the serving layer as well). */
+    void submit(sim::Time arrival);
+
+    /** Install a per-completion sink (request arrival, completion
+     * time); used by the serving layer for drop accounting. */
+    void
+    setCompletionSink(std::function<void(sim::Time, sim::Time)> sink)
+    {
+        completionSink_ = std::move(sink);
+    }
+
     /** Install a timeline sink (serial-trace experiments). */
     void setTraceSink(std::function<void(const TraceEvent &)> sink)
     {
@@ -140,6 +163,7 @@ class MlInferTask : public Task
     uint64_t completed_ = 0;
     sim::LatencyHistogram latency_;
     std::function<void(const TraceEvent &)> traceSink_;
+    std::function<void(sim::Time, sim::Time)> completionSink_;
 };
 
 } // namespace wl

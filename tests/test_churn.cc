@@ -452,6 +452,37 @@ TEST(Snapshot, SerializeRoundTrips)
     EXPECT_TRUE(t.suspended.empty());
 }
 
+TEST(Snapshot, CounterWindowRoundTripsExactly)
+{
+    ControllerSnapshot s;
+    s.valid = true;
+    s.time = 5.0;
+    s.hasCounterWindow = true;
+    // Awkward doubles: denormal-ish, negative, huge, and values with
+    // no short decimal form -- %.17g must round-trip all of them
+    // bit-exactly.
+    for (size_t i = 0; i < s.counterWindow.size(); ++i) {
+        s.counterWindow[i] =
+            (i % 2 ? -1.0 : 1.0) * (0.1 + static_cast<double>(i)) /
+            3.0 * 1e3;
+    }
+    s.counterWindow[0] = 1e-300;
+    s.counterWindow[1] = 6.02214076e23;
+
+    ControllerSnapshot t;
+    ASSERT_TRUE(ControllerSnapshot::deserialize(s.serialize(), t));
+    EXPECT_TRUE(t.hasCounterWindow);
+    for (size_t i = 0; i < s.counterWindow.size(); ++i)
+        EXPECT_DOUBLE_EQ(t.counterWindow[i], s.counterWindow[i]) << i;
+    EXPECT_EQ(t.serialize(), s.serialize());
+
+    // A window-less snapshot keeps the empty cw section.
+    s.hasCounterWindow = false;
+    ASSERT_TRUE(ControllerSnapshot::deserialize(s.serialize(), t));
+    EXPECT_FALSE(t.hasCounterWindow);
+    EXPECT_EQ(t.serialize(), s.serialize());
+}
+
 TEST(Snapshot, RejectsMalformedText)
 {
     ControllerSnapshot t;
@@ -459,7 +490,14 @@ TEST(Snapshot, RejectsMalformedText)
     EXPECT_FALSE(ControllerSnapshot::deserialize("garbage", t));
     EXPECT_FALSE(ControllerSnapshot::deserialize("t=1;h=2", t));
     EXPECT_FALSE(ControllerSnapshot::deserialize(
-        "t=1;h=0;l=1;p=1;fs=0;rung=0;ph=2;pl=2;susp=1|x", t));
+        "t=1;h=0;l=1;p=1;fs=0;rung=0;ph=2;pl=2;cw=;susp=1|x", t));
+    // Truncated counter window: fewer doubles than the cursor state
+    // carries.
+    EXPECT_FALSE(ControllerSnapshot::deserialize(
+        "t=1;h=0;l=1;p=1;fs=0;rung=0;ph=2;pl=2;cw=1|2|3;susp=", t));
+    // The legacy pre-counter-window format is not accepted.
+    EXPECT_FALSE(ControllerSnapshot::deserialize(
+        "t=1;h=0;l=1;p=1;fs=0;rung=0;ph=2;pl=2;susp=1", t));
 }
 
 TEST(Restart, ReconcileRepairsKnobDivergence)

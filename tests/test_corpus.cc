@@ -1,11 +1,17 @@
 /**
  * @file
- * Regression-corpus replay: every shrunk failure archived under
- * tests/corpus/ must still fire the oracle named in its
- * `# oracle:` directive, deterministically, and must still be
- * 1-minimal (no single-step reduction fires it). A test failure
- * here means a robustness regression -- or a genuine fix, in which
- * case the healed entry should be deleted with the fixing commit.
+ * Regression-corpus replay. Entries come in two lifecycles:
+ *
+ *  - open entries (no status directive) are still-unfixed finds:
+ *    each must keep firing the oracle named in its `# oracle:`
+ *    directive and must stay 1-minimal (no single-step reduction
+ *    fires it). A miss means the corpus is stale -- either a
+ *    genuine fix landed (promote the entry to fixed) or replay
+ *    broke.
+ *
+ *  - `# status: fixed` entries are regression gates for repaired
+ *    bugs: each must NOT fire its oracle. A firing here means the
+ *    fix regressed.
  */
 
 #include <gtest/gtest.h>
@@ -44,14 +50,29 @@ TEST(Corpus, FileNamesAreCanonical)
         EXPECT_EQ(name, corpusFileName(entry));
 }
 
-TEST(Corpus, EveryEntryStillFiresItsOracle)
+TEST(Corpus, OpenEntriesStillFireTheirOracle)
 {
     sim::setContractMode(sim::ContractMode::Count);
     for (const auto &[name, entry] : corpus()) {
+        if (entry.fixed)
+            continue;
         EXPECT_TRUE(oracleFires(entry.spec, entry.oracle,
                                 OracleConfig{}))
             << name << " no longer reproduces '" << entry.oracle
             << "'";
+    }
+}
+
+TEST(Corpus, FixedEntriesStayQuiet)
+{
+    sim::setContractMode(sim::ContractMode::Count);
+    for (const auto &[name, entry] : corpus()) {
+        if (!entry.fixed)
+            continue;
+        EXPECT_FALSE(oracleFires(entry.spec, entry.oracle,
+                                 OracleConfig{}))
+            << name << " regressed: '" << entry.oracle
+            << "' fires again on a scenario marked fixed";
     }
 }
 
@@ -69,11 +90,15 @@ TEST(Corpus, ReplayIsDeterministic)
     }
 }
 
-TEST(Corpus, EntriesAreOneMinimal)
+TEST(Corpus, OpenEntriesAreOneMinimal)
 {
+    // Minimality only means anything for entries that still fire;
+    // a fixed entry's reductions trivially stay quiet too.
     sim::setContractMode(sim::ContractMode::Count);
     OracleConfig ocfg;
     for (const auto &[name, entry] : corpus()) {
+        if (entry.fixed)
+            continue;
         for (const ScenarioSpec &cand : shrinkCandidates(entry.spec)) {
             EXPECT_FALSE(oracleFires(cand, entry.oracle, ocfg))
                 << name << " is not minimal: a smaller spec still "

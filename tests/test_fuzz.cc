@@ -341,6 +341,26 @@ TEST(FuzzCorpus, EntryTextRoundTrips)
     EXPECT_EQ(corpusEntryText(*back), text);
 }
 
+TEST(FuzzCorpus, FixedStatusRoundTrips)
+{
+    CorpusEntry entry;
+    entry.oracle = "watchdog-stuck";
+    entry.fixed = true;
+    entry.spec = quickSpec();
+    std::string text = corpusEntryText(entry);
+    EXPECT_NE(text.find("# status: fixed\n"), std::string::npos);
+    std::string error;
+    auto back = parseCorpusEntry(text, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_TRUE(back->fixed);
+    EXPECT_EQ(corpusEntryText(*back), text);
+
+    // Open entries must not grow a status directive.
+    entry.fixed = false;
+    EXPECT_EQ(corpusEntryText(entry).find("# status:"),
+              std::string::npos);
+}
+
 TEST(FuzzCorpus, EntryParsingIsStrict)
 {
     std::string error;
@@ -358,11 +378,22 @@ TEST(FuzzCorpus, EntryParsingIsStrict)
 
     EXPECT_FALSE(
         parseCorpusEntry("# oracle: bad-metric\nml=vax\n", &error));
+
+    EXPECT_FALSE(parseCorpusEntry(
+        "# oracle: bad-metric\n# status: wontfix\nml=cnn1\n",
+        &error));
+    EXPECT_NE(error.find("unknown status"), std::string::npos);
+
+    EXPECT_FALSE(parseCorpusEntry("# oracle: bad-metric\n"
+                                  "# status: fixed\n"
+                                  "# status: fixed\nml=cnn1\n",
+                                  &error));
+    EXPECT_NE(error.find("multiple"), std::string::npos);
 }
 
 TEST(FuzzCorpus, FileNameIsContentAddressed)
 {
-    CorpusEntry a{"bad-metric", quickSpec()};
+    CorpusEntry a{"bad-metric", false, quickSpec()};
     CorpusEntry b = a;
     EXPECT_EQ(corpusFileName(a), corpusFileName(b));
     b.spec.cfg.seed = 777;

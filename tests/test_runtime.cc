@@ -477,8 +477,15 @@ class ScriptedController : public Controller
     SampleHealth lastHealth() const override { return health; }
     void setFailSafe(bool on) override { failSafe_ = on; }
     bool failSafe() const override { return failSafe_; }
+    bool probeActuation() override
+    {
+        ++probeCalls;
+        return probeOk;
+    }
 
     SampleHealth health;
+    bool probeOk = false;
+    int probeCalls = 0;
 
   private:
     bool failSafe_ = false;
@@ -681,6 +688,116 @@ TEST(Watchdog, InterruptedBadStreakDoesNotTrip)
     EXPECT_FALSE(mgr.inFailSafe());
     EXPECT_EQ(mgr.failSafeEntries(), 0u);
     EXPECT_TRUE(mgr.modeTrace().empty());
+}
+
+TEST(Watchdog, ProbeEscapesHeldBadVerdict)
+{
+    // The healthy-streak exit needs recoverThreshold consecutive
+    // good samples, which a controller whose health report stays bad
+    // (e.g. lingering retry state) can never assemble. The knob-write
+    // probe is the bounded escape hatch: the moment it lands, the
+    // watchdog re-arms.
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);
+    WatchdogConfig wd;
+    wd.enabled = true;
+    mgr.setWatchdog(wd);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+
+    // Telemetry stays valid but actuation reports bad forever.
+    ctl->health.actuationOk = false;
+    ctl->probeOk = true;
+    e.run(0.035);  // 3 consecutive bad: trip
+    EXPECT_TRUE(mgr.inFailSafe());
+
+    // One more sample: the probe fires immediately (wait 1 -> 0),
+    // lands, and re-arms despite the still-bad health verdict.
+    e.run(0.01);
+    EXPECT_FALSE(mgr.inFailSafe());
+    EXPECT_FALSE(ctl->failSafe());
+    EXPECT_EQ(mgr.failSafeExits(), 1u);
+    EXPECT_EQ(mgr.probes(), 1u);
+    EXPECT_EQ(ctl->probeCalls, 1);
+}
+
+TEST(Watchdog, ProbeBacksOffExponentiallyWhileDeadAndIsCapped)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);
+    WatchdogConfig wd;
+    wd.enabled = true;
+    wd.probeBackoffCap = 4;
+    mgr.setWatchdog(wd);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+
+    ctl->health.actuationOk = false;  // probes keep failing
+    e.run(0.035);  // trip
+    ASSERT_TRUE(mgr.inFailSafe());
+
+    // 20 more fail-safe samples. Probe schedule with cap 4: samples
+    // 1, 2, 4, 8, 12, 16, 20 after the trip -- 7 probes, not 20.
+    e.run(0.20);
+    EXPECT_TRUE(mgr.inFailSafe());
+    EXPECT_EQ(mgr.probes(), 7u);
+    EXPECT_EQ(mgr.failSafeExits(), 0u);
+}
+
+TEST(Watchdog, ProbeWaitsForValidTelemetry)
+{
+    // While telemetry is dark a landing knob write proves nothing
+    // about the feedback loop -- the watchdog must keep the safe
+    // static partition pinned and not even probe.
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);
+    WatchdogConfig wd;
+    wd.enabled = true;
+    mgr.setWatchdog(wd);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+
+    ctl->health.sampleValid = false;
+    ctl->probeOk = true;
+    e.run(0.1);
+    EXPECT_TRUE(mgr.inFailSafe());
+    EXPECT_EQ(mgr.probes(), 0u);
+    EXPECT_EQ(ctl->probeCalls, 0);
+}
+
+TEST(Watchdog, ProbeDisabledByZeroCap)
+{
+    RuntimeFixture f(1);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    auto owned = std::make_unique<ScriptedController>(bind);
+    ScriptedController *ctl = owned.get();
+    RuntimeManager mgr(std::move(owned), 0.01);
+    WatchdogConfig wd;
+    wd.enabled = true;
+    wd.probeBackoffCap = 0;
+    mgr.setWatchdog(wd);
+    sim::Engine e(1e-4);
+    f.node.attach(e);
+    mgr.attach(e);
+
+    ctl->health.actuationOk = false;
+    ctl->probeOk = true;
+    e.run(0.2);
+    EXPECT_TRUE(mgr.inFailSafe());
+    EXPECT_EQ(mgr.probes(), 0u);
+    EXPECT_EQ(ctl->probeCalls, 0);
 }
 
 TEST(Watchdog, DisabledNeverIntervenes)

@@ -14,14 +14,16 @@
  *    and possible promotion into tests/corpus/.
  *
  *  - replay (--replay DIR): load every *.scenario entry in DIR and
- *    check that each still fires the oracle named in its
- *    `# oracle:` directive. Exit status 1 when any entry no longer
- *    reproduces; this is the regression gate the tests/corpus/ ctest
- *    target wraps.
+ *    judge each against the oracle named in its `# oracle:`
+ *    directive. An open entry must still fire (a miss means the
+ *    corpus is stale); an entry marked `# status: fixed` is a
+ *    regression gate and must NOT fire (a hit means the repaired
+ *    bug is back). This is what the tests/corpus/ ctest target and
+ *    the fuzz-smoke CI job wrap.
  *
- * Exit status: 0 on success (campaign complete, or all replays
- * fire), 1 when a replay entry fails to reproduce or the replay
- * directory holds no entries at all.
+ * Exit status: 0 on success (campaign complete, or every replay
+ * entry behaves as its status directs), 1 when any entry misbehaves
+ * or the replay directory holds no entries at all.
  */
 
 #include <cstdio>
@@ -46,19 +48,29 @@ replayCorpus(const std::string &dir, const fuzz::OracleConfig &ocfg)
                      dir.c_str());
         return 1;
     }
-    int misses = 0;
+    int bad = 0;
     for (const auto &[name, entry] : entries) {
         const bool fires =
             fuzz::oracleFires(entry.spec, entry.oracle, ocfg);
-        std::printf("%s %s (%s)\n", fires ? "ok  " : "MISS",
-                    name.c_str(), entry.oracle.c_str());
-        if (!fires)
-            ++misses;
+        const char *verdict;
+        if (entry.fixed) {
+            // Fixed entries gate regressions: firing again means the
+            // repaired bug is back.
+            verdict = fires ? "REGRESSED" : "ok (fixed)";
+            if (fires)
+                ++bad;
+        } else {
+            verdict = fires ? "ok  " : "MISS";
+            if (!fires)
+                ++bad;
+        }
+        std::printf("%s %s (%s)\n", verdict, name.c_str(),
+                    entry.oracle.c_str());
     }
-    std::printf("%zu entr%s, %d miss%s\n", entries.size(),
-                entries.size() == 1 ? "y" : "ies", misses,
-                misses == 1 ? "" : "es");
-    return misses ? 1 : 0;
+    std::printf("%zu entr%s, %d failure%s\n", entries.size(),
+                entries.size() == 1 ? "y" : "ies", bad,
+                bad == 1 ? "" : "s");
+    return bad ? 1 : 0;
 }
 
 } // namespace
@@ -93,7 +105,8 @@ main(int argc, char **argv)
                    "directory's entries");
     opts.addString("replay", "",
                    "replay this corpus directory instead of fuzzing; "
-                   "exit 1 unless every entry fires its oracle");
+                   "exit 1 unless every open entry fires its oracle "
+                   "and every '# status: fixed' entry stays quiet");
     if (!opts.parse(argc, argv))
         return 0;
 
@@ -140,7 +153,7 @@ main(int argc, char **argv)
         const std::string dir = opts.getString("archive-dir");
         for (const fuzz::Finding &f : report.findings) {
             const std::string name = fuzz::saveCorpusEntry(
-                dir, fuzz::CorpusEntry{f.oracle, f.shrunk});
+                dir, fuzz::CorpusEntry{f.oracle, false, f.shrunk});
             std::fprintf(stderr, "archived %s/%s\n", dir.c_str(),
                          name.c_str());
         }

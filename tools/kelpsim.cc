@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "exp/pool.hh"
@@ -151,6 +152,11 @@ main(int argc, char **argv)
                  "arm the SLO degradation ladder (kp/kpsd)");
     opts.addDouble("slo-floor", 0.85,
                    "SLO floor: min acceptable ML perf ratio");
+    opts.addString("traffic", "",
+                   "open-loop request traffic spec, e.g. "
+                   "shape=poisson,qps=300 or "
+                   "shape=burst,qps=300,factor=8 (empty = "
+                   "closed-loop ML task, the paper's setup)");
     opts.addBool("contract-selftest", false,
                  "deliberately violate one contract before the run "
                  "(verifies the release-mode violation counter "
@@ -195,6 +201,16 @@ main(int argc, char **argv)
     cfg.killAt = opts.getDouble("kill-at");
     cfg.slo.enabled = opts.getBool("slo");
     cfg.slo.minPerfRatio = opts.getDouble("slo-floor");
+    if (!opts.getString("traffic").empty()) {
+        std::string terr;
+        std::optional<serve::TrafficSpec> traffic =
+            serve::TrafficSpec::tryParse(opts.getString("traffic"),
+                                         &terr);
+        if (!traffic)
+            sim::fatal("bad --traffic spec: ", terr);
+        cfg.serving.enabled = true;
+        cfg.serving.traffic = *traffic;
+    }
 
     if (opts.getBool("contract-selftest")) {
         // Count mode regardless of build type so the violation is
@@ -294,6 +310,19 @@ main(int argc, char **argv)
                 man.addHistogram("ml_request_latency_s",
                                  s.inferTask->latency());
             }
+            if (s.server) {
+                man.set("traffic", cfg.serving.traffic.toString());
+                man.set("req_arrivals", r.reqArrivals);
+                man.set("req_admitted", r.reqAdmitted);
+                man.set("req_rejected", r.reqRejected);
+                man.set("req_shed", r.reqShed);
+                man.set("req_expired", r.reqExpired);
+                man.set("req_completed", r.reqCompleted);
+                man.set("brownout_transitions",
+                        r.brownoutTransitions);
+                man.addHistogram("request_latency_s",
+                                 s.server->latency());
+            }
             if (!man.writeJson(manifestPath))
                 sim::fatal("cannot write manifest to ", manifestPath);
             std::printf("manifest written to %s\n",
@@ -329,6 +358,31 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.churnFinishes),
                     static_cast<unsigned long long>(r.churnCrashes),
                     static_cast<unsigned long long>(r.churnRejected));
+    }
+    if (cfg.serving.enabled) {
+        std::printf(
+            "  traffic        : %s\n",
+            cfg.serving.traffic.toString().c_str());
+        std::printf(
+            "  requests       : %llu arrived, %llu admitted, "
+            "%llu rejected, %llu shed, %llu expired, "
+            "%llu completed, %llu in flight\n",
+            static_cast<unsigned long long>(r.reqArrivals),
+            static_cast<unsigned long long>(r.reqAdmitted),
+            static_cast<unsigned long long>(r.reqRejected),
+            static_cast<unsigned long long>(r.reqShed),
+            static_cast<unsigned long long>(r.reqExpired),
+            static_cast<unsigned long long>(r.reqCompleted),
+            static_cast<unsigned long long>(r.reqInFlight));
+        std::printf("  request tails  : p99 %.2f ms, p99.9 %.2f ms, "
+                    "p99.99 %.2f ms\n",
+                    1e3 * r.reqP99, 1e3 * r.reqP999,
+                    1e3 * r.reqP9999);
+        std::printf("  brownout       : %llu transitions, final "
+                    "level %d\n",
+                    static_cast<unsigned long long>(
+                        r.brownoutTransitions),
+                    r.brownoutFinal);
     }
     if (cfg.killAt > 0.0) {
         std::printf("  restarts       : %llu (kill at %.0f s)\n",
