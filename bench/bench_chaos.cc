@@ -185,7 +185,7 @@ main(int argc, char **argv)
                                        clean.cpuThroughput, 2),
                           exp::fmt(hard.timeInFailSafe, 0)});
             worstHard = std::min(worstHard, mlHard);
-            // kelp-lint: allow(float-eq): p iterates over the same
+            // kelp: allow(float-eq): p iterates over the same
             // literal table this compares against, so the match is
             // exact by construction (no arithmetic touches p).
             if (std::string(fc.name) == "drop" && p == 0.10) {

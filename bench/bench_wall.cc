@@ -11,7 +11,7 @@
  * The simulated results never depend on the clock readings below:
  * the timings are reported, not fed back.
  */
-// kelp-lint: allow-file(determinism): measurement-only wall-clock
+// kelp: allow-file(determinism): measurement-only wall-clock
 // harness; timings are emitted to the report and JSON only and never
 // influence simulation results.
 

@@ -1,6 +1,6 @@
 #include "exp/scenario.hh"
 
-// kelp-lint: allow-file(knob-discipline): scenario construction does
+// kelp: allow-file(knob-discipline): scenario construction does
 // the one-time static placement (paper Section V-A) before any
 // controller exists; there is no retry/snapshot/reconciliation state
 // to bypass yet, and the controllers take ownership of the knobs the

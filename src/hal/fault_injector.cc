@@ -118,7 +118,7 @@ FaultPlan::toString() const
     auto field = [&](const char *key, double value, double defValue) {
         // Exact comparison is the point: a field is printed iff its
         // bits differ from the default-constructed plan.
-        if (value == defValue) // kelp-lint: allow(float-eq): canonical print must distinguish exact default values
+        if (value == defValue) // kelp: allow(float-eq): canonical print must distinguish exact default values
             return;
         if (os.tellp() > 0)
             os << ",";

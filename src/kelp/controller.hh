@@ -251,6 +251,7 @@ class Controller
     trace::DecisionLog *decisionLog() const { return decisionLog_; }
 
   protected:
+    // kelp: transient(node/group wiring supplied at construction; a restarted controller is rebuilt with fresh bindings)
     Bindings bind_;
     trace::DecisionLog *decisionLog_ = nullptr;
 };

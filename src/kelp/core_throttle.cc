@@ -1,8 +1,10 @@
 #include "kelp/core_throttle.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "sim/log.hh"
+#include "trace/decision_log.hh"
 
 namespace kelp {
 namespace runtime {
@@ -35,7 +37,6 @@ CoreThrottleController::CoreThrottleController(const Bindings &bindings,
 void
 CoreThrottleController::sample(sim::Time now)
 {
-    (void)now;
     hal::CounterSample s = counters_->sample(bind_.socket);
 
     bool valid = true;
@@ -49,6 +50,7 @@ CoreThrottleController::sample(sim::Time now)
     if (valid && !failSafe_) {
         // One core at a time, driven by socket bandwidth and latency:
         // the coarse-granularity feedback loop prior work uses.
+        int before = cores_;
         if (profile_.socketBw.isHigh(s.socketBw) ||
             profile_.latency.isHigh(s.memLatency)) {
             cores_ = std::max(cores_ - 1, minCores_);
@@ -56,16 +58,25 @@ CoreThrottleController::sample(sim::Time now)
                    profile_.latency.isLow(s.memLatency)) {
             cores_ = std::min(cores_ + 1, maxCores_);
         }
+        if (cores_ != before) {
+            logDecision(now, "ct-adjust", before, s.socketBw,
+                        s.memLatency,
+                        cores_ < before
+                            ? "throttle: socket watermarks high"
+                            : "boost: socket watermarks low");
+        }
     }
-    actuate();
+    actuate(now);
 }
 
 void
-CoreThrottleController::actuate()
+CoreThrottleController::actuate(sim::Time now)
 {
+    bool wasPending = enforcePending_;
     if (!hardening_.enabled) {
         health_.actuationOk = enforce();
         enforcePending_ = !health_.actuationOk;
+        logActuationEdge(now, wasPending);
         return;
     }
     if (retryWait_ > 0) {
@@ -87,6 +98,52 @@ CoreThrottleController::actuate()
     // loop absorbs transient failures.
     health_.actuationOk =
         failedAttempts_ < hardening_.actuationFailStreak;
+    logActuationEdge(now, wasPending);
+}
+
+void
+CoreThrottleController::logDecision(sim::Time now, const char *kind,
+                                    int coresBefore, double bw,
+                                    double lat,
+                                    const std::string &reason)
+{
+    if (!decisionLog_)
+        return;
+    trace::DecisionEvent ev;
+    ev.time = now;
+    ev.kind = kind;
+    ev.reason = reason;
+    ev.loCoresOld = coresBefore;
+    ev.loCoresNew = cores_;
+    // CT keeps prefetchers enabled on every low-priority core and
+    // never backfills the high-priority subdomain.
+    ev.loPrefetchersOld = coresBefore;
+    ev.loPrefetchersNew = cores_;
+    ev.hiBackfillOld = 0;
+    ev.hiBackfillNew = 0;
+    ev.bwS = bw;
+    ev.latS = lat;
+    ev.perfRatio = -1.0;
+    decisionLog_->append(ev);
+}
+
+void
+CoreThrottleController::logActuationEdge(sim::Time now,
+                                         bool wasPending)
+{
+    if (!decisionLog_ || wasPending == enforcePending_)
+        return;
+    if (enforcePending_) {
+        std::ostringstream why;
+        why << "knob write failed";
+        if (hardening_.enabled)
+            why << "; retrying with backoff " << backoff_;
+        logDecision(now, "actuation-fail", cores_, -1.0, -1.0,
+                    why.str());
+    } else {
+        logDecision(now, "actuation-recovered", cores_, -1.0, -1.0,
+                    "pending knob writes landed");
+    }
 }
 
 void
@@ -122,16 +179,26 @@ CoreThrottleController::enforce()
 {
     // SNC is off under CT; spread the mask across both halves so the
     // allocation is subdomain-agnostic.
+    //
+    // enforce() is the mechanical write path: core-count changes are
+    // recorded at decision time ("ct-adjust" in sample()) and
+    // success/failure edges by actuate() via logActuationEdge.
     bool ok = true;
+    // kelp: allow(audit-completeness): decision recorded in sample();
+    // actuation edges recorded by actuate().
     if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 0,
                           cores_ / 2)) {
         ok = false;
     }
+    // kelp: allow(audit-completeness): decision recorded in sample();
+    // actuation edges recorded by actuate().
     if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 1,
                           cores_ - cores_ / 2)) {
         ok = false;
     }
     // CT never touches prefetchers: all cores keep them enabled.
+    // kelp: allow(audit-completeness): decision recorded in sample();
+    // actuation edges recorded by actuate().
     if (!knobs_->setPrefetchersEnabled(bind_.cpuGroup, cores_))
         ok = false;
     return ok;

@@ -61,7 +61,11 @@ class CoreThrottleController : public Controller
 
   private:
     bool enforce();
-    void actuate();
+    void actuate(sim::Time now);
+    void logDecision(sim::Time now, const char *kind,
+                     int coresBefore, double bw, double lat,
+                     const std::string &reason);
+    void logActuationEdge(sim::Time now, bool wasPending);
 
     AppProfile profile_;
     int minCores_;

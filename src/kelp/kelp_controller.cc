@@ -386,6 +386,9 @@ KelpController::reconcile()
         // The Kelp controller never dedicates CAT ways to the
         // low-priority group; a nonzero read is drift.
         ++divergent;
+        // kelp: allow(audit-completeness): reconcile() repairs drift
+        // back to already-audited intent; the restart itself is
+        // recorded by the manager's "restart" event.
         knobs_->setCatWays(bind_.cpuGroup, 0);
     }
     if (divergent > 0) {
@@ -533,17 +536,28 @@ KelpController::enforce()
 {
     // Low-priority cores: coreNumL in the low-priority subdomain (1),
     // coreNumH backfilled into the high-priority subdomain (0).
+    //
+    // enforce() is the mechanical write path: every state_ change it
+    // applies was already recorded at decision time (logDecision in
+    // sample()) and its success/failure edges are recorded by
+    // actuate() via logActuationEdge.
     bool ok = true;
+    // kelp: allow(audit-completeness): decision recorded in sample();
+    // actuation edges recorded by actuate().
     if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 1,
                           state_.coreNumL)) {
         ok = false;
     }
+    // kelp: allow(audit-completeness): decision recorded in sample();
+    // actuation edges recorded by actuate().
     if (!knobs_->setCores(bind_.cpuGroup, bind_.socket, 0,
                           state_.coreNumH)) {
         ok = false;
     }
     // Backfilled cores keep their prefetchers; the managed count
     // applies to the low-priority subdomain's cores.
+    // kelp: allow(audit-completeness): decision recorded in sample();
+    // actuation edges recorded by actuate().
     if (!knobs_->setPrefetchersEnabled(
             bind_.cpuGroup, state_.prefetcherNumL + state_.coreNumH)) {
         ok = false;

@@ -171,24 +171,36 @@ class KelpController : public Controller
      * negative value when it cannot be measured yet. */
     double measurePerfRatio(sim::Time now);
 
+    // kelp: transient(config watermarks; rebuilt from the same profile at restart)
     AppProfile profile_;
+    // kelp: transient(derived from config limits at construction)
     Configurator configurator_;
     ResourceState state_;
     std::unique_ptr<hal::CounterSource> ownedCounters_;
     hal::CounterSource *counters_;
     hal::KnobSink *knobs_;
+    // kelp: transient(diagnostic echo of the last cycle; next sample overwrites)
     KelpDecision lastDecision_;
+    // kelp: transient(diagnostic echo of the last cycle; next sample overwrites)
     KelpMeasurements lastMeasurements_;
 
+    // kelp: transient(degraded-operation config, not runtime state)
     Hardening hardening_;
     SampleGuard guard_;
+    // kelp: transient(derived verdict; re-established by the first post-restart sample)
     SampleHealth health_;
     bool failSafe_ = false;
 
-    /** Retry-with-backoff state for failed knob writes. */
+    /** Retry-with-backoff state for failed knob writes. A restart
+     * reconciles the knobs directly, so the retry loop deliberately
+     * restarts from a clean slate instead of being checkpointed. */
+    // kelp: transient(restart reconciles knobs; retry loop restarts clean)
     bool enforcePending_ = false;
+    // kelp: transient(restart reconciles knobs; retry loop restarts clean)
     int backoff_ = 1;
+    // kelp: transient(restart reconciles knobs; retry loop restarts clean)
     int retryWait_ = 0;
+    // kelp: transient(restart reconciles knobs; retry loop restarts clean)
     int failedAttempts_ = 0;
 
     /** Last emitted actions, for hysteresis. */
@@ -196,12 +208,15 @@ class KelpController : public Controller
     Action prevL_ = Action::Nop;
 
     /** Churn support: live-membership tracking. */
+    // kelp: transient(configuration flag set at construction)
     bool dynamicMembership_ = false;
 
     /** SLO ladder (armed via enableSloGuard). */
     std::unique_ptr<SloGuard> sloGuard_;
+    // kelp: transient(config handed to enableSloGuard, not runtime state)
     double referencePerf_ = 0.0;
     double lastWork_ = -1.0;
+    // kelp: transient(perf-ratio cursor; re-primed by the first post-restart sample)
     sim::Time lastWorkTime_ = 0.0;
     std::vector<int> suspended_;
 };

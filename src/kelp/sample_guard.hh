@@ -25,7 +25,14 @@
 namespace kelp {
 namespace runtime {
 
-/** Validating, smoothing filter over raw counter samples. */
+/** Validating, smoothing filter over raw counter samples.
+ *
+ * The guard rides along in checkpointed controllers but is
+ * deliberately not serialized: after a restart the smoothed estimate
+ * is stale by definition, so the guard re-primes from live telemetry
+ * exactly as it does after a fail-safe episode (reset()). The
+ * member-by-member accounting below is machine-checked. */
+// kelp: checkpointed
 class SampleGuard
 {
   public:
@@ -57,10 +64,15 @@ class SampleGuard
     bool isOutlier(const hal::CounterSample &s) const;
     void fold(const hal::CounterSample &s);
 
+    // kelp: transient(validation thresholds are config, not runtime state)
     Hardening cfg_;
+    // kelp: transient(stale after restart by definition; re-primes from live telemetry)
     hal::CounterSample smooth_;
+    // kelp: transient(re-primes from live telemetry after restart)
     bool primed_ = false;
+    // kelp: transient(staleness clock; first post-restart sample re-establishes it)
     double lastWindowEnd_ = -1.0;
+    // kelp: transient(cumulative diagnostic counter, not control state)
     uint64_t rejected_ = 0;
 };
 

@@ -112,11 +112,14 @@ class SloGuard
     const SloConfig &config() const { return cfg_; }
 
   private:
+    // kelp: transient(ladder thresholds are config, not runtime state)
     SloConfig cfg_;
     int rung_ = kRungNormal;
     int badStreak_ = 0;
     int goodStreak_ = 0;
+    // kelp: transient(cumulative diagnostics; the restart divergence test pins the post-restart rung, not lifetime counters)
     uint64_t violations_ = 0;
+    // kelp: transient(diagnostic history for reports; not control state)
     std::vector<RungChange> trace_;
 };
 

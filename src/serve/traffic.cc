@@ -71,7 +71,7 @@ TrafficSpec::toString() const
     std::ostringstream os;
     os << "shape=" << shapeKey(shape);
     auto field = [&](const char *key, double value, double defValue) {
-        if (value == defValue) // kelp-lint: allow(float-eq): canonical print must distinguish exact default values
+        if (value == defValue) // kelp: allow(float-eq): canonical print must distinguish exact default values
             return;
         os << "," << key << "=" << shortest(value);
     };

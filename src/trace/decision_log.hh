@@ -40,7 +40,8 @@ struct DecisionEvent
 
     /**
      * Action class: "algorithm1", "membership-clamp", "slo-rung",
-     * "slo-clamp", "actuation-fail", "actuation-recovered",
+     * "slo-clamp", "ct-adjust" (CoreThrottle core-count change),
+     * "actuation-fail", "actuation-recovered",
      * "watchdog-trip" (fail-safe entry), "watchdog-rearm" (fail-safe
      * exit), "restart".
      */

@@ -1,0 +1,27 @@
+// Good twin of audit_missing.cc via the escape hatch: the knob
+// mutation carries a justified allow, so the audit-completeness rule
+// stays quiet -- and deleting the directive makes it fire (the
+// regression test does exactly that).
+namespace fx {
+
+struct Knobs
+{
+    bool setCores(int group, int socket, int half, int n);
+};
+
+class AllowedActuator
+{
+  public:
+    bool enforce()
+    {
+        // kelp: allow(audit-completeness): decision recorded by the
+        // caller at decision time; this is the mechanical write path.
+        return knobs_->setCores(0, 0, 1, cores_);
+    }
+
+  private:
+    Knobs *knobs_ = nullptr;
+    int cores_ = 0;
+};
+
+} // namespace fx

@@ -1,0 +1,24 @@
+// Deliberately broken fixture: a knob mutation with no DecisionLog
+// record anywhere in the enclosing function and no allow, so the
+// audit-completeness rule must fire exactly once.
+namespace fx {
+
+struct Knobs
+{
+    bool setCores(int group, int socket, int half, int n);
+};
+
+class BadActuator
+{
+  public:
+    bool enforce()
+    {
+        return knobs_->setCores(0, 0, 1, cores_);
+    }
+
+  private:
+    Knobs *knobs_ = nullptr;
+    int cores_ = 0;
+};
+
+} // namespace fx

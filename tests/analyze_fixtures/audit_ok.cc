@@ -1,0 +1,38 @@
+// Good twin of audit_missing.cc: the knob mutation happens in a
+// function that records to the decision log through a helper, so the
+// audit-completeness rule must see the capability through the call
+// graph (record() -> decisionLog_->append()) and stay quiet.
+namespace fx {
+
+struct Knobs
+{
+    bool setCores(int group, int socket, int half, int n);
+};
+
+struct Log
+{
+    void append(int ev);
+};
+
+class GoodActuator
+{
+  public:
+    bool enforce()
+    {
+        record(1);
+        return knobs_->setCores(0, 0, 1, cores_);
+    }
+
+  private:
+    void record(int ev)
+    {
+        if (decisionLog_)
+            decisionLog_->append(ev);
+    }
+
+    Knobs *knobs_ = nullptr;
+    Log *decisionLog_ = nullptr;
+    int cores_ = 0;
+};
+
+} // namespace fx

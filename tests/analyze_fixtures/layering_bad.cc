@@ -1,0 +1,7 @@
+// Deliberately broken fixture (virtual path src/serve/...): serve
+// must not reach into the controller layer, so this include is an
+// undeclared module edge and the layering rule must fire.
+#include "kelp/controller.hh"
+
+namespace fx {
+}

@@ -1,0 +1,6 @@
+// Good twin of layering_bad.cc: serve -> trace is a declared edge in
+// the test table, so the layering rule stays quiet.
+#include "trace/json.hh"
+
+namespace fx {
+}

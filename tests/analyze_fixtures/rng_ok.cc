@@ -1,0 +1,26 @@
+// Good twin of rng_reuse.cc: each job derives its own pure stream
+// from (base seed, job index), so streams never alias and results
+// are independent of job interleaving. The rng-discipline rule must
+// stay quiet.
+namespace fx {
+
+struct Rng
+{
+    double uniform();
+    static Rng derive(unsigned long base, unsigned long index);
+};
+
+void runJobs(int count, int jobs, int which);
+void sink(double v);
+
+void
+campaign(int n)
+{
+    unsigned long seed = 7;
+    runJobs(n, 4, [&](int i) {
+        Rng r = Rng::derive(seed, static_cast<unsigned long>(i));
+        sink(r.uniform());
+    });
+}
+
+} // namespace fx

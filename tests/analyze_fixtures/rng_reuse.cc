@@ -1,0 +1,24 @@
+// Deliberately broken fixture: the job lambda draws from an Rng
+// declared outside the lambda, so per-job streams alias and results
+// depend on job interleaving. The rng-discipline rule must fire.
+namespace fx {
+
+struct Rng
+{
+    double uniform();
+    static Rng derive(unsigned long base, unsigned long index);
+};
+
+void runJobs(int count, int jobs, int which);
+void sink(double v);
+
+void
+campaign(int n)
+{
+    Rng rng;
+    runJobs(n, 4, [&](int i) {
+        sink(rng.uniform() + i);
+    });
+}
+
+} // namespace fx

@@ -1,0 +1,22 @@
+// Deliberately broken fixture: the class has no snapshot()/restore()
+// pair but is marked `kelp: checkpointed`, so it participates in the
+// snapshot-completeness rule -- and `entries_` carries no transient
+// annotation, so the rule must fire exactly once.
+#ifndef KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_MARKED_HH
+#define KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_MARKED_HH
+
+namespace fx {
+
+// kelp: checkpointed
+class Cache
+{
+  public:
+    void put(int v) { entries_ = v; }
+
+  private:
+    int entries_ = 0;
+};
+
+} // namespace fx
+
+#endif // KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_MARKED_HH

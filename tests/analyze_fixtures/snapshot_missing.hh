@@ -1,0 +1,35 @@
+// Deliberately broken fixture: `lost_` is neither referenced by the
+// snapshot/restore bodies nor annotated transient, so the
+// snapshot-completeness rule must fire exactly once. `kept_` is
+// serialized and `wiring_` is a raw pointer (exempt by design).
+#ifndef KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_MISSING_HH
+#define KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_MISSING_HH
+
+namespace fx {
+
+struct WidgetSnapshot
+{
+    int kept = 0;
+};
+
+class Widget
+{
+  public:
+    WidgetSnapshot snapshot() const
+    {
+        WidgetSnapshot s;
+        s.kept = kept_;
+        return s;
+    }
+
+    void restore(const WidgetSnapshot &s) { kept_ = s.kept; }
+
+  private:
+    int kept_ = 0;
+    int lost_ = 0;
+    int *wiring_ = nullptr;
+};
+
+} // namespace fx
+
+#endif // KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_MISSING_HH

@@ -1,0 +1,37 @@
+// Good twin of snapshot_missing.hh: every mutable member is either
+// serialized by the snapshot/restore bodies or carries a justified
+// transient annotation, so the snapshot-completeness rule stays
+// quiet.
+#ifndef KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_OK_HH
+#define KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_OK_HH
+
+namespace fx {
+
+struct WidgetSnapshot
+{
+    int kept = 0;
+};
+
+class Widget
+{
+  public:
+    WidgetSnapshot snapshot() const
+    {
+        WidgetSnapshot s;
+        s.kept = kept_;
+        return s;
+    }
+
+    void restore(const WidgetSnapshot &s) { kept_ = s.kept; }
+
+  private:
+    int kept_ = 0;
+    // kelp: transient(memoized view; recomputed from kept_ on demand)
+    int cached_ = 0;
+    int *wiring_ = nullptr;
+    static int instances_;
+};
+
+} // namespace fx
+
+#endif // KELP_TESTS_ANALYZE_FIXTURES_SNAPSHOT_OK_HH

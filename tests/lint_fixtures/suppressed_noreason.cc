@@ -3,6 +3,6 @@
 bool
 unjustified(double p)
 {
-    // kelp-lint: allow(float-eq)
+    // kelp: allow(float-eq)
     return p == 0.25;
 }

@@ -3,9 +3,9 @@
 bool
 exactByConstruction(double p)
 {
-    // kelp-lint: allow(float-eq): p is copied from this literal and
+    // kelp: allow(float-eq): p is copied from this literal and
     // never touched by arithmetic, so the comparison is exact.
     bool same = p == 0.25;
-    bool trailing = p != 0.75; // kelp-lint: allow(float-eq): ditto.
+    bool trailing = p != 0.75; // kelp: allow(float-eq): ditto.
     return same || trailing;
 }

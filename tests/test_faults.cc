@@ -328,15 +328,15 @@ TEST(FaultyCounters, SpikeScalesExactlyOneSignal)
         CounterSample want = reference.sample(0);
         CounterSample got = faulty.sample(0);
         int scaled = 0;
-        // kelp-lint: allow(float-eq): the spike fault multiplies one
+        // kelp: allow(float-eq): the spike fault multiplies one
         // signal by exactly 10.0; the test asserts that bit-exact
         // scaling, tolerance would mask a buggy near-miss.
         scaled += got.socketBw == 10.0 * want.socketBw;
-        // kelp-lint: allow(float-eq): same bit-exact spike check.
+        // kelp: allow(float-eq): same bit-exact spike check.
         scaled += got.memLatency == 10.0 * want.memLatency;
-        // kelp-lint: allow(float-eq): same bit-exact spike check.
+        // kelp: allow(float-eq): same bit-exact spike check.
         scaled += got.saturation == 10.0 * want.saturation;
-        // kelp-lint: allow(float-eq): same bit-exact spike check.
+        // kelp: allow(float-eq): same bit-exact spike check.
         scaled += got.subdomainBw[0] == 10.0 * want.subdomainBw[0];
         EXPECT_EQ(scaled, 1);
     }

@@ -151,7 +151,7 @@ TEST(LintSuppression, AllowWithoutReasonIsItselfAFinding)
 
 TEST(LintSuppression, AllowFileSilencesWholeFile)
 {
-    std::string src = "// kelp-lint: allow-file(float-eq): fixture-wide.\n"
+    std::string src = "// kelp: allow-file(float-eq): fixture-wide.\n"
                       "bool a(double x) { return x == 1.0; }\n"
                       "bool b(double x) { return x != 2.0; }\n";
     auto fs = lintSource("src/exp/allow_file.cc", src);
@@ -161,10 +161,35 @@ TEST(LintSuppression, AllowFileSilencesWholeFile)
 TEST(LintSuppression, UnknownRuleNameIsRejected)
 {
     std::string src =
-        "// kelp-lint: allow(no-such-rule): typo in the rule name.\n"
+        "// kelp: allow(no-such-rule): typo in the rule name.\n"
         "int x;\n";
     auto fs = lintSource("src/exp/typo.cc", src);
     EXPECT_EQ(countRule(fs, "bad-suppression"), 1);
+}
+
+TEST(LintSuppression, LegacyToolPrefixedSpellingIsRejected)
+{
+    // The pre-unification spelling parsed per-tool; it now reads as a
+    // stale directive and must be migrated to the `kelp:` grammar.
+    std::string src =
+        "bool a(double x) { return x == 1.0; } "
+        "// kelp-lint: allow(float-eq): stale spelling.\n";
+    auto fs = lintSource("src/exp/legacy.cc", src);
+    EXPECT_EQ(countRule(fs, "bad-suppression"), 1);
+    // And it no longer suppresses anything.
+    EXPECT_EQ(countRule(fs, "float-eq"), 1);
+}
+
+TEST(LintSuppression, AnalyzeRuleAllowParsesButStaysInactiveHere)
+{
+    // An allow naming the sibling tool's rule is legal (kelp-analyze
+    // honours it) but silences nothing in kelp-lint.
+    std::string src =
+        "// kelp: allow(audit-completeness): actuation logged by caller.\n"
+        "bool a(double x) { return x == 1.0; }\n";
+    auto fs = lintSource("src/exp/foreign.cc", src);
+    EXPECT_EQ(countRule(fs, "bad-suppression"), 0);
+    EXPECT_EQ(countRule(fs, "float-eq"), 1);
 }
 
 TEST(LintBaseline, CoversGrandfatheredFindingsByKey)

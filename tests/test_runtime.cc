@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hal/fault_injector.hh"
 #include "kelp/baseline.hh"
 #include "kelp/configurator.hh"
 #include "kelp/core_throttle.hh"
@@ -14,6 +15,8 @@
 #include "kelp/profile.hh"
 #include "node/node.hh"
 #include "node/platform.hh"
+#include "sim/rng.hh"
+#include "trace/decision_log.hh"
 #include "workload/batch_task.hh"
 
 using namespace kelp;
@@ -378,6 +381,88 @@ TEST(CoreThrottle, RecoversWhenQuiet)
         ctl.sample(round);
     }
     EXPECT_EQ(ctl.cores(), 12);
+}
+
+TEST(CoreThrottle, AuditsEveryCoreAdjustment)
+{
+    // Regression for the audit gap kelp-analyze found: CT used to
+    // actuate with no DecisionLog trail at all. Every core-count
+    // change must now appear as a "ct-adjust" event carrying the
+    // trigger sample and an old -> new core delta.
+    RuntimeFixture f(10, true);
+    f.node.setSncEnabled(false);
+    Bindings bind{&f.node, f.ml, f.cpu, 0};
+    CoreThrottleController ctl(bind, testProfile(), 1, 12, 12);
+    trace::DecisionLog log;
+    ctl.setDecisionLog(&log);
+    for (int round = 0; round < 6; ++round) {
+        f.runTicks(100);
+        ctl.sample(round);
+    }
+    ASSERT_LT(ctl.cores(), 12);
+
+    std::vector<const trace::DecisionEvent *> adjusts;
+    for (const auto &ev : log.events())
+        if (ev.kind == "ct-adjust")
+            adjusts.push_back(&ev);
+    ASSERT_FALSE(adjusts.empty());
+    int prev = 12;
+    for (const auto *ev : adjusts) {
+        EXPECT_EQ(ev->loCoresOld, prev);
+        EXPECT_EQ(ev->loCoresNew, prev - 1) << ev->reason;
+        EXPECT_FALSE(ev->reason.empty());
+        EXPECT_GT(ev->bwS, 0.0);
+        prev = ev->loCoresNew;
+    }
+    // The trail replays to the live state.
+    EXPECT_EQ(prev, ctl.cores());
+}
+
+TEST(CoreThrottle, AuditsActuationFailureAndRecovery)
+{
+    RuntimeFixture f(1, true);
+    f.node.setSncEnabled(false);
+    hal::FaultyKnobSink knobs(f.node.knobs(), hal::FaultPlan{},
+                              sim::Rng(11));
+    Bindings bind{&f.node, f.ml, f.cpu, 0, nullptr, &knobs};
+    Hardening hard;
+    hard.enabled = true;
+    CoreThrottleController ctl(bind, testProfile(), 1, 12, 2, hard);
+    trace::DecisionLog log;
+    ctl.setDecisionLog(&log);
+
+    // Knobs go dark: the first failed write must log one
+    // actuation-fail edge (not one per retry).
+    hal::FaultPlan dark;
+    dark.knobFailProb = 1.0;
+    knobs.setPlan(dark);
+    double now = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        f.runTicks(10);
+        ctl.sample(now++);
+    }
+    int fails = 0, recoveries = 0;
+    for (const auto &ev : log.events()) {
+        if (ev.kind == "actuation-fail")
+            ++fails;
+        if (ev.kind == "actuation-recovered")
+            ++recoveries;
+    }
+    EXPECT_EQ(fails, 1);
+    EXPECT_EQ(recoveries, 0);
+
+    // Knobs come back: the retry loop lands the pending write and
+    // logs exactly one recovery edge.
+    knobs.setPlan(hal::FaultPlan{});
+    for (int i = 0; i < 8; ++i) {
+        f.runTicks(10);
+        ctl.sample(now++);
+    }
+    recoveries = 0;
+    for (const auto &ev : log.events())
+        if (ev.kind == "actuation-recovered")
+            ++recoveries;
+    EXPECT_EQ(recoveries, 1);
 }
 
 TEST(Baseline, TouchesNothing)

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * kelp-analyze: cross-translation-unit semantic analysis for the
+ * Kelp tree. Where kelp-lint checks one file at a time, this tool
+ * first indexes the whole src/ tree -- classes and their data
+ * members, checkpoint save/restore method bodies, knob-mutation call
+ * sites, DecisionLog record sites, contract macros, sim::Rng usage,
+ * and the #include graph -- then checks whole-program properties no
+ * single-TU pass can see:
+ *
+ *   snapshot-completeness  every mutable data member of a
+ *                          checkpoint-bearing class (one declaring
+ *                          snapshot()/restore(), a serialize()/
+ *                          deserialize() pair, or marked
+ *                          `kelp: checkpointed`) is referenced by
+ *                          the save/restore bodies or carries
+ *                          `// kelp: transient(<reason>)`
+ *   audit-completeness     every KnobSink mutation in src/kelp/ and
+ *                          src/serve/ happens inside a function that
+ *                          records to a DecisionLog (directly or via
+ *                          a helper, computed as a fixpoint over the
+ *                          indexed call graph) or carries an allow
+ *   rng-discipline         inside a runJobs/parallelMap job lambda,
+ *                          method calls on a sim::Rng declared
+ *                          outside the lambda are cross-job stream
+ *                          reuse; derive a per-job stream with
+ *                          sim::Rng::derive(base, index)
+ *   layering               every cross-module #include edge under
+ *                          src/ must be declared in the checked-in
+ *                          module DAG (tools/kelp_analyze/
+ *                          layering.txt); the declared table must be
+ *                          acyclic and nothing may include fuzz/
+ *   bad-suppression        malformed `kelp:` directives (shared
+ *                          grammar with kelp-lint via kelp_check)
+ *
+ * The engine is a library: tests drive buildIndex()/analyzeFiles()
+ * directly on fixture trees, and the `kelp_analyze` CLI (main.cc)
+ * walks the real tree, applies the (empty) baseline, and emits the
+ * human report plus optional --json and --inventory artifacts. See
+ * DESIGN.md section 14.
+ */
+
+#ifndef KELP_TOOLS_KELP_ANALYZE_ANALYZE_HH
+#define KELP_TOOLS_KELP_ANALYZE_ANALYZE_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check.hh"
+
+namespace kelp {
+namespace analyze {
+
+using check::Baseline;
+using check::Finding;
+using check::formatFinding;
+
+/** One input translation unit: repo-relative path + full text. */
+struct SourceFile
+{
+    std::string path;
+    std::string content;
+};
+
+/** A data member of an indexed class. */
+struct MemberInfo
+{
+    std::string name;
+    int line = 0;
+
+    /** static / constexpr storage: not per-instance state. */
+    bool isStatic = false;
+
+    /** Declared with & / * at the top level: wiring, not owned
+     * state, so checkpointing it would be wrong by construction. */
+    bool isRef = false;
+    bool isPtr = false;
+
+    /** Reason from `kelp: transient(...)`, empty when unannotated. */
+    std::string transientReason;
+    bool hasTransient = false;
+};
+
+/** One indexed class/struct. */
+struct ClassInfo
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+
+    std::vector<MemberInfo> members;
+
+    /** Names of all declared methods. */
+    std::set<std::string> methods;
+
+    /** Identifiers referenced in the bodies of the checkpoint
+     * methods (snapshot/restore/serialize/deserialize), including
+     * out-of-line definitions from other files. */
+    std::set<std::string> serialized;
+
+    /** Marked `kelp: checkpointed` at the declaration. */
+    bool marked = false;
+
+    /** True when the class participates in checkpointing: declares
+     * snapshot() or restore(), a serialize()+deserialize() pair, or
+     * is marked. */
+    bool checkpointBearing() const;
+};
+
+/** One indexed function definition (member or free). */
+struct FunctionInfo
+{
+    /** Enclosing class for out-of-line / inline members, else "". */
+    std::string cls;
+    std::string name;
+    std::string file;
+    int line = 0;
+
+    /** Bare names of functions called in the body. */
+    std::set<std::string> callees;
+
+    /** Body contains `recv->append(...)` / `recv.append(...)` where
+     * the receiver's name mentions log/audit/decision. */
+    bool directAudit = false;
+};
+
+/** One KnobSink mutator call site. */
+struct KnobWrite
+{
+    std::string file;
+    int line = 0;
+    std::string mutator;
+
+    /** Index into Index::functions of the innermost enclosing
+     * definition, or -1 when none was found. */
+    int function = -1;
+};
+
+/** One `#include "..."` edge. */
+struct IncludeEdge
+{
+    std::string file;
+    int line = 0;
+
+    /** The quoted include target, verbatim. */
+    std::string target;
+};
+
+/** One KELP_EXPECTS/KELP_ENSURES/KELP_INVARIANT site. */
+struct ContractSite
+{
+    std::string file;
+    int line = 0;
+    std::string macro;
+};
+
+/** One rng-discipline violation candidate found during indexing:
+ * a method call on an outer-scope Rng inside a job lambda. */
+struct RngUse
+{
+    std::string file;
+    int line = 0;
+    std::string var;
+    std::string method;
+};
+
+/** The whole-tree index built by pass 1. */
+struct Index
+{
+    std::vector<ClassInfo> classes;
+    std::vector<FunctionInfo> functions;
+    std::vector<KnobWrite> knobWrites;
+    std::vector<IncludeEdge> includes;
+    std::vector<ContractSite> contracts;
+    std::vector<RngUse> rngUses;
+};
+
+/** Pass 1: index every file. Directive-syntax problems found while
+ * parsing annotations are appended to @p bad. */
+Index buildIndex(const std::vector<SourceFile> &files,
+                 std::vector<Finding> &bad);
+
+/**
+ * Parse + validate a layering table ("module: dep dep ..." lines,
+ * '#' comments). Returns module -> allowed direct dependencies.
+ * Table-level problems (malformed line, cycle) are reported against
+ * @p tablePath in @p bad.
+ */
+std::map<std::string, std::set<std::string>>
+parseLayering(const std::string &tablePath, const std::string &text,
+              std::vector<Finding> &bad);
+
+/**
+ * Pass 2 on top of pass 1: run all rule families and return findings
+ * sorted by (file, line), with valid `kelp:` suppressions already
+ * applied. @p layeringText is the contents of the module-DAG table;
+ * @p layeringPath names it in table-level findings.
+ */
+std::vector<Finding> analyzeFiles(const std::vector<SourceFile> &files,
+                                  const std::string &layeringPath,
+                                  const std::string &layeringText);
+
+/** Machine-readable findings report (JSON array of objects with
+ * file/line/rule/message/excerpt keys, wrapped with counts). */
+std::string jsonReport(const std::vector<Finding> &findings);
+
+/** Human-readable contract-coverage inventory: per src/ module, the
+ * indexed functions, contract-macro density, knob-write audit
+ * coverage, and checkpoint-bearing classes with their member
+ * accounting. */
+std::string inventoryReport(const Index &index);
+
+/** First path component after src/ ("" for non-src paths). */
+std::string moduleOf(const std::string &path);
+
+} // namespace analyze
+} // namespace kelp
+
+#endif // KELP_TOOLS_KELP_ANALYZE_ANALYZE_HH

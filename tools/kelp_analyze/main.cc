@@ -1,0 +1,239 @@
+/**
+ * @file
+ * kelp_analyze CLI: index the tree, run the cross-TU rule families,
+ * apply the checked-in baseline, and exit non-zero on any new
+ * finding.
+ *
+ * Usage:
+ *   kelp_analyze [--root=DIR] [--baseline=FILE] [--layering=FILE]
+ *                [--json=FILE] [--inventory=FILE]
+ *                [--update-baseline] [dir...]
+ *
+ * With no directories given the sweep is src/ under the root: the
+ * whole-program rules are scoped to the library tree (tests and
+ * benches stage deliberately weird states). tests/analyze_fixtures/
+ * and tests/lint_fixtures/ are always skipped when a broader sweep
+ * names them: those files are deliberately broken.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hh"
+
+namespace fs = std::filesystem;
+using kelp::analyze::Baseline;
+using kelp::analyze::Finding;
+using kelp::analyze::SourceFile;
+
+namespace {
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
+
+bool
+analyzableExtension(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out)
+        return false;
+    out << text;
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string baseline_path;
+    std::string layering_path;
+    std::string json_path;
+    std::string inventory_path;
+    bool update_baseline = false;
+    std::vector<std::string> dirs;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_path = arg.substr(11);
+        } else if (arg.rfind("--layering=", 0) == 0) {
+            layering_path = arg.substr(11);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--inventory=", 0) == 0) {
+            inventory_path = arg.substr(12);
+        } else if (arg == "--update-baseline") {
+            update_baseline = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: kelp_analyze [--root=DIR] [--baseline=FILE] "
+                "[--layering=FILE] [--json=FILE] "
+                "[--inventory=FILE] [--update-baseline] [dir...]\n");
+            return 0;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr,
+                         "kelp_analyze: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            dirs.push_back(arg);
+        }
+    }
+    if (dirs.empty())
+        dirs = {"src"};
+    if (layering_path.empty())
+        layering_path = (fs::path(root) /
+                         "tools/kelp_analyze/layering.txt")
+                            .string();
+
+    Baseline baseline;
+    if (!baseline_path.empty()) {
+        std::string text;
+        if (!readFile(baseline_path, text)) {
+            std::fprintf(stderr,
+                         "kelp_analyze: cannot read baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        if (!baseline.parse(text)) {
+            std::fprintf(stderr,
+                         "kelp_analyze: malformed baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+    }
+
+    std::string layering_text;
+    if (!readFile(layering_path, layering_text)) {
+        std::fprintf(stderr,
+                     "kelp_analyze: cannot read layering table "
+                     "'%s'\n",
+                     layering_path.c_str());
+        return 2;
+    }
+
+    // Deterministic sweep: collect, sort, read.
+    std::vector<fs::path> paths;
+    for (const std::string &d : dirs) {
+        fs::path top = fs::path(root) / d;
+        if (!fs::exists(top))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(top);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory()) {
+                // The fixture corpora are deliberately broken.
+                if (it->path().filename() == "lint_fixtures" ||
+                    it->path().filename() == "analyze_fixtures")
+                    it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() &&
+                analyzableExtension(it->path()))
+                paths.push_back(it->path());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<SourceFile> files;
+    files.reserve(paths.size());
+    for (const fs::path &p : paths) {
+        SourceFile f;
+        f.path = fs::relative(p, root).generic_string();
+        if (!readFile(p, f.content)) {
+            std::fprintf(stderr, "kelp_analyze: cannot read '%s'\n",
+                         p.string().c_str());
+            return 2;
+        }
+        files.push_back(std::move(f));
+    }
+
+    std::vector<Finding> all = kelp::analyze::analyzeFiles(
+        files, "tools/kelp_analyze/layering.txt", layering_text);
+
+    std::vector<Finding> fresh;
+    size_t baselined = 0;
+    for (Finding &f : all) {
+        if (baseline.covers(f))
+            ++baselined;
+        else
+            fresh.push_back(std::move(f));
+    }
+
+    if (update_baseline) {
+        if (baseline_path.empty()) {
+            std::fprintf(stderr,
+                         "kelp_analyze: --update-baseline needs "
+                         "--baseline=FILE\n");
+            return 2;
+        }
+        std::ofstream out(baseline_path, std::ios::trunc);
+        out << "# kelp_analyze baseline: grandfathered findings, one "
+               "per line as file|rule|excerpt.\n"
+            << "# The goal is to keep this file empty; fix, annotate "
+               "transient, or allow() findings\n"
+            << "# instead of re-baselining.\n";
+        for (const Finding &f : fresh)
+            out << Baseline::entry(f) << "\n";
+        std::printf(
+            "kelp_analyze: baseline updated with %zu entries\n",
+            fresh.size());
+        return 0;
+    }
+
+    if (!json_path.empty() &&
+        !writeFile(json_path, kelp::analyze::jsonReport(fresh))) {
+        std::fprintf(stderr, "kelp_analyze: cannot write '%s'\n",
+                     json_path.c_str());
+        return 2;
+    }
+    if (!inventory_path.empty()) {
+        std::vector<Finding> ignored;
+        kelp::analyze::Index index =
+            kelp::analyze::buildIndex(files, ignored);
+        if (!writeFile(inventory_path,
+                       kelp::analyze::inventoryReport(index))) {
+            std::fprintf(stderr, "kelp_analyze: cannot write '%s'\n",
+                         inventory_path.c_str());
+            return 2;
+        }
+    }
+
+    for (const Finding &f : fresh)
+        std::printf("%s\n",
+                    kelp::analyze::formatFinding(f).c_str());
+
+    std::printf("kelp_analyze: %zu files, %zu findings",
+                files.size(), fresh.size());
+    if (baselined)
+        std::printf(" (%zu baselined)", baselined);
+    std::printf("\n");
+    return fresh.empty() ? 0 : 1;
+}

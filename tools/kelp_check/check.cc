@@ -1,0 +1,470 @@
+#include "check.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace kelp {
+namespace check {
+
+namespace {
+
+bool
+idStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+idChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Two-character punctuators the rules care about. `<<`/`>>` are kept
+ * fused so template-bracket balancing can treat them as two. */
+bool
+isTwoCharPunct(char a, char b)
+{
+    static const char *kPairs[] = {"==", "!=", "<=", ">=", "::",
+                                   "->", "&&", "||", "<<", ">>"};
+    for (const char *p : kPairs) {
+        if (p[0] == a && p[1] == b)
+            return true;
+    }
+    return false;
+}
+
+/** Every line occupied by a comment (block comments span several). */
+std::set<int>
+commentLines(const std::vector<Comment> &comments)
+{
+    std::set<int> lines;
+    for (const auto &c : comments) {
+        int span = 1 + static_cast<int>(std::count(
+                           c.text.begin(), c.text.end(), '\n'));
+        for (int l = 0; l < span; ++l)
+            lines.insert(c.line + l);
+    }
+    return lines;
+}
+
+/** The next non-comment line after @p line: where a directive on its
+ * own line (possibly with wrapped continuation comments) anchors. */
+int
+anchorBelow(const std::set<int> &comment_lines, int line)
+{
+    int l = line + 1;
+    while (comment_lines.count(l))
+        ++l;
+    return l;
+}
+
+} // namespace
+
+LexResult
+tokenize(const std::string &src)
+{
+    LexResult out;
+    const size_t n = src.size();
+    size_t i = 0;
+    int line = 1;
+    bool at_line_start = true;
+
+    auto advance = [&](size_t k) {
+        for (size_t j = 0; j < k && i < n; ++j, ++i) {
+            if (src[i] == '\n') {
+                ++line;
+                at_line_start = true;
+            }
+        }
+    };
+
+    while (i < n) {
+        char c = src[i];
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of line, honoring
+        // backslash continuations. Directives on preprocessor lines
+        // are not supported, and none exist.
+        if (c == '#' && at_line_start) {
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n &&
+                    src[i + 1] == '\n') {
+                    advance(2);
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                advance(1);
+            }
+            continue;
+        }
+        at_line_start = false;
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            size_t j = src.find('\n', i);
+            if (j == std::string::npos)
+                j = n;
+            out.comments.push_back(
+                {line, src.substr(i + 2, j - i - 2)});
+            advance(j - i);
+            continue;
+        }
+
+        // Block comment (recorded at its first line).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            size_t j = src.find("*/", i + 2);
+            size_t end = (j == std::string::npos) ? n : j + 2;
+            out.comments.push_back(
+                {line, src.substr(i + 2, end - i - 4)});
+            advance(end - i);
+            continue;
+        }
+
+        // Raw string literal R"delim(...)delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            size_t p = i + 2;
+            std::string delim;
+            while (p < n && src[p] != '(')
+                delim += src[p++];
+            std::string close = ")" + delim + "\"";
+            size_t j = src.find(close, p);
+            size_t end =
+                (j == std::string::npos) ? n : j + close.size();
+            advance(end - i);
+            continue;
+        }
+
+        // String / character literal.
+        if (c == '"' || c == '\'') {
+            char q = c;
+            size_t j = i + 1;
+            while (j < n && src[j] != q) {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            advance((j < n ? j + 1 : n) - i);
+            continue;
+        }
+
+        if (idStart(c)) {
+            size_t j = i;
+            while (j < n && idChar(src[j]))
+                ++j;
+            out.toks.push_back(
+                {TokKind::Id, src.substr(i, j - i), line});
+            advance(j - i);
+            continue;
+        }
+
+        // Number: integer or floating literal (including the
+        // leading-dot form ".5" and digit separators).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            size_t j = i;
+            while (j < n) {
+                char d = src[j];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    ++j;
+                    continue;
+                }
+                // Exponent sign binds to the literal.
+                if ((d == '+' || d == '-') && j > i) {
+                    char e = src[j - 1];
+                    if (e == 'e' || e == 'E' || e == 'p' ||
+                        e == 'P') {
+                        ++j;
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.toks.push_back(
+                {TokKind::Num, src.substr(i, j - i), line});
+            advance(j - i);
+            continue;
+        }
+
+        // Punctuation.
+        if (i + 1 < n && isTwoCharPunct(c, src[i + 1])) {
+            out.toks.push_back(
+                {TokKind::Punct, src.substr(i, 2), line});
+            advance(2);
+            continue;
+        }
+        out.toks.push_back({TokKind::Punct, std::string(1, c), line});
+        advance(1);
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : content) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+isHeader(const std::string &path)
+{
+    return endsWith(path, ".hh") || endsWith(path, ".hpp") ||
+           endsWith(path, ".h");
+}
+
+std::string
+formatFinding(const Finding &f)
+{
+    std::ostringstream os;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] "
+       << f.message;
+    if (!f.excerpt.empty())
+        os << "\n    " << f.excerpt;
+    return os.str();
+}
+
+const std::vector<std::string> &
+lintRules()
+{
+    static const std::vector<std::string> kRules = {
+        "determinism",     "unordered-iter", "knob-discipline",
+        "float-eq",        "include-guard",  "using-namespace",
+        "raw-parallelism", "bad-suppression"};
+    return kRules;
+}
+
+const std::vector<std::string> &
+analyzeRules()
+{
+    static const std::vector<std::string> kRules = {
+        "snapshot-completeness", "audit-completeness",
+        "rng-discipline",        "layering",
+        "bad-suppression"};
+    return kRules;
+}
+
+bool
+Suppressions::covers(const std::string &rule, int line) const
+{
+    if (file.count(rule))
+        return true;
+    auto it = lines.find(line);
+    return it != lines.end() && it->second.count(rule) > 0;
+}
+
+Suppressions
+parseSuppressions(const std::string &path,
+                  const std::vector<Comment> &comments,
+                  const std::vector<std::string> &ownRules,
+                  const std::vector<std::string> &foreignRules,
+                  std::vector<Finding> &bad)
+{
+    std::set<int> cl = commentLines(comments);
+
+    Suppressions sup;
+    for (const auto &c : comments) {
+        // The directive must LEAD the comment: prose that merely
+        // mentions the grammar (like this library's documentation)
+        // is not a directive.
+        std::string text = trimmed(c.text);
+        if (startsWith(text, "kelp-lint:") ||
+            startsWith(text, "kelp-analyze:")) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "legacy tool-prefixed directive; the "
+                           "unified spelling is kelp: "
+                           "allow(<rule>): <reason>",
+                           trimmed(c.text)});
+            continue;
+        }
+        if (!startsWith(text, "kelp:"))
+            continue;
+        std::string rest = trimmed(text.substr(5));
+        // Annotations owned by kelp-analyze's index pass, not the
+        // suppression machinery: validated elsewhere.
+        if (startsWith(rest, "transient") ||
+            startsWith(rest, "checkpointed"))
+            continue;
+        bool file_scope = startsWith(rest, "allow-file");
+        if (!file_scope && !startsWith(rest, "allow")) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "unrecognized kelp: directive (expected "
+                           "allow(<rule>): <reason>, "
+                           "allow-file(<rule>): <reason>, "
+                           "transient(<reason>), or checkpointed)",
+                           trimmed(c.text)});
+            continue;
+        }
+        size_t open = rest.find('(');
+        size_t close = rest.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close <= open + 1) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "malformed kelp: suppression: missing "
+                           "(<rule>)",
+                           trimmed(c.text)});
+            continue;
+        }
+        std::string rule =
+            trimmed(rest.substr(open + 1, close - open - 1));
+        std::string tail = trimmed(rest.substr(close + 1));
+        if (tail.empty() || tail[0] != ':' ||
+            trimmed(tail.substr(1)).empty()) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "suppression of '" + rule +
+                               "' has no reason; write "
+                               "allow(" + rule + "): <why>",
+                           trimmed(c.text)});
+            continue;
+        }
+        bool own = std::find(ownRules.begin(), ownRules.end(),
+                             rule) != ownRules.end();
+        bool foreign = std::find(foreignRules.begin(),
+                                 foreignRules.end(),
+                                 rule) != foreignRules.end();
+        if (!own && !foreign) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "suppression names unknown rule '" + rule +
+                               "'",
+                           trimmed(c.text)});
+            continue;
+        }
+        if (!own)
+            continue; // The other tool's rule; it honours this one.
+        if (file_scope) {
+            sup.file.insert(rule);
+        } else {
+            sup.lines[c.line].insert(rule);
+            sup.lines[anchorBelow(cl, c.line)].insert(rule);
+        }
+    }
+    return sup;
+}
+
+std::map<int, std::string>
+parseTransients(const std::string &path,
+                const std::vector<Comment> &comments,
+                std::vector<Finding> &bad)
+{
+    std::set<int> cl = commentLines(comments);
+    std::map<int, std::string> out;
+    for (const auto &c : comments) {
+        std::string text = trimmed(c.text);
+        if (!startsWith(text, "kelp:"))
+            continue;
+        std::string rest = trimmed(text.substr(5));
+        if (!startsWith(rest, "transient"))
+            continue;
+        size_t open = rest.find('(');
+        size_t close = rest.rfind(')');
+        std::string reason =
+            (open != std::string::npos && close != std::string::npos &&
+             close > open)
+                ? trimmed(rest.substr(open + 1, close - open - 1))
+                : std::string();
+        if (reason.empty()) {
+            bad.push_back({path, c.line, "bad-suppression",
+                           "transient annotation has no reason; "
+                           "write kelp: transient(<why this member "
+                           "needs no checkpoint>)",
+                           trimmed(c.text)});
+            continue;
+        }
+        out[c.line] = reason;
+        out[anchorBelow(cl, c.line)] = reason;
+    }
+    return out;
+}
+
+std::set<int>
+parseCheckpointMarks(const std::vector<Comment> &comments)
+{
+    std::set<int> cl = commentLines(comments);
+    std::set<int> out;
+    for (const auto &c : comments) {
+        std::string text = trimmed(c.text);
+        if (!startsWith(text, "kelp:"))
+            continue;
+        if (startsWith(trimmed(text.substr(5)), "checkpointed")) {
+            out.insert(c.line);
+            out.insert(anchorBelow(cl, c.line));
+        }
+    }
+    return out;
+}
+
+bool
+Baseline::parse(const std::string &text)
+{
+    for (const std::string &raw : splitLines(text)) {
+        std::string l = trimmed(raw);
+        if (l.empty() || l[0] == '#')
+            continue;
+        // Two separators make three fields.
+        size_t first = l.find('|');
+        size_t second =
+            first == std::string::npos ? first : l.find('|', first + 1);
+        if (second == std::string::npos)
+            return false;
+        entries_.insert(l);
+    }
+    return true;
+}
+
+std::string
+Baseline::entry(const Finding &f)
+{
+    return f.file + "|" + f.rule + "|" + f.excerpt;
+}
+
+bool
+Baseline::covers(const Finding &f) const
+{
+    return entries_.count(entry(f)) > 0;
+}
+
+} // namespace check
+} // namespace kelp

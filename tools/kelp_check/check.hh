@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Shared infrastructure of the project's static-analysis tools
+ * (kelp-lint, kelp-analyze): the C++ surface lexer, the `kelp:`
+ * suppression/annotation comment grammar, the line-number-free
+ * baseline format, and the Finding record both engines emit.
+ *
+ * One library holds all of this so a rule is never suppressed two
+ * different ways: both tools parse the same directives with the same
+ * anchoring, validate rule names against the same registry, and gate
+ * against baselines in the same format.
+ *
+ * Directive grammar (all lead a comment; prose that merely mentions
+ * them is ignored):
+ *
+ *   // kelp: allow(<rule>): <reason>       silence one finding on
+ *                                          this line / the line below
+ *   // kelp: allow-file(<rule>): <reason>  silence the rule file-wide
+ *   // kelp: transient(<reason>)           kelp-analyze: this data
+ *                                          member is deliberately not
+ *                                          checkpointed
+ *   // kelp: checkpointed                  kelp-analyze: treat this
+ *                                          class as checkpoint-
+ *                                          bearing even without a
+ *                                          snapshot()/restore() pair
+ *
+ * Reasons are mandatory everywhere: the reason is how the next reader
+ * learns why the rule does not apply. The rule registry is split per
+ * tool -- an allow naming the *other* tool's rule is simply inactive
+ * here (the other tool honours it), while an allow naming a rule
+ * neither tool knows is itself a finding.
+ */
+
+#ifndef KELP_TOOLS_KELP_CHECK_CHECK_HH
+#define KELP_TOOLS_KELP_CHECK_CHECK_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kelp {
+namespace check {
+
+// ---------------------------------------------------------------
+// Lexer. Produces identifier/number/punctuation tokens with line
+// numbers; comments are collected separately (directives live in
+// them), string and character literals are dropped outright, and
+// preprocessor lines are skipped (rules that need them re-scan the
+// raw text).
+
+enum class TokKind { Id, Num, Punct };
+
+struct Tok
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+struct Comment
+{
+    int line;
+    std::string text;
+};
+
+struct LexResult
+{
+    std::vector<Tok> toks;
+    std::vector<Comment> comments;
+};
+
+LexResult tokenize(const std::string &src);
+
+/** Split content into lines ('\n' separated, no terminators). */
+std::vector<std::string> splitLines(const std::string &content);
+
+/** Strip leading/trailing spaces, tabs, and CRs. */
+std::string trimmed(const std::string &s);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** True for .hh/.hpp/.h paths. */
+bool isHeader(const std::string &path);
+
+// ---------------------------------------------------------------
+// Findings.
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    /** Repo-relative path (forward slashes), e.g. "src/kelp/x.cc". */
+    std::string file;
+
+    /** 1-based source line. */
+    int line = 0;
+
+    /** Rule identifier. */
+    std::string rule;
+
+    /** Human-readable explanation with the fix direction. */
+    std::string message;
+
+    /** Trimmed text of the offending source line. */
+    std::string excerpt;
+};
+
+/** One formatted report line: "file:line: [rule] message". */
+std::string formatFinding(const Finding &f);
+
+// ---------------------------------------------------------------
+// Rule registries. The union is the set of names an allow() may
+// legally mention; each tool activates only its own slice.
+
+/** kelp-lint's rules, in report order. */
+const std::vector<std::string> &lintRules();
+
+/** kelp-analyze's rules, in report order. */
+const std::vector<std::string> &analyzeRules();
+
+// ---------------------------------------------------------------
+// Suppressions and annotations.
+
+struct Suppressions
+{
+    /** Rules allowed for the whole file. */
+    std::set<std::string> file;
+
+    /** line -> rules allowed on that line (and, for a comment on its
+     * own line, the line below it). */
+    std::map<int, std::set<std::string>> lines;
+
+    /** True when a finding of @p rule at @p line is silenced. */
+    bool covers(const std::string &rule, int line) const;
+};
+
+/**
+ * Parse `kelp: allow(...)` / `kelp: allow-file(...)` directives from
+ * @p comments. @p ownRules activates suppressions for the calling
+ * tool; directives naming a rule in @p foreignRules parse fine but
+ * stay inactive here. Malformed directives, missing reasons, unknown
+ * rules, and legacy `kelp-lint:` spellings are appended to @p bad as
+ * "bad-suppression" findings. A line-scoped allow covers its own
+ * line and the next non-comment line.
+ */
+Suppressions parseSuppressions(const std::string &path,
+                               const std::vector<Comment> &comments,
+                               const std::vector<std::string> &ownRules,
+                               const std::vector<std::string> &foreignRules,
+                               std::vector<Finding> &bad);
+
+/**
+ * Parse `kelp: transient(<reason>)` annotations. Returns line ->
+ * reason with the same own-line/next-code-line anchoring as line
+ * suppressions. An empty reason is a "bad-suppression" finding.
+ */
+std::map<int, std::string>
+parseTransients(const std::string &path,
+                const std::vector<Comment> &comments,
+                std::vector<Finding> &bad);
+
+/**
+ * Lines marked `kelp: checkpointed` (anchored like line
+ * suppressions): the class declared on such a line is treated as
+ * checkpoint-bearing by kelp-analyze.
+ */
+std::set<int> parseCheckpointMarks(const std::vector<Comment> &comments);
+
+// ---------------------------------------------------------------
+// Baseline.
+
+/**
+ * Checked-in set of grandfathered findings. Entries are one per
+ * line, "file|rule|trimmed excerpt", '#' starts a comment. Line
+ * numbers are deliberately not part of the key so unrelated edits do
+ * not invalidate the baseline. Both tools ship an empty baseline and
+ * the goal is to keep them that way.
+ */
+class Baseline
+{
+  public:
+    /** Parse baseline text. Returns false on a malformed line. */
+    bool parse(const std::string &text);
+
+    /** True when the finding is grandfathered. */
+    bool covers(const Finding &f) const;
+
+    /** The baseline key for a finding. */
+    static std::string entry(const Finding &f);
+
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::set<std::string> entries_;
+};
+
+} // namespace check
+} // namespace kelp
+
+#endif // KELP_TOOLS_KELP_CHECK_CHECK_HH

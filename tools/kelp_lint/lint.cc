@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <map>
+#include <set>
 #include <sstream>
 
 namespace kelp {
@@ -10,345 +10,13 @@ namespace lint {
 
 namespace {
 
-// ---------------------------------------------------------------
-// Lexer. Produces identifier/number/punctuation tokens with line
-// numbers; comments are collected separately (suppressions live in
-// them), string and character literals are dropped outright, and
-// preprocessor lines are skipped (the include-guard rule re-scans the
-// raw text itself).
-
-enum class TokKind { Id, Num, Punct };
-
-struct Tok
-{
-    TokKind kind;
-    std::string text;
-    int line;
-};
-
-struct Comment
-{
-    int line;
-    std::string text;
-};
-
-struct LexResult
-{
-    std::vector<Tok> toks;
-    std::vector<Comment> comments;
-};
-
-bool
-idStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-idChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Two-character punctuators the rules care about. `<<`/`>>` are kept
- * fused so template-bracket balancing can treat them as two. */
-bool
-isTwoCharPunct(char a, char b)
-{
-    static const char *kPairs[] = {"==", "!=", "<=", ">=", "::",
-                                   "->", "&&", "||", "<<", ">>"};
-    for (const char *p : kPairs) {
-        if (p[0] == a && p[1] == b)
-            return true;
-    }
-    return false;
-}
-
-LexResult
-tokenize(const std::string &src)
-{
-    LexResult out;
-    const size_t n = src.size();
-    size_t i = 0;
-    int line = 1;
-    bool at_line_start = true;
-
-    auto advance = [&](size_t k) {
-        for (size_t j = 0; j < k && i < n; ++j, ++i) {
-            if (src[i] == '\n') {
-                ++line;
-                at_line_start = true;
-            }
-        }
-    };
-
-    while (i < n) {
-        char c = src[i];
-
-        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
-            advance(1);
-            continue;
-        }
-
-        // Preprocessor directive: skip to end of line, honoring
-        // backslash continuations. Line comments inside are still
-        // harvested by the suppression scan? No -- suppressions on
-        // preprocessor lines are not supported, and none exist.
-        if (c == '#' && at_line_start) {
-            while (i < n) {
-                if (src[i] == '\\' && i + 1 < n &&
-                    src[i + 1] == '\n') {
-                    advance(2);
-                    continue;
-                }
-                if (src[i] == '\n')
-                    break;
-                advance(1);
-            }
-            continue;
-        }
-        at_line_start = false;
-
-        // Line comment.
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            size_t j = src.find('\n', i);
-            if (j == std::string::npos)
-                j = n;
-            out.comments.push_back(
-                {line, src.substr(i + 2, j - i - 2)});
-            advance(j - i);
-            continue;
-        }
-
-        // Block comment (recorded at its first line).
-        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            size_t j = src.find("*/", i + 2);
-            size_t end = (j == std::string::npos) ? n : j + 2;
-            out.comments.push_back(
-                {line, src.substr(i + 2, end - i - 4)});
-            advance(end - i);
-            continue;
-        }
-
-        // Raw string literal R"delim(...)delim".
-        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-            size_t p = i + 2;
-            std::string delim;
-            while (p < n && src[p] != '(')
-                delim += src[p++];
-            std::string close = ")" + delim + "\"";
-            size_t j = src.find(close, p);
-            size_t end =
-                (j == std::string::npos) ? n : j + close.size();
-            advance(end - i);
-            continue;
-        }
-
-        // String / character literal.
-        if (c == '"' || c == '\'') {
-            char q = c;
-            size_t j = i + 1;
-            while (j < n && src[j] != q) {
-                if (src[j] == '\\' && j + 1 < n)
-                    ++j;
-                ++j;
-            }
-            advance((j < n ? j + 1 : n) - i);
-            continue;
-        }
-
-        if (idStart(c)) {
-            size_t j = i;
-            while (j < n && idChar(src[j]))
-                ++j;
-            out.toks.push_back(
-                {TokKind::Id, src.substr(i, j - i), line});
-            advance(j - i);
-            continue;
-        }
-
-        // Number: integer or floating literal (including the
-        // leading-dot form ".5" and digit separators).
-        if (std::isdigit(static_cast<unsigned char>(c)) ||
-            (c == '.' && i + 1 < n &&
-             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
-            size_t j = i;
-            while (j < n) {
-                char d = src[j];
-                if (std::isalnum(static_cast<unsigned char>(d)) ||
-                    d == '.' || d == '\'') {
-                    ++j;
-                    continue;
-                }
-                // Exponent sign binds to the literal.
-                if ((d == '+' || d == '-') && j > i) {
-                    char e = src[j - 1];
-                    if (e == 'e' || e == 'E' || e == 'p' ||
-                        e == 'P') {
-                        ++j;
-                        continue;
-                    }
-                }
-                break;
-            }
-            out.toks.push_back(
-                {TokKind::Num, src.substr(i, j - i), line});
-            advance(j - i);
-            continue;
-        }
-
-        // Punctuation.
-        if (i + 1 < n && isTwoCharPunct(c, src[i + 1])) {
-            out.toks.push_back(
-                {TokKind::Punct, src.substr(i, 2), line});
-            advance(2);
-            continue;
-        }
-        out.toks.push_back({TokKind::Punct, std::string(1, c), line});
-        advance(1);
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------
-// Path scoping helpers.
-
-bool
-startsWith(const std::string &s, const std::string &prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
-
-bool
-isHeader(const std::string &path)
-{
-    return endsWith(path, ".hh") || endsWith(path, ".hpp") ||
-           endsWith(path, ".h");
-}
-
-std::string
-trimmed(const std::string &s)
-{
-    size_t b = s.find_first_not_of(" \t\r");
-    if (b == std::string::npos)
-        return "";
-    size_t e = s.find_last_not_of(" \t\r");
-    return s.substr(b, e - b + 1);
-}
-
-// ---------------------------------------------------------------
-// Suppressions.
-
-struct Suppressions
-{
-    /** Rules allowed for the whole file. */
-    std::set<std::string> file;
-
-    /** line -> rules allowed on that line (and, for a comment on its
-     * own line, the line below it). */
-    std::map<int, std::set<std::string>> lines;
-};
-
-/** Parse "kelp-lint: allow(rule): reason" comments. A suppression
- * with no reason is itself a finding: the reason is how the next
- * reader learns why the rule does not apply. A line-scoped allow
- * covers its own line and the next non-comment line, so a wrapped
- * multi-line justification still anchors to the code below it. */
-Suppressions
-parseSuppressions(const std::string &path,
-                  const std::vector<Comment> &comments,
-                  std::vector<Finding> &bad)
-{
-    // Every line occupied by a comment (block comments span several).
-    std::set<int> comment_lines;
-    for (const auto &c : comments) {
-        int span = 1 + static_cast<int>(std::count(
-                           c.text.begin(), c.text.end(), '\n'));
-        for (int l = 0; l < span; ++l)
-            comment_lines.insert(c.line + l);
-    }
-    auto anchor = [&comment_lines](int line) {
-        int l = line + 1;
-        while (comment_lines.count(l))
-            ++l;
-        return l;
-    };
-
-    Suppressions sup;
-    for (const auto &c : comments) {
-        // The directive must LEAD the comment: prose that merely
-        // mentions kelp-lint (like this file's own documentation)
-        // is not a suppression.
-        std::string text = trimmed(c.text);
-        if (!startsWith(text, "kelp-lint:"))
-            continue;
-        std::string rest = trimmed(text.substr(10));
-        bool file_scope = startsWith(rest, "allow-file");
-        if (!file_scope && !startsWith(rest, "allow")) {
-            bad.push_back({path, c.line, "bad-suppression",
-                           "unrecognized kelp-lint directive "
-                           "(expected allow(<rule>): <reason> or "
-                           "allow-file(<rule>): <reason>)",
-                           trimmed(c.text)});
-            continue;
-        }
-        size_t open = rest.find('(');
-        size_t close = rest.find(')');
-        if (open == std::string::npos || close == std::string::npos ||
-            close <= open + 1) {
-            bad.push_back({path, c.line, "bad-suppression",
-                           "malformed kelp-lint suppression: missing "
-                           "(<rule>)",
-                           trimmed(c.text)});
-            continue;
-        }
-        std::string rule =
-            trimmed(rest.substr(open + 1, close - open - 1));
-        std::string tail = trimmed(rest.substr(close + 1));
-        if (tail.empty() || tail[0] != ':' ||
-            trimmed(tail.substr(1)).empty()) {
-            bad.push_back({path, c.line, "bad-suppression",
-                           "suppression of '" + rule +
-                               "' has no reason; write "
-                               "allow(" + rule + "): <why>",
-                           trimmed(c.text)});
-            continue;
-        }
-        const auto &known = allRules();
-        if (std::find(known.begin(), known.end(), rule) ==
-            known.end()) {
-            bad.push_back({path, c.line, "bad-suppression",
-                           "suppression names unknown rule '" + rule +
-                               "'",
-                           trimmed(c.text)});
-            continue;
-        }
-        if (file_scope) {
-            sup.file.insert(rule);
-        } else {
-            sup.lines[c.line].insert(rule);
-            sup.lines[anchor(c.line)].insert(rule);
-        }
-    }
-    return sup;
-}
-
-bool
-suppressed(const Suppressions &sup, const Finding &f)
-{
-    if (sup.file.count(f.rule))
-        return true;
-    auto it = sup.lines.find(f.line);
-    return it != sup.lines.end() && it->second.count(f.rule) > 0;
-}
+using check::endsWith;
+using check::isHeader;
+using check::splitLines;
+using check::startsWith;
+using check::Tok;
+using check::TokKind;
+using check::trimmed;
 
 // ---------------------------------------------------------------
 // Rule: determinism. The bit-identical-per-seed guarantee dies the
@@ -794,34 +462,12 @@ ruleRawParallelism(const std::string &path,
     }
 }
 
-std::vector<std::string>
-splitLines(const std::string &content)
-{
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : content) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
-    return lines;
-}
-
 } // namespace
 
 const std::vector<std::string> &
 allRules()
 {
-    static const std::vector<std::string> kRules = {
-        "determinism",     "unordered-iter", "knob-discipline",
-        "float-eq",        "include-guard",  "using-namespace",
-        "raw-parallelism", "bad-suppression"};
-    return kRules;
+    return check::lintRules();
 }
 
 std::string
@@ -849,26 +495,16 @@ expectedGuard(const std::string &path)
     return guard;
 }
 
-std::string
-formatFinding(const Finding &f)
-{
-    std::ostringstream os;
-    os << f.file << ":" << f.line << ": [" << f.rule << "] "
-       << f.message;
-    if (!f.excerpt.empty())
-        os << "\n    " << f.excerpt;
-    return os.str();
-}
-
 std::vector<Finding>
 lintSource(const std::string &path, const std::string &content)
 {
-    LexResult lex = tokenize(content);
+    check::LexResult lex = check::tokenize(content);
     std::vector<std::string> lines = splitLines(content);
 
     std::vector<Finding> bad_sup;
-    Suppressions sup =
-        parseSuppressions(path, lex.comments, bad_sup);
+    check::Suppressions sup = check::parseSuppressions(
+        path, lex.comments, allRules(), check::analyzeRules(),
+        bad_sup);
 
     std::vector<Finding> raw;
     ruleDeterminism(path, lex.toks, lines, raw);
@@ -881,7 +517,7 @@ lintSource(const std::string &path, const std::string &content)
 
     std::vector<Finding> out;
     for (auto &f : raw) {
-        if (!suppressed(sup, f))
+        if (!sup.covers(f.rule, f.line))
             out.push_back(std::move(f));
     }
     // Suppression-syntax findings are not themselves suppressible:
@@ -892,36 +528,6 @@ lintSource(const std::string &path, const std::string &content)
                          return a.line < b.line;
                      });
     return out;
-}
-
-bool
-Baseline::parse(const std::string &text)
-{
-    for (const std::string &raw : splitLines(text)) {
-        std::string l = trimmed(raw);
-        if (l.empty() || l[0] == '#')
-            continue;
-        // Two separators make three fields.
-        size_t first = l.find('|');
-        size_t second =
-            first == std::string::npos ? first : l.find('|', first + 1);
-        if (second == std::string::npos)
-            return false;
-        entries_.insert(l);
-    }
-    return true;
-}
-
-std::string
-Baseline::entry(const Finding &f)
-{
-    return f.file + "|" + f.rule + "|" + f.excerpt;
-}
-
-bool
-Baseline::covers(const Finding &f) const
-{
-    return entries_.count(entry(f)) > 0;
 }
 
 } // namespace lint

@@ -15,7 +15,11 @@
  * it lexes a translation unit, strips comments and literals, and runs
  * a fixed set of rules keyed off the file's repo-relative path. It is
  * deliberately a library -- tests drive it directly on fixture
- * sources, and the `kelp_lint` CLI (main.cc) walks the tree.
+ * sources, and the `kelp_lint` CLI (main.cc) walks the tree. Whole-
+ * program properties that need a cross-TU view (snapshot
+ * completeness, audit completeness, layering) live in the sibling
+ * kelp-analyze tool; both share the lexer, the `kelp:` suppression
+ * grammar, and the baseline format via tools/kelp_check.
  *
  * Rules (see DESIGN.md section 8 for rationale and examples):
  *
@@ -31,41 +35,27 @@
  *   using-namespace  `using namespace` in any header
  *   raw-parallelism  raw std::thread/std::async/mutex use outside
  *                    the deterministic pool in src/exp/pool.*
- *   bad-suppression  kelp-lint suppression comment without a reason
+ *   bad-suppression  kelp: suppression comment without a reason
  *
- * Suppressions: `// kelp-lint: allow(<rule>): <reason>` on the same
- * line or the line directly above silences one finding; `allow-file`
+ * Suppressions: `// kelp: allow(<rule>): <reason>` on the same line
+ * or the line directly above silences one finding; `allow-file`
  * silences the rule for the whole file. The reason is mandatory.
  */
 
 #ifndef KELP_TOOLS_KELP_LINT_LINT_HH
 #define KELP_TOOLS_KELP_LINT_LINT_HH
 
-#include <set>
 #include <string>
 #include <vector>
+
+#include "check.hh"
 
 namespace kelp {
 namespace lint {
 
-/** One rule violation at a source location. */
-struct Finding
-{
-    /** Repo-relative path (forward slashes), e.g. "src/kelp/x.cc". */
-    std::string file;
-
-    /** 1-based source line. */
-    int line = 0;
-
-    /** Rule identifier (see file comment). */
-    std::string rule;
-
-    /** Human-readable explanation with the fix direction. */
-    std::string message;
-
-    /** Trimmed text of the offending source line. */
-    std::string excerpt;
-};
+using check::Baseline;
+using check::Finding;
+using check::formatFinding;
 
 /** All rule identifiers the engine can emit, in report order. */
 const std::vector<std::string> &allRules();
@@ -82,34 +72,6 @@ std::vector<Finding> lintSource(const std::string &path,
 /** Expected include-guard macro for a header under src/ (or tools/):
  * KELP_<DIR...>_<FILE>_HH with non-alphanumerics mapped to '_'. */
 std::string expectedGuard(const std::string &path);
-
-/** One formatted report line: "file:line: [rule] message". */
-std::string formatFinding(const Finding &f);
-
-/**
- * Checked-in set of grandfathered findings. Entries are one per
- * line, "file|rule|trimmed excerpt", '#' starts a comment. Line
- * numbers are deliberately not part of the key so unrelated edits do
- * not invalidate the baseline. The shipped baseline is empty and the
- * goal is to keep it that way.
- */
-class Baseline
-{
-  public:
-    /** Parse baseline text. Returns false on a malformed line. */
-    bool parse(const std::string &text);
-
-    /** True when the finding is grandfathered. */
-    bool covers(const Finding &f) const;
-
-    /** The baseline key for a finding. */
-    static std::string entry(const Finding &f);
-
-    size_t size() const { return entries_.size(); }
-
-  private:
-    std::set<std::string> entries_;
-};
 
 } // namespace lint
 } // namespace kelp

@@ -111,8 +111,9 @@ main(int argc, char **argv)
         for (auto it = fs::recursive_directory_iterator(top);
              it != fs::recursive_directory_iterator(); ++it) {
             if (it->is_directory()) {
-                // The fixture corpus is deliberately bad.
-                if (it->path().filename() == "lint_fixtures")
+                // The fixture corpora are deliberately bad.
+                if (it->path().filename() == "lint_fixtures" ||
+                    it->path().filename() == "analyze_fixtures")
                     it.disable_recursion_pending();
                 continue;
             }
