@@ -1,12 +1,21 @@
 /**
  * @file
- * Wall-clock harness for the parallel sweep engine.
+ * Wall-clock harness for the parallel sweep engine and the
+ * event-driven tick engine.
  *
- * Times a shortened Figure 13 evaluation grid (12 mixes x 4
+ * Part 1 times a shortened Figure 13 evaluation grid (12 mixes x 4
  * configurations) once on the serial reference path and once on the
- * worker pool, verifies the two result sets are bit-identical, and
- * writes BENCH_sweep.json so CI can track the speedup and catch
- * regressions in either path.
+ * worker pool, verifies the two result sets are bit-identical.
+ *
+ * Part 2 times a set of single-node scenarios (quiet open-loop
+ * serving, steady training colocation, churn, faults, SLO ladder)
+ * with the event-driven engine on and off, verifies the two
+ * RunResults are bit-identical, and reports per-scenario simulated
+ * ticks/s plus the speedup. CI gates these speedups against
+ * bench/BENCH_wall.baseline.json (tools/check_bench_wall.py).
+ *
+ * Everything lands in BENCH_sweep.json so CI can track both speedups
+ * over time and catch regressions in any path.
  *
  * The simulated results never depend on the clock readings below:
  * the timings are reported, not fed back.
@@ -16,6 +25,7 @@
 // influence simulation results.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -24,6 +34,7 @@
 #include "exp/evaluation.hh"
 #include "exp/pool.hh"
 #include "exp/report.hh"
+#include "exp/scenario.hh"
 #include "exp/sweep_runner.hh"
 #include "sim/options.hh"
 
@@ -57,6 +68,154 @@ sameGrid(const std::vector<exp::MixResult> &a,
     return true;
 }
 
+/**
+ * The RunResult fields the event-driven engine must reproduce
+ * bitwise. The tick-engine counters are deliberately excluded: the
+ * fast and full paths *should* report different call counts -- that
+ * difference is the optimization.
+ */
+bool
+sameResult(const exp::RunResult &a, const exp::RunResult &b)
+{
+    return a.mlPerf == b.mlPerf && a.mlTailP95 == b.mlTailP95 &&
+           a.cpuThroughput == b.cpuThroughput &&
+           a.avgLoCores == b.avgLoCores &&
+           a.avgLoPrefetchers == b.avgLoPrefetchers &&
+           a.avgHiBackfill == b.avgHiBackfill &&
+           a.timeInFailSafe == b.timeInFailSafe &&
+           a.failSafeEntries == b.failSafeEntries &&
+           a.avgSaturation == b.avgSaturation &&
+           a.avgSocketBw == b.avgSocketBw &&
+           a.churnArrivals == b.churnArrivals &&
+           a.churnFinishes == b.churnFinishes &&
+           a.churnCrashes == b.churnCrashes &&
+           a.churnRejected == b.churnRejected &&
+           a.restarts == b.restarts &&
+           a.sloViolations == b.sloViolations &&
+           a.sloTransitions == b.sloTransitions &&
+           a.sloFinalRung == b.sloFinalRung &&
+           a.reqArrivals == b.reqArrivals &&
+           a.reqAdmitted == b.reqAdmitted &&
+           a.reqRejected == b.reqRejected && a.reqShed == b.reqShed &&
+           a.reqExpired == b.reqExpired &&
+           a.reqCompleted == b.reqCompleted &&
+           a.reqInFlight == b.reqInFlight &&
+           a.brownoutTransitions == b.brownoutTransitions &&
+           a.brownoutFinal == b.brownoutFinal &&
+           a.reqP99 == b.reqP99 && a.reqP999 == b.reqP999 &&
+           a.reqP9999 == b.reqP9999;
+}
+
+struct EdScenario
+{
+    std::string name;
+    exp::RunConfig cfg;
+};
+
+/**
+ * The event-driven timing set. "quiet" is the headline scenario --
+ * a lightly-loaded open-loop inference server, idle between
+ * requests, where the engine should fast-forward nearly everything.
+ * The others exercise the invalidation machinery: controller
+ * sampling, churn arrivals, fault plans with controller kills, and
+ * the SLO ladder.
+ */
+std::vector<EdScenario>
+edScenarios(double warmup, double measure)
+{
+    std::vector<EdScenario> out;
+
+    exp::RunConfig quiet;
+    quiet.ml = wl::MlWorkload::Rnn1;
+    quiet.config = exp::ConfigKind::BL;
+    quiet.openLoopQps = 5.0;
+    out.push_back({"quiet", quiet});
+
+    exp::RunConfig train;
+    train.ml = wl::MlWorkload::Cnn3;
+    train.cpu = wl::CpuWorkload::Stitch;
+    train.cpuInstances = 3;
+    train.config = exp::ConfigKind::KP;
+    out.push_back({"train", train});
+
+    exp::RunConfig churn;
+    churn.ml = wl::MlWorkload::Cnn1;
+    churn.cpu = wl::CpuWorkload::Stitch;
+    churn.cpuInstances = 3;
+    churn.config = exp::ConfigKind::KP;
+    churn.churn.enabled = true;
+    out.push_back({"churn", churn});
+
+    exp::RunConfig faults;
+    faults.ml = wl::MlWorkload::Cnn2;
+    faults.cpu = wl::CpuWorkload::Stream;
+    faults.cpuInstances = 2;
+    faults.config = exp::ConfigKind::KP;
+    faults.faults = hal::FaultPlan::parse("drop=0.05,knobfail=0.1");
+    faults.killAt = warmup + 0.25 * measure;
+    out.push_back({"faults", faults});
+
+    exp::RunConfig slo;
+    slo.ml = wl::MlWorkload::Cnn1;
+    slo.cpu = wl::CpuWorkload::DramAggressor;
+    slo.cpuInstances = 2;
+    slo.config = exp::ConfigKind::KP;
+    slo.slo.enabled = true;
+    out.push_back({"slo", slo});
+
+    for (auto &s : out) {
+        s.cfg.warmup = warmup;
+        s.cfg.measure = measure;
+    }
+    return out;
+}
+
+struct EdTiming
+{
+    std::string name;
+    double fastSec = 0.0;
+    double fullSec = 0.0;
+    double fastTicksPerSec = 0.0;
+    double fullTicksPerSec = 0.0;
+    double speedup = 0.0;
+    double skipRatio = 0.0;
+    bool identical = false;
+};
+
+EdTiming
+timeEdScenario(const EdScenario &s)
+{
+    EdTiming t;
+    t.name = s.name;
+
+    // The SLO ladder consults a memoized standalone reference run;
+    // compute it up front so the first timed run doesn't pay for it.
+    if (s.cfg.slo.enabled)
+        exp::standaloneReference(s.cfg.ml);
+
+    exp::RunConfig fast = s.cfg;
+    fast.eventDriven = true;
+    auto f0 = std::chrono::steady_clock::now();
+    const exp::RunResult rf = exp::runScenario(fast);
+    auto f1 = std::chrono::steady_clock::now();
+    t.fastSec = elapsed(f0, f1);
+
+    exp::RunConfig full = s.cfg;
+    full.eventDriven = false;
+    auto g0 = std::chrono::steady_clock::now();
+    const exp::RunResult rl = exp::runScenario(full);
+    auto g1 = std::chrono::steady_clock::now();
+    t.fullSec = elapsed(g0, g1);
+
+    t.identical = sameResult(rf, rl);
+    t.skipRatio = rf.skipRatio();
+    const double ticks = static_cast<double>(rf.engineTicks);
+    t.fastTicksPerSec = t.fastSec > 0.0 ? ticks / t.fastSec : 0.0;
+    t.fullTicksPerSec = t.fullSec > 0.0 ? ticks / t.fullSec : 0.0;
+    t.speedup = t.fastSec > 0.0 ? t.fullSec / t.fastSec : 0.0;
+    return t;
+}
+
 } // namespace
 
 int
@@ -71,6 +230,12 @@ main(int argc, char **argv)
     opts.addDouble("measure", 4.0,
                    "measured simulated seconds per run");
     opts.addString("out", "BENCH_sweep.json", "output JSON path");
+    opts.addDouble("ed-warmup", 10.0,
+                   "warmup simulated seconds per event-driven "
+                   "scenario");
+    opts.addDouble("ed-measure", 30.0,
+                   "measured simulated seconds per event-driven "
+                   "scenario");
     if (!opts.parse(argc, argv))
         return 0;
 
@@ -121,6 +286,35 @@ main(int argc, char **argv)
     std::printf("speedup: %.2fx, results identical: %s\n", speedup,
                 identical ? "yes" : "NO");
 
+    exp::banner("Wall-clock: event-driven engine, fast vs. full");
+
+    const auto scenarios = edScenarios(opts.getDouble("ed-warmup"),
+                                       opts.getDouble("ed-measure"));
+    std::vector<EdTiming> timings;
+    bool edIdentical = true;
+    double logSum = 0.0;
+    for (const auto &s : scenarios) {
+        EdTiming t = timeEdScenario(s);
+        std::printf("%-7s fast %6.2f s (%9.3g ticks/s)  "
+                    "full %6.2f s (%9.3g ticks/s)  "
+                    "speedup %6.2fx  skip %5.1f%%  identical: %s\n",
+                    t.name.c_str(), t.fastSec, t.fastTicksPerSec,
+                    t.fullSec, t.fullTicksPerSec, t.speedup,
+                    100.0 * t.skipRatio, t.identical ? "yes" : "NO");
+        edIdentical = edIdentical && t.identical;
+        logSum += std::log(t.speedup > 0.0 ? t.speedup : 1e-9);
+        timings.push_back(t);
+    }
+    const double geomean =
+        timings.empty()
+            ? 0.0
+            : std::exp(logSum / static_cast<double>(timings.size()));
+    const double quietSpeedup =
+        timings.empty() ? 0.0 : timings.front().speedup;
+    std::printf("event-driven geomean speedup: %.2fx "
+                "(quiet %.2fx), results identical: %s\n",
+                geomean, quietSpeedup, edIdentical ? "yes" : "NO");
+
     const std::string out = opts.getString("out");
     std::ofstream json(out, std::ios::trunc);
     if (!json.good()) {
@@ -139,9 +333,37 @@ main(int argc, char **argv)
          << "  \"parallel_seconds\": " << parallelSec << ",\n"
          << "  \"speedup\": " << speedup << ",\n"
          << "  \"identical\": " << (identical ? "true" : "false")
-         << "\n}\n";
+         << ",\n"
+         << "  \"event_driven\": {\n"
+         << "    \"warmup_s\": " << opts.getDouble("ed-warmup")
+         << ",\n"
+         << "    \"measure_s\": " << opts.getDouble("ed-measure")
+         << ",\n"
+         << "    \"identical\": "
+         << (edIdentical ? "true" : "false") << ",\n"
+         << "    \"quiet_speedup\": " << quietSpeedup << ",\n"
+         << "    \"geomean_speedup\": " << geomean << ",\n"
+         << "    \"scenarios\": [\n";
+    for (size_t i = 0; i < timings.size(); ++i) {
+        const EdTiming &t = timings[i];
+        json << "      {\"name\": \"" << t.name << "\", "
+             << "\"fast_seconds\": " << t.fastSec << ", "
+             << "\"full_seconds\": " << t.fullSec << ", "
+             << "\"fast_ticks_per_sec\": " << t.fastTicksPerSec
+             << ", "
+             << "\"full_ticks_per_sec\": " << t.fullTicksPerSec
+             << ", "
+             << "\"speedup\": " << t.speedup << ", "
+             << "\"skip_ratio\": " << t.skipRatio << ", "
+             << "\"identical\": "
+             << (t.identical ? "true" : "false") << "}"
+             << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    json << "    ]\n"
+         << "  }\n"
+         << "}\n";
     json.close();
     std::printf("wrote %s\n", out.c_str());
 
-    return identical ? 0 : 1;
+    return identical && edIdentical ? 0 : 1;
 }

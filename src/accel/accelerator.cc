@@ -46,5 +46,14 @@ Accelerator::recordLinkBusy(double fraction, sim::Time dt)
     linkUtil_.accumulate(fraction, dt);
 }
 
+void
+Accelerator::recordBusyRepeat(double engine_fraction,
+                              double link_fraction, sim::Time dt,
+                              uint64_t n)
+{
+    engineUtil_.accumulateRepeat(engine_fraction, dt, n);
+    linkUtil_.accumulateRepeat(link_fraction, dt, n);
+}
+
 } // namespace accel
 } // namespace kelp

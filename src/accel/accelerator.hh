@@ -73,6 +73,11 @@ class Accelerator
     /** Record link busy fraction over a tick. */
     void recordLinkBusy(double fraction, sim::Time dt);
 
+    /** Record the same busy fractions over n consecutive ticks;
+     * identical to n single-tick records. */
+    void recordBusyRepeat(double engine_fraction, double link_fraction,
+                          sim::Time dt, uint64_t n);
+
     /** Time-averaged engine utilization accumulator. */
     const sim::IntervalAccumulator &engineUtil() const
     {

@@ -438,6 +438,7 @@ buildScenario(const RunConfig &cfg)
         }
     }
 
+    s.node->setEventDrivenEnabled(cfg.eventDriven);
     s.node->attach(*s.engine);
     return s;
 }
@@ -531,6 +532,21 @@ measureScenario(Scenario &s, const RunConfig &cfg)
     hal::CounterSample cs = counters.sample(0);
     r.avgSaturation = cs.saturation;
     r.avgSocketBw = cs.socketBw;
+
+    // Tick-engine cost breakdown (whole run, warmup included --
+    // these are lifetime counters, not window deltas).
+    r.engineTicks = s.engine->tickCount();
+    r.engineFastTicks = s.engine->fastTickCount();
+    r.engineFullTicks = s.engine->fullTickCount();
+    r.periodicFires = s.engine->periodicFireCount();
+    r.demandCalls = s.node->demandCalls();
+    r.advanceCalls = s.node->advanceCalls();
+    r.fastTaskTicks = s.node->fastTaskTicks();
+    r.resolveCacheHits = s.node->memSystem().resolveCacheHits();
+    r.resolveCacheMisses = s.node->memSystem().resolveCacheMisses();
+    r.mcCacheHits = s.node->memSystem().mcCacheHits();
+    r.mcCacheMisses = s.node->memSystem().mcCacheMisses();
+    r.memFastTicks = s.node->memSystem().fastTicks();
     return r;
 }
 

@@ -152,6 +152,13 @@ struct RunConfig
      * workloads ignore it.
      */
     serve::ServeConfig serving;
+
+    /**
+     * Event-driven tick engine (default on). When off, every tick
+     * runs the full pipeline. Results are bit-identical either way;
+     * the flag exists for A/B perf measurement and identity tests.
+     */
+    bool eventDriven = true;
 };
 
 /** Normalized results of a run. */
@@ -214,6 +221,30 @@ struct RunResult
     double reqP99 = 0.0;
     double reqP999 = 0.0;
     double reqP9999 = 0.0;
+
+    /** Tick-engine cost breakdown, whole run (deterministic counters,
+     * safe to byte-diff across hosts). */
+    uint64_t engineTicks = 0;     ///< Total ticks simulated.
+    uint64_t engineFastTicks = 0; ///< Ticks consumed by fast-forward.
+    uint64_t engineFullTicks = 0; ///< Ticks through the full pipeline.
+    uint64_t periodicFires = 0;   ///< Periodic callback firings.
+    uint64_t demandCalls = 0;     ///< Full-path bwDemand() calls.
+    uint64_t advanceCalls = 0;    ///< Full-path advance() calls.
+    uint64_t fastTaskTicks = 0;   ///< Task-ticks via cached kernels.
+    uint64_t resolveCacheHits = 0;
+    uint64_t resolveCacheMisses = 0;
+    uint64_t mcCacheHits = 0;
+    uint64_t mcCacheMisses = 0;
+    uint64_t memFastTicks = 0;
+
+    /** engineFastTicks / engineTicks (0 when no ticks ran). */
+    double skipRatio() const
+    {
+        return engineTicks == 0
+                   ? 0.0
+                   : static_cast<double>(engineFastTicks) /
+                         static_cast<double>(engineTicks);
+    }
 };
 
 /**

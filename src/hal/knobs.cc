@@ -41,6 +41,7 @@ ResourceKnobs::setCores(sim::GroupId group, sim::SocketId socket,
     // Prefetcher enablement can never exceed the cores held.
     g.prefetchersEnabled_ =
         std::min(g.prefetchersEnabled_, g.cores_.total());
+    registry_.noteChange();
     return true;
 }
 
@@ -56,6 +57,7 @@ ResourceKnobs::adjustCores(sim::GroupId group, sim::SocketId socket,
     g.floating_ = false;
     g.prefetchersEnabled_ =
         std::min(g.prefetchersEnabled_, g.cores_.total());
+    registry_.noteChange();
     return target;
 }
 
@@ -64,6 +66,7 @@ ResourceKnobs::setPrefetchersEnabled(sim::GroupId group, int count)
 {
     TaskGroup &g = registry_.get(group);
     g.prefetchersEnabled_ = std::clamp(count, 0, g.cores_.total());
+    registry_.noteChange();
     return true;
 }
 
@@ -75,6 +78,7 @@ ResourceKnobs::setCatWays(sim::GroupId group, int ways)
     // Validation against the per-domain way budget happens where the
     // LLC is apportioned (the domain membership depends on SNC mode).
     g.catWays_ = ways;
+    registry_.noteChange();
     return true;
 }
 
@@ -84,6 +88,7 @@ ResourceKnobs::setMemBinding(sim::GroupId group, sim::SocketId socket,
 {
     TaskGroup &g = registry_.get(group);
     g.memBinding_ = {socket, sub};
+    registry_.noteChange();
 }
 
 } // namespace hal

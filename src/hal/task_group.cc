@@ -34,6 +34,7 @@ GroupRegistry::create(const std::string &name, Priority priority)
         sim::fatal("duplicate task group name: ", name);
     auto id = static_cast<sim::GroupId>(groups_.size());
     groups_.push_back(std::make_unique<TaskGroup>(id, name, priority));
+    noteChange();
     return *groups_.back();
 }
 

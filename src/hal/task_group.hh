@@ -14,6 +14,7 @@
 #define KELP_HAL_TASK_GROUP_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -147,9 +148,25 @@ class GroupRegistry
 
     const cpu::Topology &topology() const { return topo_; }
 
+    /** Hook fired on every group mutation (creation or any knob
+     * write through ResourceKnobs); the node uses it to invalidate
+     * its quiescence state. */
+    void setChangeHook(std::function<void()> hook)
+    {
+        changeHook_ = std::move(hook);
+    }
+
+    /** Notify the hook owner that group state changed. */
+    void noteChange()
+    {
+        if (changeHook_)
+            changeHook_();
+    }
+
   private:
     const cpu::Topology &topo_;
     std::vector<std::unique_ptr<TaskGroup>> groups_;
+    std::function<void()> changeHook_;
 };
 
 } // namespace hal

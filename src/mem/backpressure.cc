@@ -28,6 +28,17 @@ BackpressureUnit::update(double max_mc_utilization, sim::Time dt)
     fastAsserted_.accumulate(asserted_, dt);
 }
 
+void
+BackpressureUnit::fastForward(double max_mc_utilization, uint64_t n,
+                              sim::Time dt)
+{
+    // Same formula as update(); asserted_ is idempotent under a
+    // repeated input, so only the integral needs the n-fold repeat.
+    double over = (max_mc_utilization - threshold_) / (1.0 - threshold_);
+    asserted_ = std::clamp(over, 0.0, 1.0);
+    fastAsserted_.accumulateRepeat(asserted_, dt, n);
+}
+
 double
 BackpressureUnit::coreThrottle() const
 {

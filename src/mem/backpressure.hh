@@ -47,6 +47,11 @@ class BackpressureUnit
      */
     void update(double max_mc_utilization, sim::Time dt);
 
+    /** Apply n identical update(max_mc_utilization, dt) rounds
+     * (MemSystem fast-forward); bit-identical to the loop. */
+    void fastForward(double max_mc_utilization, uint64_t n,
+                     sim::Time dt);
+
     /**
      * Fraction of the last tick during which distress was asserted,
      * in [0, 1]. This is what FAST_ASSERTED accumulates.

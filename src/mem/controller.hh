@@ -67,7 +67,12 @@ class Controller
     sim::GiBps capacity() const { return capacity_; }
 
     /** Select the arbitration policy (default Fair). */
-    void setArbitration(Arbitration mode) { arbitration_ = mode; }
+    void
+    setArbitration(Arbitration mode)
+    {
+        arbitration_ = mode;
+        cacheValid_ = false;
+    }
     Arbitration arbitration() const { return arbitration_; }
 
     /** Clear per-tick demand state. */
@@ -86,8 +91,30 @@ class Controller
     void addDemand(int requestor, sim::GiBps demand, bool high_priority,
                    sim::Nanoseconds latency_extra);
 
-    /** Resolve all registered demands for a tick of length dt. */
+    /**
+     * Resolve all registered demands for a tick of length dt.
+     *
+     * Incremental: when this tick's addDemand() sequence matched the
+     * previous tick's exactly (same requestors, demands, priorities,
+     * and latency extras, in the same order), arbitration is skipped
+     * and only the time-integrated counters advance -- the grants,
+     * utilization, and latency are unchanged by construction.
+     * Arbitration is dt-independent, so the hit test does not look
+     * at dt. Debug builds re-run arbitration on every hit and check
+     * the cached outputs bitwise.
+     */
     void resolve(sim::Time dt);
+
+    /**
+     * Advance the counters by n ticks of length dt with the demand
+     * set known frozen (MemSystem fast-forward). Bit-identical to n
+     * cache-hit resolves.
+     */
+    void fastForward(uint64_t n, sim::Time dt);
+
+    /** Arbitration-skip counters for the perf breakdown. */
+    uint64_t cacheHits() const { return cacheHits_; }
+    uint64_t cacheMisses() const { return cacheMisses_; }
 
     /**
      * Advance the time-integrated counters by one tick whose demand
@@ -133,6 +160,11 @@ class Controller
         sim::Nanoseconds latencyExtra;
     };
 
+    /** Run arbitration over demands_ into the output members. Pure
+     * in (demands_, arbitration_, capacity_, curve_): re-running it
+     * produces bitwise-identical outputs. */
+    void arbitrate();
+
     sim::McId id_;
     sim::SocketId socket_;
     sim::GiBps capacity_;
@@ -140,6 +172,11 @@ class Controller
     Arbitration arbitration_ = Arbitration::Fair;
 
     std::vector<Demand> demands_;
+    std::vector<Demand> prevDemands_;
+    bool demandsDirty_ = false;
+    bool cacheValid_ = false;
+    uint64_t cacheHits_ = 0;
+    uint64_t cacheMisses_ = 0;
     std::unordered_map<int, Grant> grants_;
     double utilization_ = 0.0;
     sim::Nanoseconds latency_;

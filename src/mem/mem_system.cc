@@ -33,6 +33,27 @@ MemSystem::setArbitration(Arbitration mode)
         for (auto &mc : s.mc)
             mc->setArbitration(mode);
     cacheValid_ = false;
+    noteChange();
+}
+
+uint64_t
+MemSystem::mcCacheHits() const
+{
+    uint64_t n = 0;
+    for (const auto &s : sockets_)
+        for (const auto &mc : s.mc)
+            n += mc->cacheHits();
+    return n;
+}
+
+uint64_t
+MemSystem::mcCacheMisses() const
+{
+    uint64_t n = 0;
+    for (const auto &s : sockets_)
+        for (const auto &mc : s.mc)
+            n += mc->cacheMisses();
+    return n;
 }
 
 void
@@ -117,8 +138,58 @@ MemSystem::resolve(sim::Time dt)
         ++cacheMisses_;
         resolveFull(dt);
     }
+    lastHit_ = hit;
     cacheValid_ = true;
     prevDt_ = dt;
+}
+
+void
+MemSystem::fastForward(uint64_t n, sim::Time dt)
+{
+    KELP_EXPECTS(lastHit_ && dt == prevDt_,
+                 "mem fast-forward without a resolve-cache hit");
+    // Equivalent to n rounds of resolveCached(dt): every
+    // instantaneous signal is a fixed point while the flow set is
+    // frozen, so only the time integrals advance. Each accumulator's
+    // op chain is independent, so per-accumulator n-fold repeats
+    // reproduce the per-tick interleaving bit for bit.
+    upi_.fastForward(n, dt);
+    for (auto &s : sockets_)
+        for (auto &mc : s.mc)
+            mc->fastForward(n, dt);
+    for (auto &s : sockets_) {
+        double max_util = std::max({s.mc[0]->utilization(),
+                                    s.mc[1]->utilization(),
+                                    upi_.congestionUtilization()});
+        s.backpressure->fastForward(max_util, n, dt);
+    }
+    double coh = upi_.coherenceInflation();
+    for (auto &s : sockets_) {
+        double bw0 = s.mc[0]->totalDelivered();
+        double bw1 = s.mc[1]->totalDelivered();
+        KELP_INVARIANT(bw0 >= 0.0 && bw1 >= 0.0,
+                       "memory controller delivered negative "
+                       "bandwidth");
+        KELP_INVARIANT(s.mc[0]->latency() >= 0.0 &&
+                           s.mc[1]->latency() >= 0.0,
+                       "memory controller reported negative latency");
+        s.counters.bw.accumulateRepeat(bw0 + bw1, dt, n);
+        s.counters.subdomainBw[0].accumulateRepeat(bw0, dt, n);
+        s.counters.subdomainBw[1].accumulateRepeat(bw1, dt, n);
+        s.counters.subdomainLat[0].accumulateRepeat(
+            s.mc[0]->latency() * coh, dt, n);
+        s.counters.subdomainLat[1].accumulateRepeat(
+            s.mc[1]->latency() * coh, dt, n);
+        double lat;
+        if (bw0 + bw1 > 0.0) {
+            lat = (s.mc[0]->latency() * bw0 + s.mc[1]->latency() * bw1) /
+                  (bw0 + bw1);
+        } else {
+            lat = cfg_.socket.baseLatency;
+        }
+        s.counters.latency.accumulateRepeat(lat * coh, dt, n);
+    }
+    fastTicks_ += n;
 }
 
 void

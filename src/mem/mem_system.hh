@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -118,6 +119,7 @@ class MemSystem
     {
         sncEnabled_ = enabled;
         cacheValid_ = false;
+        noteChange();
     }
     bool sncEnabled() const { return sncEnabled_; }
 
@@ -185,11 +187,47 @@ class MemSystem
     {
         cacheEnabled_ = enabled;
         cacheValid_ = false;
+        noteChange();
     }
     uint64_t resolveCacheHits() const { return cacheHits_; }
     uint64_t resolveCacheMisses() const { return cacheMisses_; }
 
+    /** True when the most recent resolve() was a cache hit: every
+     * grant, throttle, and instantaneous signal repeated the previous
+     * tick's bit for bit. The node's quiescence detector keys off
+     * this. */
+    bool lastResolveHit() const { return lastHit_; }
+
+    /** Controller-level arbitration-skip counters, summed. */
+    uint64_t mcCacheHits() const;
+    uint64_t mcCacheMisses() const;
+
+    /** Ticks consumed through fastForward(). */
+    uint64_t fastTicks() const { return fastTicks_; }
+
+    /**
+     * Advance the whole memory system by n ticks during which the
+     * registered flow set is frozen (node fast-forward). Equivalent,
+     * bit for bit, to n resolve() cache hits: only time integrals
+     * move; grants, utilizations, latencies, and throttles are fixed
+     * points. Callable only when the previous resolve() hit.
+     */
+    void fastForward(uint64_t n, sim::Time dt);
+
+    /** Hook fired on every configuration mutation (SNC, arbitration,
+     * cache enablement); the node uses it to leave the fast path. */
+    void setChangeHook(std::function<void()> hook)
+    {
+        changeHook_ = std::move(hook);
+    }
+
   private:
+    void noteChange()
+    {
+        if (changeHook_)
+            changeHook_();
+    }
+
     struct Flow
     {
         int requestor;
@@ -234,6 +272,9 @@ class MemSystem
     sim::Time prevDt_ = -1.0;
     uint64_t cacheHits_ = 0;
     uint64_t cacheMisses_ = 0;
+    bool lastHit_ = false;
+    uint64_t fastTicks_ = 0;
+    std::function<void()> changeHook_;
 };
 
 } // namespace mem

@@ -51,6 +51,12 @@ UpiLink::accumulateCached(sim::Time dt)
     bwAccum_.accumulate(std::min(demand_, capacity_), dt);
 }
 
+void
+UpiLink::fastForward(uint64_t n, sim::Time dt)
+{
+    bwAccum_.accumulateRepeat(std::min(demand_, capacity_), dt, n);
+}
+
 sim::Nanoseconds
 UpiLink::remoteLatency() const
 {

@@ -52,6 +52,10 @@ class UpiLink
      */
     void accumulateCached(sim::Time dt);
 
+    /** Advance the bandwidth integral by n frozen-demand ticks
+     * (MemSystem fast-forward); bit-identical to n cached ticks. */
+    void fastForward(uint64_t n, sim::Time dt);
+
     /** Utilization in [0, 1] from the last resolve(). */
     double utilization() const { return utilization_; }
 

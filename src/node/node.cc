@@ -13,6 +13,10 @@ Node::Node(const PlatformSpec &spec)
     : spec_(spec), topo_(spec.topo), mem_(spec.mem),
       accel_(spec.accel), groups_(topo_), knobs_(groups_)
 {
+    // Any group-knob write or memory-system reconfiguration breaks
+    // quiescence; the hooks funnel them all into markDirty().
+    groups_.setChangeHook([this]() { markDirty(); });
+    mem_.setChangeHook([this]() { markDirty(); });
 }
 
 wl::Task &
@@ -22,8 +26,10 @@ Node::addTask(std::unique_ptr<wl::Task> task)
     KELP_ASSERT(task->group() >= 0 && task->group() < groups_.size(),
                 "task placed into unknown group ", task->group());
     task->setId(static_cast<int>(tasks_.size()));
+    task->setChangeHook([this]() { markDirty(); });
     tasks_.push_back(std::move(task));
     states_.push_back(TaskState{tasks_.back().get(), {}, {}});
+    markDirty();
     return *tasks_.back();
 }
 
@@ -33,6 +39,10 @@ Node::attach(sim::Engine &engine)
     engine.onTick([this](sim::Time now, sim::Time dt) {
         tick(now, dt);
     });
+    engine.setFastForward(
+        [this](sim::Time now, sim::Time dt, uint64_t max_ticks) {
+            return fastForward(now, dt, max_ticks);
+        });
 }
 
 Node::TaskState &
@@ -296,6 +306,7 @@ Node::resolveAndAdvance(sim::Time dt)
         st.env.baseLatencyNs = mem_.baseLatency();
 
         sim::GiBps demand = st.task->bwDemand(st.env);
+        ++demandCalls_;
         st.lastDemand = std::max(demand, 0.0);
         if (demand <= 0.0)
             continue;
@@ -345,6 +356,7 @@ Node::resolveAndAdvance(sim::Time dt)
         st.env.latencyNs = grant.latency;
         st.env.bwFraction = grant.fraction;
         st.task->advance(dt, st.env);
+        ++advanceCalls_;
     }
 }
 
@@ -355,6 +367,167 @@ Node::tick(sim::Time now, sim::Time dt)
     computeCoreShares();
     computeLlc();
     resolveAndAdvance(dt);
+
+    // Quiescence tracking: a tick is quiet when nothing marked the
+    // node dirty and the memory system proved the flow set repeated
+    // (resolve-cache hit). Any full tick invalidates the prepared
+    // task kernels -- a task may have advanced through an internal
+    // boundary (stage change) that a cached kernel would miss.
+    bool quiet = !dirty_ && mem_.lastResolveHit();
+    dirty_ = false;
+    fastReady_ = false;
+    if (quiet)
+        ++quietStreak_;
+    else
+        quietStreak_ = 0;
+}
+
+bool
+Node::tryPrepareFast(sim::Time dt)
+{
+    for (auto &st : states_) {
+        if (!st.task->runnable())
+            continue;
+        if (!st.task->fastPrepare(st.env, dt))
+            return false;
+        // A stage transition inside the last advance() can move this
+        // tick's demand while the resolve cache only notices one
+        // tick later; require the demand to still be exactly what
+        // the cache validated.
+        if (std::max(st.task->bwDemand(st.env), 0.0) != st.lastDemand)
+            return false;
+    }
+    fastReady_ = true;
+    return true;
+}
+
+uint64_t
+Node::fastForward(sim::Time now, sim::Time dt, uint64_t max_ticks)
+{
+    (void)now;
+    // Two quiet ticks are required, not one: a resolve hit at tick N
+    // proves tick N repeated N-1, which pins the throttle (computed
+    // from N-1's distress state) for N+1 as well.
+    if (!eventDriven_ || dirty_ || quietStreak_ < 2)
+        return 0;
+    if (!fastReady_ && !tryPrepareFast(dt))
+        return 0;
+
+    uint64_t done = 0;
+    while (done < max_ticks) {
+        // Batched chunk: every runnable task promises a conservative
+        // horizon of safe ticks; run the overlap through the batch
+        // kernels, one op chain per tick instead of two virtual
+        // dispatches per task per tick.
+        uint64_t h = max_ticks - done;
+        uint64_t runnables = 0;
+        for (auto &st : states_) {
+            if (!st.task->runnable())
+                continue;
+            ++runnables;
+            h = std::min(h, st.task->fastHorizon(dt));
+            if (h == 0)
+                break;
+        }
+        if (h > 0) {
+#ifndef NDEBUG
+            verifyQuiescent(dt);
+#endif
+            for (auto &st : states_) {
+                if (st.task->runnable())
+                    st.task->fastTickRunMany(dt, h);
+            }
+            fastTaskTicks_ += h * runnables;
+            done += h;
+            continue;
+        }
+
+        // Boundary ticks (a task stopped promising a horizon): fall
+        // back to per-tick stepping through the ready/run protocol.
+        // Phase 1 (const): every runnable task must accept one more
+        // tick before anything mutates, so a refusal leaves the
+        // model exactly at a full-tick boundary.
+        bool ready = true;
+        for (auto &st : states_) {
+            if (st.task->runnable() && !st.task->fastTickReady(dt)) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready)
+            break;
+#ifndef NDEBUG
+        verifyQuiescent(dt);
+#endif
+        // Phase 2: apply the cached kernels.
+        bool keep = true;
+        for (auto &st : states_) {
+            if (!st.task->runnable())
+                continue;
+            if (!st.task->fastTickRun(dt))
+                keep = false;
+            ++fastTaskTicks_;
+        }
+        ++done;
+        if (!keep) {
+            // A task crossed an internal edge; fall back to full
+            // ticks so next tick's demand is recomputed.
+            markDirty();
+            break;
+        }
+    }
+    // The memory-system integrals are independent of task state
+    // while the flow set is frozen, so they batch at the end.
+    if (done > 0)
+        mem_.fastForward(done, dt);
+    return done;
+}
+
+void
+Node::verifyQuiescent(sim::Time dt)
+{
+    (void)dt;
+    // Recompute the whole pre-resolve pipeline and prove the cached
+    // environments are bitwise fixed points. The recomputation is
+    // idempotent: with no state changes it writes back exactly the
+    // values already present.
+    std::vector<wl::ExecEnv> cached;
+    cached.reserve(states_.size());
+    for (const auto &st : states_)
+        cached.push_back(st.env);
+
+    computeCoreShares();
+    computeLlc();
+
+    std::array<double, 2> throttle = {1.0, 1.0};
+    for (int s = 0; s < mem_.numSockets(); ++s)
+        throttle[s] = mem_.coreThrottle(s);
+
+    for (size_t i = 0; i < states_.size(); ++i) {
+        auto &st = states_[i];
+        if (!st.task->runnable())
+            continue;
+        const wl::ExecEnv &c = cached[i];
+        KELP_INVARIANT(st.env.effCores == c.effCores &&
+                           st.env.smtFactor == c.smtFactor &&
+                           st.env.missRatio == c.missRatio,
+                       "fast-forward core/LLC state drifted for "
+                       "task '", st.task->name(), "'");
+        const auto &g = groups_.get(st.task->group());
+        double pf = g.floating() ? 1.0 : g.prefetcherFraction();
+        double th = throttle[st.task->homeSocket()];
+        if (priorityAwareBackpressure_ &&
+            g.priority() == hal::Priority::High) {
+            th = 1.0;
+        }
+        KELP_INVARIANT(c.pfFraction == pf && c.throttle == th,
+                       "fast-forward knob/throttle state drifted "
+                       "for task '", st.task->name(), "'");
+        KELP_INVARIANT(std::max(st.task->bwDemand(st.env), 0.0) ==
+                           st.lastDemand,
+                       "fast-forward demand drifted for task '",
+                       st.task->name(), "'");
+    }
 }
 
 } // namespace node

@@ -65,6 +65,7 @@ class Node
     void setPriorityAwareBackpressure(bool enabled)
     {
         priorityAwareBackpressure_ = enabled;
+        markDirty();
     }
     bool priorityAwareBackpressure() const
     {
@@ -112,7 +113,8 @@ class Node
      */
     wl::Task *hungriestRunnable(sim::GroupId group);
 
-    /** Register the node's tick pipeline with an engine. */
+    /** Register the node's tick pipeline with an engine, including
+     * the event-driven fast-forward hook. */
     void attach(sim::Engine &engine);
 
     /** Execute one tick (exposed for tests; attach() drives this). */
@@ -120,6 +122,45 @@ class Node
 
     /** Last computed environment for a task (inspection/tests). */
     const wl::ExecEnv &lastEnv(const wl::Task &task) const;
+
+    /**
+     * Enable/disable the event-driven fast path (default on).
+     * Disabling forces every tick through the full pipeline; the
+     * results are bit-identical either way -- the fast path only
+     * engages where it can prove ticks are repeats.
+     */
+    void setEventDrivenEnabled(bool enabled)
+    {
+        eventDriven_ = enabled;
+        markDirty();
+    }
+    bool eventDrivenEnabled() const { return eventDriven_; }
+
+    /**
+     * Fast-forward up to max_ticks quiescent ticks; returns how many
+     * were consumed (0 = not quiescent). attach() wires this into
+     * the engine; exposed for tests.
+     */
+    uint64_t fastForward(sim::Time now, sim::Time dt,
+                         uint64_t max_ticks);
+
+    /** Invalidate quiescence (knob writes, lifecycle changes, task
+     * arrivals, config flips all funnel here via change hooks). */
+    void markDirty()
+    {
+        dirty_ = true;
+        fastReady_ = false;
+        quietStreak_ = 0;
+    }
+
+    /** Per-task bwDemand() calls made by the full tick path. */
+    uint64_t demandCalls() const { return demandCalls_; }
+
+    /** Per-task advance() calls made by the full tick path. */
+    uint64_t advanceCalls() const { return advanceCalls_; }
+
+    /** Task-ticks consumed through the fast path. */
+    uint64_t fastTaskTicks() const { return fastTaskTicks_; }
 
   private:
     struct TaskState
@@ -141,6 +182,15 @@ class Node
     /** Phase 3+4: demands, memory resolution, task advancement. */
     void resolveAndAdvance(sim::Time dt);
 
+    /** Ask every runnable task to cache its quiescent-tick kernel
+     * against its last resolved environment; true when all accept
+     * and their demands still match what the resolve cache saw. */
+    bool tryPrepareFast(sim::Time dt);
+
+    /** Debug cross-check: recompute the full pre-resolve pipeline
+     * and KELP_INVARIANT it against the cached environments. */
+    void verifyQuiescent(sim::Time dt);
+
     TaskState &stateOf(const wl::Task &task);
 
     PlatformSpec spec_;
@@ -153,6 +203,18 @@ class Node
     std::vector<std::unique_ptr<wl::Task>> tasks_;
     std::vector<TaskState> states_;
     bool priorityAwareBackpressure_ = false;
+
+    /** Event-driven engine state. dirty_ is raised by any change
+     * hook; quietStreak_ counts consecutive full ticks that were
+     * resolve-cache hits with no dirt; fastReady_ marks the task
+     * kernels as prepared for the current environment. */
+    bool eventDriven_ = true;
+    bool dirty_ = true;
+    int quietStreak_ = 0;
+    bool fastReady_ = false;
+    uint64_t demandCalls_ = 0;
+    uint64_t advanceCalls_ = 0;
+    uint64_t fastTaskTicks_ = 0;
 
     /** Per-(socket, domain) apportionment memos (2 sockets x 2
      * domains; the non-SNC case uses domain 0 only). */

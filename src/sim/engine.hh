@@ -29,6 +29,15 @@ using TickFn = std::function<void(Time, Time)>;
 using PeriodicFn = std::function<void(Time)>;
 
 /**
+ * A fast-forward hook: asked to consume up to max_ticks ticks of
+ * length dt starting at now, it returns how many it actually
+ * consumed (0 = the model is not quiescent, run a normal step). The
+ * hook must leave the model in exactly the state a sequence of that
+ * many normal ticks would have produced, bit for bit.
+ */
+using FastForwardFn = std::function<uint64_t(Time, Time, uint64_t)>;
+
+/**
  * Fixed-step simulation driver.
  */
 class Engine
@@ -43,8 +52,17 @@ class Engine
     /** Step length in seconds. */
     Time tickLength() const { return tickLen_; }
 
-    /** Number of ticks executed so far. */
+    /** Number of ticks executed so far (full steps + fast ticks). */
     uint64_t tickCount() const { return ticks_; }
+
+    /** Ticks consumed through the fast-forward hook. */
+    uint64_t fastTickCount() const { return fastTicks_; }
+
+    /** Ticks executed through the full step() path. */
+    uint64_t fullTickCount() const { return ticks_ - fastTicks_; }
+
+    /** Number of periodic-callback invocations so far. */
+    uint64_t periodicFireCount() const { return periodicFires_; }
 
     /**
      * Register a per-tick function. Functions run in registration
@@ -64,6 +82,14 @@ class Engine
      */
     void every(Time period, PeriodicFn fn, Time phase = -1.0);
 
+    /**
+     * Install the fast-forward hook. The engine only engages it when
+     * the hook's owner is the sole tick function, so a hook can never
+     * skip over another registrant's per-tick work. At most one hook
+     * may be installed.
+     */
+    void setFastForward(FastForwardFn fn);
+
     /** Run for the given additional duration of simulated time. */
     void run(Time duration);
 
@@ -80,11 +106,19 @@ class Engine
 
     void step();
 
+    /** Max fast ticks that fit before the next periodic deadline or
+     * the horizon t, with a safety margin so the boundary ticks run
+     * through step() and keep exact periodic-firing semantics. */
+    uint64_t fastChunk(Time t) const;
+
     Time tickLen_;
     Time now_ = 0.0;
     uint64_t ticks_ = 0;
+    uint64_t fastTicks_ = 0;
+    uint64_t periodicFires_ = 0;
     std::vector<TickFn> tickFns_;
     std::vector<Periodic> periodics_;
+    FastForwardFn fastFn_;
 };
 
 } // namespace sim

@@ -162,16 +162,50 @@ LatencyHistogram::percentile(double pct) const
 }
 
 void
+IntervalAccumulator::flush() const
+{
+    if (pendingN_ == 0)
+        return;
+    integral_ +=
+        pendingX_ * pendingDt_ * static_cast<double>(pendingN_);
+    time_ += pendingDt_ * static_cast<double>(pendingN_);
+    pendingN_ = 0;
+}
+
+void
 IntervalAccumulator::accumulate(double x, double dt)
 {
     KELP_ASSERT(dt >= 0.0, "negative accumulation interval");
-    integral_ += x * dt;
-    time_ += dt;
+    if (pendingN_ != 0 && x == pendingX_ && dt == pendingDt_) {
+        ++pendingN_;
+        return;
+    }
+    flush();
+    pendingX_ = x;
+    pendingDt_ = dt;
+    pendingN_ = 1;
+}
+
+void
+IntervalAccumulator::accumulateRepeat(double x, double dt, uint64_t n)
+{
+    KELP_ASSERT(dt >= 0.0, "negative accumulation interval");
+    if (n == 0)
+        return;
+    if (pendingN_ != 0 && x == pendingX_ && dt == pendingDt_) {
+        pendingN_ += n;
+        return;
+    }
+    flush();
+    pendingX_ = x;
+    pendingDt_ = dt;
+    pendingN_ = n;
 }
 
 double
 IntervalAccumulator::readSince(Snapshot &snap, double fallback) const
 {
+    flush();
     double dt = time_ - snap.time;
     double di = integral_ - snap.integral;
     snap.time = time_;

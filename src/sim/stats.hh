@@ -166,11 +166,27 @@ class IntervalAccumulator
     /** Add x (a rate or level) held for duration dt. */
     void accumulate(double x, double dt);
 
+    /**
+     * Accumulate the same (x, dt) pair n times. Identical to calling
+     * accumulate(x, dt) n times: repeated identical samples merge
+     * into one pending run either way, so the engine's fast-forward
+     * paths and the stepped path fold counters bit-for-bit the same.
+     */
+    void accumulateRepeat(double x, double dt, uint64_t n);
+
     /** Total integral since construction. */
-    double integral() const { return integral_; }
+    double integral() const
+    {
+        flush();
+        return integral_;
+    }
 
     /** Total time accumulated since construction. */
-    double elapsed() const { return time_; }
+    double elapsed() const
+    {
+        flush();
+        return time_;
+    }
 
     /**
      * Average level since the snapshot; updates the snapshot to now.
@@ -179,8 +195,20 @@ class IntervalAccumulator
     double readSince(Snapshot &snap, double fallback = 0.0) const;
 
   private:
-    double integral_ = 0.0;
-    double time_ = 0.0;
+    /** Fold the pending run into the integrals. */
+    void flush() const;
+
+    // A run of identical samples is held symbolically and folded in
+    // closed form on read or when a different sample arrives. This
+    // makes an n-tick steady stretch cost O(1) instead of n adds --
+    // the core of the event-driven engine's counter cost model --
+    // and because the stepped path merges the very same per-tick
+    // sample stream, fast-forward and stepped runs stay identical.
+    mutable double integral_ = 0.0;
+    mutable double time_ = 0.0;
+    mutable double pendingX_ = 0.0;
+    mutable double pendingDt_ = 0.0;
+    mutable uint64_t pendingN_ = 0;
 };
 
 } // namespace sim

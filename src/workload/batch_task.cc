@@ -46,6 +46,63 @@ BatchTask::setThreads(int threads)
 {
     KELP_ASSERT(threads >= 1, "batch task needs at least one thread");
     threads_ = threads;
+    noteChange();
+}
+
+bool
+BatchTask::fastPrepare(const ExecEnv &env, sim::Time dt)
+{
+    (void)dt;
+    HostSpeeds speeds = hostSpeeds(phase_, env, demandBasis());
+    // The demand basis must be at its fixpoint under this
+    // environment, otherwise each tick would change it (and the
+    // demand derived from it) and the node would not stay quiescent.
+    if (!demandBasisSettled(speeds.demandSpeed))
+        return false;
+    double running = std::min(static_cast<double>(threads_),
+                              env.effCores);
+    fastRate_ = speeds.speed * running;
+    fastDemandSpeed_ = speeds.demandSpeed;
+    return true;
+}
+
+bool
+BatchTask::fastTickReady(sim::Time dt) const
+{
+    // A batch phase runs forever: no internal boundary to cross.
+    (void)dt;
+    return true;
+}
+
+bool
+BatchTask::fastTickRun(sim::Time dt)
+{
+    // Same op chain as advance(): (speed * running) * dt, then the
+    // basis update (a bitwise no-op at the fixpoint checked above).
+    work_ += fastRate_ * dt;
+    updateDemandBasis(fastDemandSpeed_);
+    return true;
+}
+
+uint64_t
+BatchTask::fastHorizon(sim::Time dt) const
+{
+    // No internal boundary and fastTickRun never exits: any chunk
+    // the node proposes is fine.
+    (void)dt;
+    return UINT64_MAX;
+}
+
+void
+BatchTask::fastTickRunMany(sim::Time dt, uint64_t n)
+{
+    // fastRate_ * dt produces the same bits every tick, so hoisting
+    // the multiply keeps the per-tick add chain identical; the basis
+    // update is a bitwise no-op at the fixpoint fastPrepare checked,
+    // so skipping it changes nothing.
+    double add = fastRate_ * dt;
+    for (uint64_t i = 0; i < n; ++i)
+        work_ += add;
 }
 
 } // namespace wl

@@ -49,10 +49,21 @@ class BatchTask : public Task
 
     const HostPhaseParams &phase() const { return phase_; }
 
+    bool fastPrepare(const ExecEnv &env, sim::Time dt) override;
+    bool fastTickReady(sim::Time dt) const override;
+    bool fastTickRun(sim::Time dt) override;
+    uint64_t fastHorizon(sim::Time dt) const override;
+    void fastTickRunMany(sim::Time dt, uint64_t n) override;
+
   private:
     int threads_;
     HostPhaseParams phase_;
     double work_ = 0.0;
+
+    /** Quiescent-tick kernel cache: speed*running product and the
+     * demand speed advance() would compute from the prepared env. */
+    double fastRate_ = 0.0;
+    double fastDemandSpeed_ = 0.0;
 };
 
 } // namespace wl

@@ -42,6 +42,64 @@ MlInferTask::submit(sim::Time arrival)
     KELP_EXPECTS(cfg_.externalArrivals,
                  "submit() is only valid in externalArrivals mode");
     queue_.push_back(arrival);
+    noteChange();
+}
+
+bool
+MlInferTask::fastPrepare(const ExecEnv &env, sim::Time dt)
+{
+    (void)env;
+    (void)dt;
+    // Only the fully-idle server has a fast kernel: a closed loop
+    // re-arms itself instantly and never idles, and any queued or
+    // in-flight request makes intra-tick event processing necessary.
+    return !cfg_.closedLoop && queue_.empty() && inFlight_.empty();
+}
+
+bool
+MlInferTask::fastTickReady(sim::Time dt) const
+{
+    // Conservative: the next arrival must lie strictly beyond this
+    // tick (externally-driven tasks hold a 1e300 sentinel here).
+    return nextArrival_ > now_ + dt;
+}
+
+bool
+MlInferTask::fastTickRun(sim::Time dt)
+{
+    // Replay of advance() on an idle server: the event loop runs no
+    // admissions or retirements and the trailing assignment leaves
+    // now_ at exactly entry-now_ + dt.
+    now_ = now_ + dt;
+    if (accel_) {
+        accel_->recordEngineBusy(0.0, dt);
+        accel_->recordLinkBusy(0.0, dt);
+    }
+    return true;
+}
+
+uint64_t
+MlInferTask::fastHorizon(sim::Time dt) const
+{
+    // Ticks until the next arrival could fall inside one, with a
+    // margin of a few ticks: per-tick accumulation of now_ drifts
+    // from the closed-form division by at most a few ulp per tick,
+    // and an overestimate here would skip a tick the stepped
+    // protocol would have refused. (Externally-driven tasks hold a
+    // 1e300 sentinel, which simply yields a huge horizon.)
+    double ticks = (nextArrival_ - now_) / dt;
+    if (!(ticks > 5.0))
+        return 0;
+    return static_cast<uint64_t>(std::min(ticks - 4.0, 1e15));
+}
+
+void
+MlInferTask::fastTickRunMany(sim::Time dt, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        now_ = now_ + dt;
+    if (accel_)
+        accel_->recordBusyRepeat(0.0, 0.0, dt, n);
 }
 
 const StepSegment &

@@ -134,6 +134,12 @@ class MlInferTask : public Task
 
     const InferConfig &config() const { return cfg_; }
 
+    bool fastPrepare(const ExecEnv &env, sim::Time dt) override;
+    bool fastTickReady(sim::Time dt) const override;
+    bool fastTickRun(sim::Time dt) override;
+    uint64_t fastHorizon(sim::Time dt) const override;
+    void fastTickRunMany(sim::Time dt, uint64_t n) override;
+
   private:
     struct Request
     {

@@ -142,6 +142,136 @@ MlTrainTask::advance(sim::Time dt, const ExecEnv &env)
         updateDemandBasis(last_host_speed);
 }
 
+bool
+MlTrainTask::fastPrepare(const ExecEnv &env, sim::Time dt)
+{
+    (void)dt;
+    const auto &segs = step_.stages[stageIdx_].segments;
+    KELP_ASSERT(segs.size() <= fastSpeed_.size(),
+                "too many segments in one stage");
+    // Mirror the speed loop of advance(): speeds are pure in (phase,
+    // env, basis), and last_host_speed is taken from every host
+    // segment in order, finished or not.
+    fastLastHostSpeed_ = -1.0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        double s = 1.0;
+        if (segs[i].kind == SegmentKind::Host) {
+            HostSpeeds sp = hostSpeeds(segs[i].host, env, demandBasis());
+            s = sp.speed;
+            fastLastHostSpeed_ = sp.demandSpeed;
+        }
+        fastSpeed_[i] = s;
+    }
+    if (fastLastHostSpeed_ >= 0.0 &&
+        !demandBasisSettled(fastLastHostSpeed_)) {
+        // Per-tick basis drift would change speeds and demand.
+        return false;
+    }
+    return true;
+}
+
+bool
+MlTrainTask::fastTickReady(sim::Time dt) const
+{
+    // One fast tick must stay strictly inside the current stage: the
+    // slice taken by advance() would then be exactly dt and no
+    // stage-completion branch fires.
+    const auto &segs = step_.stages[stageIdx_].segments;
+    sim::Time to_finish = 0.0;
+    for (size_t i = 0; i < segs.size(); ++i)
+        if (remaining_[i] > 0.0)
+            to_finish = std::max(to_finish,
+                                 remaining_[i] / fastSpeed_[i]);
+    return dt < to_finish - 1e-15;
+}
+
+bool
+MlTrainTask::fastTickRun(sim::Time dt)
+{
+    // Replay of advance()'s single-slice body with slice == dt,
+    // using the cached speeds.
+    sim::Time accel_busy = 0.0;
+    sim::Time link_busy = 0.0;
+    const auto &segs = step_.stages[stageIdx_].segments;
+    bool host_done = false;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        if (remaining_[i] <= 0.0)
+            continue;
+        sim::Time active = std::min(dt, remaining_[i] / fastSpeed_[i]);
+        remaining_[i] =
+            std::max(0.0, remaining_[i] - active * fastSpeed_[i]);
+        if (segs[i].kind == SegmentKind::Accel)
+            accel_busy += active;
+        else if (segs[i].kind == SegmentKind::Pcie)
+            link_busy += active;
+        // kelp: allow(float-eq): the max(0.0, ...) above snaps a
+        // drained segment to exactly 0.0
+        if (segs[i].kind == SegmentKind::Host && remaining_[i] == 0.0)
+            host_done = true;
+    }
+    if (accel_) {
+        accel_->recordEngineBusy(accel_busy / dt, dt);
+        accel_->recordLinkBusy(link_busy / dt, dt);
+    }
+    if (fastLastHostSpeed_ >= 0.0)
+        updateDemandBasis(fastLastHostSpeed_);
+    // A host segment draining to zero changes next tick's demand
+    // (activeHostSegment() moves on), so leave the fast path.
+    return !host_done;
+}
+
+uint64_t
+MlTrainTask::fastHorizon(sim::Time dt) const
+{
+    // Ticks until ANY active segment could drain (a host segment
+    // draining exits the fast path; the slowest segment draining
+    // ends the stage), with a margin of a few ticks for the drift
+    // between per-tick remaining_ accumulation and this closed-form
+    // division. Underestimating only drops the node back to per-tick
+    // stepping for the boundary ticks.
+    const auto &segs = step_.stages[stageIdx_].segments;
+    uint64_t h = UINT64_MAX;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        if (remaining_[i] <= 0.0)
+            continue;
+        double ticks = remaining_[i] / (fastSpeed_[i] * dt);
+        if (!(ticks > 5.0))
+            return 0;
+        h = std::min(
+            h, static_cast<uint64_t>(std::min(ticks - 4.0, 1e15)));
+    }
+    return h == UINT64_MAX ? 0 : h;
+}
+
+void
+MlTrainTask::fastTickRunMany(sim::Time dt, uint64_t n)
+{
+    // n fastTickRun(dt) calls with every active segment strictly
+    // inside the stage: active == dt each tick, active * speed
+    // produces the same bits every tick (hoisted), and the busy
+    // fractions repeat. The basis update is a bitwise no-op at the
+    // fixpoint fastPrepare checked, so skipping it changes nothing.
+    const auto &segs = step_.stages[stageIdx_].segments;
+    sim::Time accel_busy = 0.0;
+    sim::Time link_busy = 0.0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        if (remaining_[i] <= 0.0)
+            continue;
+        double step = dt * fastSpeed_[i];
+        double rem = remaining_[i];
+        for (uint64_t k = 0; k < n; ++k)
+            rem = std::max(0.0, rem - step);
+        remaining_[i] = rem;
+        if (segs[i].kind == SegmentKind::Accel)
+            accel_busy += dt;
+        else if (segs[i].kind == SegmentKind::Pcie)
+            link_busy += dt;
+    }
+    if (accel_)
+        accel_->recordBusyRepeat(accel_busy / dt, link_busy / dt, dt,
+                                 n);
+}
+
 double
 MlTrainTask::completedWork() const
 {

@@ -17,6 +17,8 @@
 #ifndef KELP_WORKLOAD_ML_TRAIN_TASK_HH
 #define KELP_WORKLOAD_ML_TRAIN_TASK_HH
 
+#include <array>
+
 #include "accel/accelerator.hh"
 #include "workload/task.hh"
 
@@ -54,6 +56,12 @@ class MlTrainTask : public Task
 
     const StepGraph &step() const { return step_; }
 
+    bool fastPrepare(const ExecEnv &env, sim::Time dt) override;
+    bool fastTickReady(sim::Time dt) const override;
+    bool fastTickRun(sim::Time dt) override;
+    uint64_t fastHorizon(sim::Time dt) const override;
+    void fastTickRunMany(sim::Time dt, uint64_t n) override;
+
   private:
     /** Remaining standalone-time per segment of the current stage. */
     void enterStage(size_t idx);
@@ -68,6 +76,12 @@ class MlTrainTask : public Task
     std::vector<sim::Time> remaining_;
     uint64_t steps_ = 0;
     double stageProgressWork_ = 0.0;
+
+    /** Quiescent-tick kernel cache: per-segment speeds of the
+     * current stage and the demand speed of its last host segment
+     * (-1 when the stage has no host segment). */
+    std::array<double, 8> fastSpeed_{};
+    double fastLastHostSpeed_ = -1.0;
 };
 
 } // namespace wl

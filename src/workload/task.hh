@@ -20,6 +20,7 @@
 #ifndef KELP_WORKLOAD_TASK_HH
 #define KELP_WORKLOAD_TASK_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -163,6 +164,7 @@ class Task
                        lifeStateName(lifeState_), " -> ",
                        lifeStateName(s), " for task '", name_, "'");
         lifeState_ = s;
+        noteChange();
     }
 
     /** True while the task is scheduled and making progress. */
@@ -174,7 +176,12 @@ class Task
 
     /** Socket this task's threads run on. */
     sim::SocketId homeSocket() const { return homeSocket_; }
-    void setHomeSocket(sim::SocketId s) { homeSocket_ = s; }
+    void
+    setHomeSocket(sim::SocketId s)
+    {
+        homeSocket_ = s;
+        noteChange();
+    }
 
     /**
      * Explicit data placement. Empty means "allocate local": demand is
@@ -204,9 +211,101 @@ class Task
     /** Smoothed achieved relative speed (demand feedback basis). */
     double demandBasis() const { return demandBasis_; }
 
+    /**
+     * Hook fired whenever externally-visible task state mutates
+     * (lifecycle, placement, threads, request submission). The node
+     * uses it to invalidate its quiescence state.
+     */
+    void setChangeHook(std::function<void()> hook)
+    {
+        changeHook_ = std::move(hook);
+    }
+
+    /**
+     * Fast-path protocol, used only while the node is quiescent (the
+     * resolved environment repeats bit-for-bit tick over tick):
+     *
+     *  - fastPrepare(env, dt): cache whatever advance() would derive
+     *    from this exact environment; return false to refuse (then
+     *    the node keeps full-ticking this task).
+     *  - fastTickReady(dt): true when one more tick of dt cannot
+     *    cross an internal boundary (stage finish, arrival, ...).
+     *    Must be const: refusal may happen after siblings accepted.
+     *  - fastTickRun(dt): apply one tick using the cached values;
+     *    bit-identical to advance(dt, env) with the prepared env.
+     *    Returns false when the task must leave the fast path after
+     *    this tick (the node falls back to full ticks).
+     *
+     * Default implementation refuses, which is always sound.
+     */
+    virtual bool fastPrepare(const ExecEnv &env, sim::Time dt)
+    {
+        (void)env;
+        (void)dt;
+        return false;
+    }
+    virtual bool fastTickReady(sim::Time dt) const
+    {
+        (void)dt;
+        return false;
+    }
+    virtual bool fastTickRun(sim::Time dt)
+    {
+        (void)dt;
+        return true;
+    }
+
+    /**
+     * Batch extension of the fast-path protocol:
+     *
+     *  - fastHorizon(dt): a conservative LOWER bound on how many more
+     *    ticks of dt this task could take with fastTickReady() true
+     *    throughout and fastTickRun() never requesting an exit. 0
+     *    means "no promise" and drops the node back to the per-tick
+     *    ready/run stepping, so underestimating only costs speed.
+     *  - fastTickRunMany(dt, n): apply exactly n fast ticks,
+     *    bit-identical to n fastTickRun(dt) calls. Only invoked with
+     *    n <= fastHorizon(dt), which lets kernels hoist per-tick
+     *    invariants (cached speeds, settled demand basis) out of the
+     *    loop and run one floating-point op chain per tick.
+     */
+    virtual uint64_t fastHorizon(sim::Time dt) const
+    {
+        (void)dt;
+        return 0;
+    }
+    virtual void fastTickRunMany(sim::Time dt, uint64_t n)
+    {
+        for (uint64_t i = 0; i < n; ++i)
+            fastTickRun(dt);
+    }
+
   protected:
     /** Fold an achieved speed into the demand basis. */
     void updateDemandBasis(double achieved_speed);
+
+    /**
+     * The exact successor updateDemandBasis() would produce from
+     * `basis` for this achieved speed. Exposed so the fast-path
+     * kernels can decide settledness with the same arithmetic the
+     * full path uses: the basis is settled iff the step returns its
+     * input bit-for-bit.
+     */
+    static double demandBasisStep(double basis, double achieved_speed);
+
+    /** True when updateDemandBasis(achieved_speed) would be a no-op. */
+    bool demandBasisSettled(double achieved_speed) const
+    {
+        return demandBasisStep(demandBasis_, achieved_speed) ==
+               demandBasis_;
+    }
+
+    /** Notify the owning node that task state changed. */
+    void noteChange()
+    {
+        if (changeHook_)
+            changeHook_();
+    }
 
   private:
     std::string name_;
@@ -216,6 +315,7 @@ class Task
     std::vector<DataShare> dataPlacement_;
     double demandBasis_ = 1.0;
     LifeState lifeState_ = LifeState::Running;
+    std::function<void()> changeHook_;
 };
 
 } // namespace wl

@@ -1,0 +1,26 @@
+// Good twin of dirty_missing.cc via the escape hatch: the lifecycle
+// transition carries a justified allow, so the dirty-discipline rule
+// stays quiet -- and deleting the directive makes it fire (the
+// regression test does exactly that).
+namespace fx {
+
+struct Worker
+{
+    void setLifeState(int s);
+};
+
+class AllowedManager
+{
+  public:
+    void stop()
+    {
+        // kelp: allow(dirty-discipline): staging-time transition on
+        // a task not yet attached to a node; nothing is quiescent.
+        victim_->setLifeState(2);
+    }
+
+  private:
+    Worker *victim_ = nullptr;
+};
+
+} // namespace fx

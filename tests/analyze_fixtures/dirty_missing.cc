@@ -1,0 +1,24 @@
+// Deliberately broken fixture: a lifecycle transition whose enclosing
+// function never marks the node dirty and whose mutator is only
+// declared (no indexed definition carries a noteChange/markDirty), so
+// the dirty-discipline rule must fire exactly once.
+namespace fx {
+
+struct Worker
+{
+    void setLifeState(int s);
+};
+
+class BadManager
+{
+  public:
+    void stop()
+    {
+        victim_->setLifeState(2);
+    }
+
+  private:
+    Worker *victim_ = nullptr;
+};
+
+} // namespace fx

@@ -1,0 +1,54 @@
+// Good twin of dirty_missing.cc, covering both legitimate shapes:
+// Hooked::setLifeState carries the dirty mark in its own body (the
+// repo's normal discipline -- every call site is covered at once),
+// and SelfMarking::stop marks dirty itself around a mutator the
+// index only sees as a declaration.
+namespace fx {
+
+struct Hooked
+{
+    void noteChange();
+
+    void
+    setLifeState(int s)
+    {
+        state_ = s;
+        noteChange();
+    }
+
+    int state_ = 0;
+};
+
+class Manager
+{
+  public:
+    void stop()
+    {
+        victim_->setLifeState(2);
+    }
+
+  private:
+    Hooked *victim_ = nullptr;
+};
+
+struct Worker
+{
+    void setThreads(int n);
+};
+
+class SelfMarking
+{
+  public:
+    void noteChange();
+
+    void resize()
+    {
+        victim_->setThreads(3);
+        noteChange();
+    }
+
+  private:
+    Worker *victim_ = nullptr;
+};
+
+} // namespace fx

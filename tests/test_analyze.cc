@@ -208,6 +208,62 @@ TEST(AnalyzeAudit, ServeModuleIsInScope)
 }
 
 // ---------------------------------------------------------------
+// dirty-discipline
+// ---------------------------------------------------------------
+
+TEST(AnalyzeDirty, UnmarkedLifecycleMutationFires)
+{
+    auto fs =
+        analyzeFixture("dirty_missing.cc", "src/exp/manager.cc");
+    ASSERT_EQ(countRule(fs, "dirty-discipline"), 1);
+    for (const auto &f : fs)
+        if (f.rule == "dirty-discipline") {
+            EXPECT_NE(f.message.find("'setLifeState()'"),
+                      std::string::npos)
+                << f.message;
+            EXPECT_NE(f.message.find("'stop'"), std::string::npos);
+        }
+}
+
+TEST(AnalyzeDirty, MutatorDefinitionOrCallerMarkingIsQuiet)
+{
+    auto fs = analyzeFixture("dirty_ok.cc", "src/exp/manager.cc");
+    EXPECT_EQ(countRule(fs, "dirty-discipline"), 0);
+    EXPECT_EQ(countRule(fs, "bad-suppression"), 0);
+}
+
+TEST(AnalyzeDirty, AllowDirectiveSuppressesAndItsRemovalRefires)
+{
+    auto fs =
+        analyzeFixture("dirty_allowed.cc", "src/exp/manager.cc");
+    EXPECT_EQ(countRule(fs, "dirty-discipline"), 0);
+    EXPECT_EQ(countRule(fs, "bad-suppression"), 0);
+
+    std::string stripped = replaceAll(
+        readFixture("dirty_allowed.cc"),
+        "kelp: allow(dirty-discipline)", "note");
+    std::vector<SourceFile> files{{"src/exp/manager.cc", stripped}};
+    auto fs2 = analyzeFiles(files, "layering.txt", "");
+    EXPECT_EQ(countRule(fs2, "dirty-discipline"), 1);
+}
+
+TEST(AnalyzeDirty, KnobMutatorsAreInScopeAcrossAllOfSrc)
+{
+    // The audit fixture's unaudited setCores() is also a dirty-
+    // discipline miss, and unlike audit-completeness the dirty rule
+    // covers every src/ module, not just kelp/ and serve/.
+    auto fs =
+        analyzeFixture("audit_missing.cc", "src/exp/actuator.cc");
+    EXPECT_EQ(countRule(fs, "dirty-discipline"), 1);
+}
+
+TEST(AnalyzeDirty, OutsideSrcTreeIsQuiet)
+{
+    auto fs = analyzeFixture("dirty_missing.cc", "tests/manager.cc");
+    EXPECT_EQ(countRule(fs, "dirty-discipline"), 0);
+}
+
+// ---------------------------------------------------------------
 // rng-discipline
 // ---------------------------------------------------------------
 
@@ -487,6 +543,32 @@ TEST(AnalyzeRealTree, StrippingAnAuditAllowIsCaught)
     for (const auto &f : fs)
         if (f.rule == "audit-completeness" &&
             f.file == "src/kelp/core_throttle.cc")
+            ++hits;
+    EXPECT_GE(hits, 1);
+}
+
+TEST(AnalyzeRealTree, StrippingANoteChangeFromASetterIsCaught)
+{
+    // Simulate the quiescence bug the dirty-discipline rule exists
+    // for: Task::setLifeState stops invalidating quiescence. Every
+    // lifecycle transition in the controller and the lifecycle
+    // driver would then mutate state a fast-forwarding node never
+    // hears about, so the rule must flag the call sites.
+    std::vector<SourceFile> files = realTree();
+    bool mutated = false;
+    for (auto &f : files)
+        if (f.path == "src/workload/task.hh") {
+            std::string from = "lifeState_ = s;\n        noteChange();";
+            ASSERT_NE(f.content.find(from), std::string::npos);
+            f.content = replaceAll(f.content, from, "lifeState_ = s;");
+            mutated = true;
+        }
+    ASSERT_TRUE(mutated);
+    auto fs = analyzeFiles(files, "tools/kelp_analyze/layering.txt",
+                           realLayering());
+    int hits = 0;
+    for (const auto &f : fs)
+        if (f.rule == "dirty-discipline")
             ++hits;
     EXPECT_GE(hits, 1);
 }

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Event-driven tick engine: bit-identity and machinery tests.
+ *
+ * The engine's contract is absolute: with the fast path on, every
+ * scenario -- steady colocation, churn, faults with controller
+ * kills, the SLO ladder, open-loop traffic -- must produce a
+ * RunResult bitwise equal to the full-tick reference, while actually
+ * skipping ticks where it claims quiescence. These tests pin both
+ * halves: equality on every field the simulation reports, and
+ * engagement (skip ratio, cache hits) so the fast path cannot
+ * silently rot into "always falls back".
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hh"
+#include "mem/controller.hh"
+#include "mem/mem_system.hh"
+#include "sim/engine.hh"
+#include "workload/batch_task.hh"
+
+using namespace kelp;
+
+namespace {
+
+/** Shortened timing so the whole suite stays fast. */
+exp::RunConfig
+baseConfig()
+{
+    exp::RunConfig cfg;
+    cfg.warmup = 4.0;
+    cfg.measure = 8.0;
+    return cfg;
+}
+
+/** EXPECT bitwise equality of every simulation-result field (the
+ * tick-engine counters are excluded by design: the two paths *do*
+ * differ in how many full-path calls they make). */
+void
+expectSameResult(const exp::RunResult &a, const exp::RunResult &b)
+{
+    EXPECT_EQ(a.mlPerf, b.mlPerf);
+    EXPECT_EQ(a.mlTailP95, b.mlTailP95);
+    EXPECT_EQ(a.cpuThroughput, b.cpuThroughput);
+    EXPECT_EQ(a.avgLoCores, b.avgLoCores);
+    EXPECT_EQ(a.avgLoPrefetchers, b.avgLoPrefetchers);
+    EXPECT_EQ(a.avgHiBackfill, b.avgHiBackfill);
+    EXPECT_EQ(a.timeInFailSafe, b.timeInFailSafe);
+    EXPECT_EQ(a.failSafeEntries, b.failSafeEntries);
+    EXPECT_EQ(a.avgSaturation, b.avgSaturation);
+    EXPECT_EQ(a.avgSocketBw, b.avgSocketBw);
+    EXPECT_EQ(a.churnArrivals, b.churnArrivals);
+    EXPECT_EQ(a.churnFinishes, b.churnFinishes);
+    EXPECT_EQ(a.churnCrashes, b.churnCrashes);
+    EXPECT_EQ(a.churnRejected, b.churnRejected);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.sloViolations, b.sloViolations);
+    EXPECT_EQ(a.sloTransitions, b.sloTransitions);
+    EXPECT_EQ(a.sloFinalRung, b.sloFinalRung);
+    EXPECT_EQ(a.reqArrivals, b.reqArrivals);
+    EXPECT_EQ(a.reqAdmitted, b.reqAdmitted);
+    EXPECT_EQ(a.reqRejected, b.reqRejected);
+    EXPECT_EQ(a.reqShed, b.reqShed);
+    EXPECT_EQ(a.reqExpired, b.reqExpired);
+    EXPECT_EQ(a.reqCompleted, b.reqCompleted);
+    EXPECT_EQ(a.reqInFlight, b.reqInFlight);
+    EXPECT_EQ(a.brownoutTransitions, b.brownoutTransitions);
+    EXPECT_EQ(a.brownoutFinal, b.brownoutFinal);
+    EXPECT_EQ(a.reqP99, b.reqP99);
+    EXPECT_EQ(a.reqP999, b.reqP999);
+    EXPECT_EQ(a.reqP9999, b.reqP9999);
+}
+
+/** Run cfg with the fast path on and off; both results returned. */
+std::pair<exp::RunResult, exp::RunResult>
+runBoth(exp::RunConfig cfg)
+{
+    cfg.eventDriven = true;
+    exp::RunResult fast = exp::runScenario(cfg);
+    cfg.eventDriven = false;
+    exp::RunResult full = exp::runScenario(cfg);
+    return {fast, full};
+}
+
+// ---------------------------------------------------------------------
+// Engine-level fast-forward machinery.
+
+TEST(EngineFastForward, ConsumesTicksAndCountsThem)
+{
+    sim::Engine e(0.001);
+    uint64_t full_ticks = 0;
+    e.onTick([&](sim::Time, sim::Time) { ++full_ticks; });
+    uint64_t offered = 0;
+    e.setFastForward([&](sim::Time, sim::Time, uint64_t max_ticks) {
+        offered += max_ticks;
+        return max_ticks;  // consume everything offered
+    });
+    e.run(1.0);
+    EXPECT_EQ(e.tickCount(), 1000u);
+    EXPECT_EQ(e.tickCount(), e.fastTickCount() + e.fullTickCount());
+    EXPECT_GT(e.fastTickCount(), 900u);
+    EXPECT_EQ(full_ticks, e.fullTickCount());
+}
+
+TEST(EngineFastForward, RefusingHookFallsBackToFullTicks)
+{
+    sim::Engine e(0.001);
+    uint64_t full_ticks = 0;
+    e.onTick([&](sim::Time, sim::Time) { ++full_ticks; });
+    e.setFastForward(
+        [](sim::Time, sim::Time, uint64_t) -> uint64_t { return 0; });
+    e.run(0.5);
+    EXPECT_EQ(e.tickCount(), 500u);
+    EXPECT_EQ(e.fastTickCount(), 0u);
+    EXPECT_EQ(full_ticks, 500u);
+}
+
+TEST(EngineFastForward, StopsShortOfPeriodicDeadlines)
+{
+    // A periodic every 100 ticks: fast-forward chunks must never
+    // cross it, and every firing must still happen.
+    sim::Engine e(0.001);
+    e.onTick([](sim::Time, sim::Time) {});
+    int fires = 0;
+    e.every(0.1, [&](sim::Time) { ++fires; });
+    e.setFastForward([](sim::Time, sim::Time, uint64_t max_ticks) {
+        return max_ticks;
+    });
+    e.run(1.0);
+    EXPECT_EQ(fires, 10);
+    EXPECT_EQ(e.periodicFireCount(), 10u);
+    EXPECT_EQ(e.tickCount(), 1000u);
+    EXPECT_GT(e.fastTickCount(), 0u);
+}
+
+TEST(EngineFastForward, TimeAdvanceMatchesSteppedEngine)
+{
+    // now() must be bitwise equal however ticks were consumed.
+    sim::Engine fast(0.001);
+    fast.onTick([](sim::Time, sim::Time) {});
+    fast.setFastForward([](sim::Time, sim::Time, uint64_t max_ticks) {
+        return max_ticks;
+    });
+    fast.run(0.777);
+
+    sim::Engine full(0.001);
+    full.onTick([](sim::Time, sim::Time) {});
+    full.run(0.777);
+
+    EXPECT_EQ(fast.now(), full.now());
+    EXPECT_EQ(fast.tickCount(), full.tickCount());
+}
+
+// ---------------------------------------------------------------------
+// Controller incremental demand cache.
+
+TEST(ControllerCache, RepeatedDemandsHitAndMatch)
+{
+    const sim::Time dt = 100 * sim::usec;
+    mem::Controller inc(0, 0, 100.0, mem::LatencyCurve());
+    mem::Controller ref(0, 0, 100.0, mem::LatencyCurve());
+
+    for (int t = 0; t < 50; ++t) {
+        // Demands repeat except for a mutation at tick 25.
+        double d0 = t >= 25 ? 30.0 : 40.0;
+        inc.beginTick();
+        inc.addDemand(1, d0, true, 0.0);
+        inc.addDemand(2, 60.0, false, 10.0);
+        inc.resolve(dt);
+
+        ref.beginTick();
+        ref.addDemand(1, d0, true, 0.0);
+        ref.addDemand(2, 60.0, false, 10.0);
+        ref.resolve(dt);
+
+        for (int r = 1; r <= 2; ++r) {
+            mem::Grant a = inc.grant(r);
+            mem::Grant b = ref.grant(r);
+            EXPECT_EQ(a.delivered, b.delivered);
+            EXPECT_EQ(a.fraction, b.fraction);
+            EXPECT_EQ(a.latency, b.latency);
+        }
+    }
+    // Both controllers are caching (same class); the point here is
+    // the hit pattern: two misses (first tick, tick-25 mutation),
+    // everything else hits.
+    EXPECT_EQ(inc.cacheMisses(), 2u);
+    EXPECT_EQ(inc.cacheHits(), 48u);
+}
+
+TEST(ControllerCache, ReorderedDemandsMiss)
+{
+    const sim::Time dt = 100 * sim::usec;
+    mem::Controller mc(0, 0, 100.0, mem::LatencyCurve());
+    mc.beginTick();
+    mc.addDemand(1, 40.0, false, 0.0);
+    mc.addDemand(2, 60.0, false, 0.0);
+    mc.resolve(dt);
+    mc.beginTick();
+    mc.addDemand(2, 60.0, false, 0.0);
+    mc.addDemand(1, 40.0, false, 0.0);
+    mc.resolve(dt);
+    EXPECT_EQ(mc.cacheHits(), 0u);
+    EXPECT_EQ(mc.cacheMisses(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Scenario-level bit-identity: fast vs. full across every subsystem.
+
+TEST(EventDrivenIdentity, SteadyColocation)
+{
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 3;
+    cfg.config = exp::ConfigKind::KP;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+    // The fast run must actually skip ticks, and the full run none.
+    EXPECT_GT(fast.engineFastTicks, 0u);
+    EXPECT_EQ(full.engineFastTicks, 0u);
+    EXPECT_EQ(fast.engineTicks, full.engineTicks);
+}
+
+TEST(EventDrivenIdentity, AllConfigsAllWorkloads)
+{
+    for (auto ml : wl::allMlWorkloads()) {
+        for (auto kind :
+             {exp::ConfigKind::BL, exp::ConfigKind::CT,
+              exp::ConfigKind::KPSD, exp::ConfigKind::KP}) {
+            exp::RunConfig cfg = baseConfig();
+            cfg.ml = ml;
+            cfg.cpu = wl::CpuWorkload::Stream;
+            cfg.cpuInstances = 2;
+            cfg.config = kind;
+            auto [fast, full] = runBoth(cfg);
+            SCOPED_TRACE(std::string(wl::mlName(ml)) + " under " +
+                         exp::configName(kind));
+            expectSameResult(fast, full);
+        }
+    }
+}
+
+TEST(EventDrivenIdentity, Churn)
+{
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Cnn2;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 2;
+    cfg.config = exp::ConfigKind::KP;
+    cfg.churn.enabled = true;
+    cfg.churn.arrivalRate = 0.5;  // busy churn in a short run
+    cfg.measure = 12.0;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+    EXPECT_GT(fast.churnArrivals, 0u);
+}
+
+TEST(EventDrivenIdentity, FaultsAndControllerKills)
+{
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::DramAggressor;
+    cfg.cpuInstances = 2;
+    cfg.config = exp::ConfigKind::KP;
+    cfg.faults = hal::FaultPlan::parse("drop=0.1,knobfail=0.2");
+    cfg.killAt = 6.0;
+    cfg.kills = {9.0};
+    cfg.measure = 12.0;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+    EXPECT_EQ(fast.restarts, 2u);
+}
+
+TEST(EventDrivenIdentity, SloLadder)
+{
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Cnn1;
+    cfg.cpu = wl::CpuWorkload::DramAggressor;
+    cfg.cpuInstances = 2;
+    cfg.config = exp::ConfigKind::KP;
+    cfg.slo.enabled = true;
+    cfg.measure = 12.0;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+}
+
+TEST(EventDrivenIdentity, OpenLoopTraffic)
+{
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Rnn1;
+    cfg.cpu = wl::CpuWorkload::Stitch;
+    cfg.cpuInstances = 2;
+    cfg.config = exp::ConfigKind::KP;
+    std::string err;
+    auto traffic =
+        serve::TrafficSpec::tryParse("shape=burst,qps=200,factor=4",
+                                     &err);
+    ASSERT_TRUE(traffic) << err;
+    cfg.serving.enabled = true;
+    cfg.serving.traffic = *traffic;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+    EXPECT_GT(fast.reqArrivals, 0u);
+}
+
+TEST(EventDrivenIdentity, QuietOpenLoopSkipsMostTicks)
+{
+    // The headline case: a lightly-loaded open-loop inference
+    // server is idle between requests, and the engine must prove it
+    // and skip. This pins the *engagement* so the fast path cannot
+    // silently decay into always-full-tick.
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Rnn1;
+    cfg.config = exp::ConfigKind::BL;
+    cfg.openLoopQps = 5.0;
+    cfg.measure = 12.0;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+    EXPECT_GT(fast.skipRatio(), 0.5);
+    EXPECT_EQ(full.skipRatio(), 0.0);
+}
+
+TEST(EventDrivenIdentity, SerialInferenceTrace)
+{
+    exp::RunConfig cfg = baseConfig();
+    cfg.ml = wl::MlWorkload::Rnn1;
+    cfg.cpu = wl::CpuWorkload::Stream;
+    cfg.cpuInstances = 2;
+    cfg.config = exp::ConfigKind::KPSD;
+    cfg.serialInference = true;
+    auto [fast, full] = runBoth(cfg);
+    expectSameResult(fast, full);
+}
+
+// ---------------------------------------------------------------------
+// Node-level machinery.
+
+wl::HostPhaseParams
+streamish()
+{
+    wl::HostPhaseParams p;
+    p.cpuFrac = 0.1;
+    p.bwPerCore = 5.0;
+    p.latencySensitivity = 0.2;
+    p.llcFootprintMb = 256.0;
+    p.llcHitMax = 0.05;
+    return p;
+}
+
+TEST(NodeFastForward, DirtyMarkingBlocksAndRecovers)
+{
+    // A node of pure batch tasks quiesces; a knob write mid-run must
+    // break the streak and the streak must rebuild afterwards.
+    node::Node n(node::platformFor(accel::Kind::TpuV1));
+    auto g = n.groups().create("batch", hal::Priority::Low).id();
+    n.add(std::make_unique<wl::BatchTask>("b", g, 4, streamish()));
+
+    // Settling takes ~55 ticks: the demand-basis relaxation halves
+    // its error per tick and quiescence requires the *bitwise*
+    // fixpoint, not an approximate one.
+    const sim::Time dt = 100 * sim::usec;
+    const int settle = 80;
+    for (int i = 0; i < settle; ++i)
+        n.tick(i * dt, dt);
+    EXPECT_GT(n.fastForward(settle * dt, dt, 4), 0u);
+
+    // A knob mutation through the registry marks the node dirty.
+    n.knobs().setCores(g, 0, 0, 2);
+    EXPECT_EQ(n.fastForward(settle * dt, dt, 4), 0u);
+
+    // Quiescence rebuilds after full ticks re-settle the pipeline.
+    for (int i = 0; i < settle; ++i)
+        n.tick((settle + i) * dt, dt);
+    EXPECT_GT(n.fastForward(2 * settle * dt, dt, 4), 0u);
+}
+
+TEST(NodeFastForward, DisabledSwitchRefuses)
+{
+    node::Node n(node::platformFor(accel::Kind::TpuV1));
+    auto g = n.groups().create("batch", hal::Priority::Low).id();
+    n.add(std::make_unique<wl::BatchTask>("b", g, 4, streamish()));
+    n.setEventDrivenEnabled(false);
+
+    const sim::Time dt = 100 * sim::usec;
+    for (int i = 0; i < 80; ++i)
+        n.tick(i * dt, dt);
+    EXPECT_EQ(n.fastForward(80 * dt, dt, 4), 0u);
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate bench_wall results against the checked-in baseline.
+
+Usage: check_bench_wall.py BENCH_sweep.json bench/BENCH_wall.baseline.json
+
+Hard requirements (never noise): the worker pool's grid results and
+every event-driven scenario must be bit-identical to their reference
+paths. Speedup floors are generous -- they catch an identity-preserving
+change that silently disables the fast path (speedup collapsing toward
+1x), not ordinary runner variance.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("check_bench_wall: FAIL:", msg)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        sys.exit(2)
+    results = json.load(open(sys.argv[1]))
+    baseline = json.load(open(sys.argv[2]))
+
+    if results["identical"] is not True:
+        fail("pool grid results are not bit-identical to serial")
+    ed = results["event_driven"]
+    if ed["identical"] is not True:
+        fail("event-driven results are not bit-identical to full-tick")
+    for s in ed["scenarios"]:
+        if s["identical"] is not True:
+            fail("scenario %r is not bit-identical" % s["name"])
+
+    checks = [
+        ("pool speedup", results["speedup"],
+         baseline["min_pool_speedup"]),
+        ("quiet speedup", ed["quiet_speedup"],
+         baseline["min_quiet_speedup"]),
+        ("geomean speedup", ed["geomean_speedup"],
+         baseline["min_geomean_speedup"]),
+    ]
+    for s in ed["scenarios"]:
+        checks.append(("scenario %r speedup" % s["name"], s["speedup"],
+                       baseline["min_scenario_speedup"]))
+
+    ok = True
+    for name, value, floor in checks:
+        verdict = "ok" if value >= floor else "BELOW FLOOR"
+        print("check_bench_wall: %-26s %6.2fx (floor %.2fx) %s"
+              % (name, value, floor, verdict))
+        ok = ok and value >= floor
+    if not ok:
+        fail("speedup below baseline floor")
+    print("check_bench_wall: PASS")
+
+
+if __name__ == "__main__":
+    main()

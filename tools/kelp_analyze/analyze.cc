@@ -43,6 +43,25 @@ knobMutators()
     return kMut;
 }
 
+/** Task lifecycle transitions and topology changes: everything that
+ * alters what a node's resolve pass would compute and therefore must
+ * invalidate quiescence. */
+const std::set<std::string> &
+lifecycleMutators()
+{
+    static const std::set<std::string> kMut = {
+        "setLifeState", "setHomeSocket", "setDataPlacement",
+        "setThreads", "submit"};
+    return kMut;
+}
+
+/** The quiescence-invalidation primitives, by name. */
+bool
+dirtyMarker(const std::string &name)
+{
+    return name == "noteChange" || name == "markDirty";
+}
+
 const std::set<std::string> &
 checkpointMethods()
 {
@@ -105,7 +124,7 @@ auditReceiver(const std::string &name)
 void
 harvestBody(const std::vector<Tok> &toks, size_t b, size_t e,
             std::set<std::string> &ids, std::set<std::string> &callees,
-            bool &directAudit)
+            bool &directAudit, bool &directDirty)
 {
     for (size_t i = b; i < e; ++i) {
         const Tok &t = toks[i];
@@ -116,6 +135,12 @@ harvestBody(const std::vector<Tok> &toks, size_t b, size_t e,
             continue;
         if (cppKeywords().count(t.text))
             continue;
+        // noteChange()/markDirty() count in any form: bare, on a
+        // member (registry_.noteChange()), or through a pointer --
+        // the invalidation primitives are uniformly named, so the
+        // name alone is the signal.
+        if (dirtyMarker(t.text))
+            directDirty = true;
         const std::string &prev = i > b ? toks[i - 1].text : "";
         if (prev == "." || prev == "->") {
             // Member calls never propagate audit capability by name
@@ -174,7 +199,11 @@ struct Builder
     void scanClasses(size_t fi);
     void parseClassBody(size_t fi, ClassInfo &cls, size_t b, size_t e);
     void scanFileScopeDefs(size_t fi);
+    void scanMutatorSites(size_t fi,
+                          const std::set<std::string> &mutators,
+                          std::vector<KnobWrite> &out);
     void scanKnobWrites(size_t fi);
+    void scanDirtyWrites(size_t fi);
     void scanIncludes(size_t fi);
     void scanContracts(size_t fi);
     void scanRngUses(size_t fi);
@@ -208,10 +237,12 @@ Builder::parseAll(const std::vector<SourceFile> &files,
         scanRngUses(i);
     }
     mergeOutOfLineCheckpointBodies();
-    // Knob writes resolve against the full function list, so they
+    // Mutation sites resolve against the full function list, so they
     // come last.
-    for (size_t i = 0; i < files.size(); ++i)
+    for (size_t i = 0; i < files.size(); ++i) {
         scanKnobWrites(i);
+        scanDirtyWrites(i);
+    }
 }
 
 void
@@ -321,7 +352,8 @@ Builder::parseClassBody(size_t fi, ClassInfo &cls, size_t b, size_t e)
                         fn.line = toks[s].line;
                         std::set<std::string> ids;
                         harvestBody(toks, i + 1, close, ids,
-                                    fn.callees, fn.directAudit);
+                                    fn.callees, fn.directAudit,
+                                    fn.directDirty);
                         if (checkpointMethods().count(name))
                             cls.serialized.insert(ids.begin(),
                                                   ids.end());
@@ -526,7 +558,7 @@ Builder::scanFileScopeDefs(size_t fi)
         fn.line = t.line;
         std::set<std::string> ids;
         harvestBody(toks, j + 1, bodyEnd, ids, fn.callees,
-                    fn.directAudit);
+                    fn.directAudit, fn.directDirty);
         if (!cls.empty() && checkpointMethods().count(fn.name)) {
             // Class names repeat across modules (kelp::Controller vs
             // mem::Controller); only same-module classes match.
@@ -561,13 +593,15 @@ Builder::mergeOutOfLineCheckpointBodies()
 }
 
 void
-Builder::scanKnobWrites(size_t fi)
+Builder::scanMutatorSites(size_t fi,
+                          const std::set<std::string> &mutators,
+                          std::vector<KnobWrite> &out)
 {
     ParsedFile &pf = parsed[fi];
     const std::vector<Tok> &toks = pf.lex.toks;
     for (size_t i = 1; i + 1 < toks.size(); ++i) {
         const Tok &t = toks[i];
-        if (t.kind != TokKind::Id || !knobMutators().count(t.text))
+        if (t.kind != TokKind::Id || !mutators.count(t.text))
             continue;
         if (toks[i - 1].text != "." && toks[i - 1].text != "->")
             continue;
@@ -590,8 +624,28 @@ Builder::scanKnobWrites(size_t fi)
                 w.function = static_cast<int>(d);
             }
         }
-        index.knobWrites.push_back(std::move(w));
+        out.push_back(std::move(w));
     }
+}
+
+void
+Builder::scanKnobWrites(size_t fi)
+{
+    scanMutatorSites(fi, knobMutators(), index.knobWrites);
+}
+
+void
+Builder::scanDirtyWrites(size_t fi)
+{
+    // Knob writes AND lifecycle transitions: anything that changes
+    // what a quiescent node's resolve pass would compute.
+    static const std::set<std::string> kAll = [] {
+        std::set<std::string> s = knobMutators();
+        s.insert(lifecycleMutators().begin(),
+                 lifecycleMutators().end());
+        return s;
+    }();
+    scanMutatorSites(fi, kAll, index.dirtyWrites);
 }
 
 void
@@ -709,17 +763,15 @@ Builder::scanRngUses(size_t fi)
     }
 }
 
-/** Audit capability per function: direct DecisionLog append, or a
- * call (by bare name) to a capable function, to a fixpoint. */
+/** Propagate a per-function capability seed through the bare-name
+ * call graph to a fixpoint: a function is capable when its seed is
+ * set or any definition matching one of its callees is capable. */
 std::vector<char>
-auditCapable(const Index &index)
+capableFixpoint(const Index &index, std::vector<char> cap)
 {
     std::map<std::string, std::vector<size_t>> byName;
     for (size_t i = 0; i < index.functions.size(); ++i)
         byName[index.functions[i].name].push_back(i);
-    std::vector<char> cap(index.functions.size(), 0);
-    for (size_t i = 0; i < cap.size(); ++i)
-        cap[i] = index.functions[i].directAudit ? 1 : 0;
     bool changed = true;
     while (changed) {
         changed = false;
@@ -743,6 +795,28 @@ auditCapable(const Index &index)
         }
     }
     return cap;
+}
+
+/** Audit capability: direct DecisionLog append, or a call (by bare
+ * name) to a capable function, to a fixpoint. */
+std::vector<char>
+auditCapable(const Index &index)
+{
+    std::vector<char> seed(index.functions.size(), 0);
+    for (size_t i = 0; i < seed.size(); ++i)
+        seed[i] = index.functions[i].directAudit ? 1 : 0;
+    return capableFixpoint(index, std::move(seed));
+}
+
+/** Dirty-mark capability: a noteChange()/markDirty() call in the
+ * body, or a call (by bare name) to a capable function. */
+std::vector<char>
+dirtyCapable(const Index &index)
+{
+    std::vector<char> seed(index.functions.size(), 0);
+    for (size_t i = 0; i < seed.size(); ++i)
+        seed[i] = index.functions[i].directDirty ? 1 : 0;
+    return capableFixpoint(index, std::move(seed));
 }
 
 std::string
@@ -966,6 +1040,52 @@ analyzeFiles(const std::vector<SourceFile> &files,
              excerpt(w.file, w.line)});
     }
 
+    // --- dirty-discipline ----------------------------------------
+    // A mutation "reaches" a dirty mark when the enclosing function
+    // marks (directly or through helpers), or when some indexed
+    // definition of the mutator itself does -- the repo's normal
+    // discipline is the latter: the setter body ends in noteChange(),
+    // so every call site is covered at once.
+    std::vector<char> dirty = dirtyCapable(index);
+    std::map<std::string, std::vector<size_t>> defsByName;
+    for (size_t i = 0; i < index.functions.size(); ++i)
+        defsByName[index.functions[i].name].push_back(i);
+    for (const KnobWrite &w : index.dirtyWrites) {
+        if (!startsWith(w.file, "src/"))
+            continue;
+        bool reaches =
+            w.function >= 0 && dirty[static_cast<size_t>(w.function)];
+        if (!reaches) {
+            auto it = defsByName.find(w.mutator);
+            if (it != defsByName.end())
+                for (size_t j : it->second)
+                    if (dirty[j]) {
+                        reaches = true;
+                        break;
+                    }
+        }
+        if (reaches)
+            continue;
+        std::string where =
+            w.function >= 0
+                ? "'" +
+                      index.functions[static_cast<size_t>(w.function)]
+                          .name +
+                      "'"
+                : "an unindexed context";
+        raw.push_back(
+            {w.file, w.line, "dirty-discipline",
+             "mutation '" + w.mutator + "()' in " + where +
+                 " reaches no dirty-mark (noteChange/markDirty) on "
+                 "any indexed path: neither the enclosing function "
+                 "nor any definition of '" + w.mutator +
+                 "' invalidates quiescence, so an event-driven node "
+                 "could keep fast-forwarding across this change -- "
+                 "mark dirty in the mutator or justify with "
+                 "`kelp: allow(dirty-discipline): <reason>`",
+             excerpt(w.file, w.line)});
+    }
+
     // --- rng-discipline ------------------------------------------
     for (const RngUse &u : index.rngUses) {
         if (u.method == "derive")
@@ -1069,9 +1189,14 @@ inventoryReport(const Index &index)
         int functions = 0;
         int expects = 0, ensures = 0, invariants = 0;
         int knobWrites = 0, knobAudited = 0;
+        int dirtyWrites = 0, dirtyMarked = 0;
     };
     std::map<std::string, ModStats> mods;
     std::vector<char> cap = auditCapable(index);
+    std::vector<char> dirty = dirtyCapable(index);
+    std::map<std::string, std::vector<size_t>> defsByName;
+    for (size_t i = 0; i < index.functions.size(); ++i)
+        defsByName[index.functions[i].name].push_back(i);
 
     for (const FunctionInfo &fn : index.functions) {
         std::string m = moduleOf(fn.file);
@@ -1097,20 +1222,40 @@ inventoryReport(const Index &index)
         if (w.function >= 0 && cap[static_cast<size_t>(w.function)])
             ++mods[m].knobAudited;
     }
+    for (const KnobWrite &w : index.dirtyWrites) {
+        std::string m = moduleOf(w.file);
+        if (m.empty())
+            continue;
+        ++mods[m].dirtyWrites;
+        bool reaches =
+            w.function >= 0 && dirty[static_cast<size_t>(w.function)];
+        if (!reaches) {
+            auto it = defsByName.find(w.mutator);
+            if (it != defsByName.end())
+                for (size_t j : it->second)
+                    if (dirty[j]) {
+                        reaches = true;
+                        break;
+                    }
+        }
+        if (reaches)
+            ++mods[m].dirtyMarked;
+    }
 
     std::ostringstream os;
     os << "kelp-analyze contract-coverage inventory\n"
        << "========================================\n\n"
        << "module      funcs  expects  ensures  invariants  "
-          "knob-writes  audited\n";
+          "knob-writes  audited  mut-sites  dirty-marked\n";
     for (const auto &kv : mods) {
         const ModStats &s = kv.second;
-        char buf[160];
+        char buf[200];
         std::snprintf(buf, sizeof buf,
-                      "%-10s  %5d  %7d  %7d  %10d  %11d  %7d\n",
+                      "%-10s  %5d  %7d  %7d  %10d  %11d  %7d  %9d  "
+                      "%12d\n",
                       kv.first.c_str(), s.functions, s.expects,
                       s.ensures, s.invariants, s.knobWrites,
-                      s.knobAudited);
+                      s.knobAudited, s.dirtyWrites, s.dirtyMarked);
         os << buf;
     }
 

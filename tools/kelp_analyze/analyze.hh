@@ -20,6 +20,15 @@
  *                          records to a DecisionLog (directly or via
  *                          a helper, computed as a fixpoint over the
  *                          indexed call graph) or carries an allow
+ *   dirty-discipline       every knob-mutation and lifecycle-
+ *                          transition call site in src/ must reach a
+ *                          dirty-mark call (noteChange/markDirty,
+ *                          fixpoint over the call graph): either the
+ *                          enclosing function marks, or some indexed
+ *                          definition of the mutator does -- a
+ *                          mutation the event-driven engine never
+ *                          hears about would let a quiescent node
+ *                          keep fast-forwarding across it
  *   rng-discipline         inside a runJobs/parallelMap job lambda,
  *                          method calls on a sim::Rng declared
  *                          outside the lambda are cross-job stream
@@ -124,6 +133,11 @@ struct FunctionInfo
     /** Body contains `recv->append(...)` / `recv.append(...)` where
      * the receiver's name mentions log/audit/decision. */
     bool directAudit = false;
+
+    /** Body calls noteChange() or markDirty(), bare or through any
+     * receiver -- the quiescence-invalidation primitives all carry
+     * one of these two names. */
+    bool directDirty = false;
 };
 
 /** One KnobSink mutator call site. */
@@ -172,6 +186,10 @@ struct Index
     std::vector<ClassInfo> classes;
     std::vector<FunctionInfo> functions;
     std::vector<KnobWrite> knobWrites;
+
+    /** Knob + lifecycle mutator call sites (receiver form), for the
+     * dirty-discipline rule. Same shape as knobWrites. */
+    std::vector<KnobWrite> dirtyWrites;
     std::vector<IncludeEdge> includes;
     std::vector<ContractSite> contracts;
     std::vector<RngUse> rngUses;

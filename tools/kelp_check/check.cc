@@ -282,8 +282,8 @@ analyzeRules()
 {
     static const std::vector<std::string> kRules = {
         "snapshot-completeness", "audit-completeness",
-        "rng-discipline",        "layering",
-        "bad-suppression"};
+        "dirty-discipline",      "rng-discipline",
+        "layering",              "bad-suppression"};
     return kRules;
 }
 

@@ -16,6 +16,7 @@
  *           --decisions=run.decisions.jsonl --manifest=run.json
  */
 
+#include <chrono>  // kelp: allow(determinism): --perf wall-clock line
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -161,6 +162,13 @@ main(int argc, char **argv)
                  "deliberately violate one contract before the run "
                  "(verifies the release-mode violation counter "
                  "end-to-end)");
+    opts.addBool("full-tick", false,
+                 "disable the event-driven fast path: every tick "
+                 "runs the full pipeline (results are bit-identical; "
+                 "this is the A/B reference for perf work)");
+    opts.addBool("perf", false,
+                 "print wall-clock simulation throughput "
+                 "(nondeterministic; excluded from byte-diff flows)");
     opts.addInt("jobs", 0,
                 "worker threads (0 = all cores, 1 = serial); the "
                 "standalone reference and the measured run are "
@@ -211,6 +219,7 @@ main(int argc, char **argv)
         cfg.serving.enabled = true;
         cfg.serving.traffic = *traffic;
     }
+    cfg.eventDriven = !opts.getBool("full-tick");
 
     if (opts.getBool("contract-selftest")) {
         // Count mode regardless of build type so the violation is
@@ -239,6 +248,8 @@ main(int argc, char **argv)
 
     exp::RunResult ref;
     exp::RunResult r;
+    // kelp: allow(determinism): wall time feeds only the --perf line
+    auto wall0 = std::chrono::steady_clock::now();
     if (!obs.any() && manifestPath.empty()) {
         // The standalone reference and the measured run share no
         // state (the reference memo is guarded), so they are two
@@ -306,6 +317,19 @@ main(int argc, char **argv)
             man.set("time_in_fail_safe_s", r.timeInFailSafe);
             man.set("restarts", r.restarts);
             man.set("decision_events", decisions.size());
+            man.set("engine_ticks", r.engineTicks);
+            man.set("engine_fast_ticks", r.engineFastTicks);
+            man.set("engine_full_ticks", r.engineFullTicks);
+            man.set("engine_skip_ratio", r.skipRatio());
+            man.set("periodic_fires", r.periodicFires);
+            man.set("demand_calls", r.demandCalls);
+            man.set("advance_calls", r.advanceCalls);
+            man.set("fast_task_ticks", r.fastTaskTicks);
+            man.set("resolve_cache_hits", r.resolveCacheHits);
+            man.set("resolve_cache_misses", r.resolveCacheMisses);
+            man.set("mc_cache_hits", r.mcCacheHits);
+            man.set("mc_cache_misses", r.mcCacheMisses);
+            man.set("mem_fast_ticks", r.memFastTicks);
             if (s.inferTask) {
                 man.addHistogram("ml_request_latency_s",
                                  s.inferTask->latency());
@@ -401,6 +425,41 @@ main(int argc, char **argv)
                     "(counted, not fatal)\n",
                     static_cast<unsigned long long>(
                         sim::contractViolations()));
+    }
+    // Tick-engine cost breakdown: how much of the run the
+    // event-driven engine proved quiescent and skipped, and what the
+    // full-path ticks actually paid for. Deterministic counters --
+    // safe inside the CI byte-diff.
+    std::printf("  tick engine    : %llu ticks (%llu fast-forwarded, "
+                "%llu executed), skip %.1f%%\n",
+                static_cast<unsigned long long>(r.engineTicks),
+                static_cast<unsigned long long>(r.engineFastTicks),
+                static_cast<unsigned long long>(r.engineFullTicks),
+                100.0 * r.skipRatio());
+    std::printf("  full-path cost : %llu demand + %llu advance calls, "
+                "%llu periodic fires, %llu fast task-ticks\n",
+                static_cast<unsigned long long>(r.demandCalls),
+                static_cast<unsigned long long>(r.advanceCalls),
+                static_cast<unsigned long long>(r.periodicFires),
+                static_cast<unsigned long long>(r.fastTaskTicks));
+    std::printf("  resolve cache  : mem %llu hit / %llu miss, "
+                "mc %llu hit / %llu miss, %llu mem fast ticks\n",
+                static_cast<unsigned long long>(r.resolveCacheHits),
+                static_cast<unsigned long long>(r.resolveCacheMisses),
+                static_cast<unsigned long long>(r.mcCacheHits),
+                static_cast<unsigned long long>(r.mcCacheMisses),
+                static_cast<unsigned long long>(r.memFastTicks));
+    if (opts.getBool("perf")) {
+        // kelp: allow(determinism): --perf opts into wall clocks
+        auto wall1 = std::chrono::steady_clock::now();
+        double wall_s =
+            std::chrono::duration<double>(wall1 - wall0).count();
+        double tps = wall_s > 0.0
+                         ? static_cast<double>(r.engineTicks) / wall_s
+                         : 0.0;
+        std::printf("  throughput     : %.3g ticks/s wall "
+                    "(%.2f s wall for %.0f s simulated)\n",
+                    tps, wall_s, cfg.warmup + cfg.measure);
     }
     return 0;
 }
