@@ -1,0 +1,81 @@
+#include "cluster/scheduler.hh"
+
+#include "sim/log.hh"
+
+namespace kelp {
+namespace cluster {
+
+const char *
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::BinPack:
+        return "bin-pack";
+      case Placement::InterferenceAware:
+        return "interference-aware";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Capacity + kind feasibility shared by both policies. */
+bool
+feasible(const NodeView &n, const PlacementRequest &req)
+{
+    if (n.index == req.excludeNode)
+        return false;
+    if (n.usedThreads + req.threads > n.capacityThreads)
+        return false;
+    return !n.hasKind || n.kind == req.kind;
+}
+
+} // namespace
+
+int
+placeJob(Placement policy, const PolicyConfig &pc,
+         const std::vector<NodeView> &nodes,
+         const PlacementRequest &req)
+{
+    KELP_EXPECTS(req.threads > 0, "placement request without threads");
+
+    int best = -1;
+    if (policy == Placement::BinPack) {
+        // Best-fit decreasing: the most-loaded node the job still
+        // fits on. Minimizes fragmentation, ignores interference.
+        int bestUsed = -1;
+        for (const NodeView &n : nodes) {
+            if (!feasible(n, req))
+                continue;
+            if (n.usedThreads > bestUsed) {
+                bestUsed = n.usedThreads;
+                best = n.index;
+            }
+        }
+        return best;
+    }
+
+    // Interference-aware: filter on the node's telemetry and rung
+    // state, then take the lowest predicted saturation.
+    double bestScore = 0.0;
+    for (const NodeView &n : nodes) {
+        if (!feasible(n, req))
+            continue;
+        if (n.rung > 0)
+            continue; // escalated: shedding, not accepting
+        if (n.perfRatio < pc.sloFloor + pc.sloMargin)
+            continue; // ML task already near the floor
+        double predicted =
+            n.saturation + req.bwEstimate / pc.peakBw;
+        if (predicted > pc.satCap)
+            continue;
+        if (best < 0 || predicted < bestScore) {
+            bestScore = predicted;
+            best = n.index;
+        }
+    }
+    return best;
+}
+
+} // namespace cluster
+} // namespace kelp

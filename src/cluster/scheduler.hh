@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cluster placement policies: where an arriving (or migrating) batch
+ * job lands among N Kelp-managed nodes.
+ *
+ * Two policies are evaluated against each other:
+ *
+ *  - BinPack: classic best-fit decreasing on free thread capacity.
+ *    It sees only core counts -- the scheduler most clusters run
+ *    today -- and happily packs bandwidth antagonists next to a
+ *    latency-critical ML task.
+ *
+ *  - InterferenceAware: consumes the per-node Kelp telemetry the
+ *    node controllers already export (measured memory saturation,
+ *    measured ML performance ratio) plus the node's SLO-ladder rung
+ *    state (the same rung the node audits into its DecisionLog).
+ *    A candidate is rejected when the node is escalated (rung > 0),
+ *    when its ML task is already near the SLO floor, or when the
+ *    predicted saturation (measured + the job's bandwidth estimate)
+ *    would cross the cap; among the survivors it picks the lowest
+ *    predicted saturation.
+ *
+ * Both policies are pure functions of their inputs and break ties on
+ * the lowest node index, so placement is deterministic for any
+ * worker count.
+ */
+
+#ifndef KELP_CLUSTER_SCHEDULER_HH
+#define KELP_CLUSTER_SCHEDULER_HH
+
+#include <vector>
+
+#include "workload/catalog.hh"
+
+namespace kelp {
+namespace cluster {
+
+/** Cluster scheduler placement policies. */
+enum class Placement { BinPack, InterferenceAware };
+
+const char *placementName(Placement p);
+
+/** The scheduler's view of one candidate node. */
+struct NodeView
+{
+    int index = -1;
+
+    /** Batch threads currently placed / placeable on the node. */
+    int usedThreads = 0;
+    int capacityThreads = 0;
+
+    /** Batch kind currently hosted; ignored when the node is empty.
+     * A node hosts one batch kind at a time (the node-evaluation
+     * machinery models a single antagonist kind per node). */
+    bool hasKind = false;
+    wl::CpuWorkload kind = wl::CpuWorkload::Stream;
+
+    /** Cluster SLO-ladder rung (0 = healthy; >0 = escalated, the
+     * node is shedding load, not accepting more). */
+    int rung = 0;
+
+    /** Last measured memory saturation (0..1) and ML performance
+     * ratio from the node's Kelp telemetry. */
+    double saturation = 0.0;
+    double perfRatio = 1.0;
+};
+
+/** One placement request (an arriving or migrating batch job). */
+struct PlacementRequest
+{
+    wl::CpuWorkload kind = wl::CpuWorkload::Stream;
+    int threads = 0;
+
+    /** Estimated bandwidth demand at full activity, GiB/s. */
+    double bwEstimate = 0.0;
+
+    /** Migration source; never a candidate (-1 = none). */
+    int excludeNode = -1;
+};
+
+/** Knobs consumed by the interference-aware scorer. */
+struct PolicyConfig
+{
+    /** Socket peak bandwidth of the fleet's node platform, GiB/s. */
+    double peakBw = 76.8;
+
+    /** Predicted-saturation ceiling a placement may not cross. */
+    double satCap = 0.80;
+
+    /** Cluster SLO floor on the ML performance ratio. */
+    double sloFloor = 0.85;
+
+    /** Extra perf-ratio headroom a node must have over the floor
+     * before it accepts new antagonist work. */
+    double sloMargin = 0.03;
+};
+
+/**
+ * Choose the node for a request under the given policy, or -1 to
+ * reject (no feasible node). Deterministic: ties break on the lowest
+ * node index.
+ */
+int placeJob(Placement policy, const PolicyConfig &pc,
+             const std::vector<NodeView> &nodes,
+             const PlacementRequest &req);
+
+} // namespace cluster
+} // namespace kelp
+
+#endif // KELP_CLUSTER_SCHEDULER_HH

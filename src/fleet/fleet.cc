@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "exp/pool.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
 #include "workload/catalog.hh"
 
 namespace kelp {
@@ -18,22 +20,36 @@ FleetResult::FleetResult(std::vector<double> p99_per_server)
 }
 
 double
-FleetResult::fractionAbove(double peak_fraction) const
+FleetResult::percentile(double pct) const
 {
+    KELP_EXPECTS(!p99_.empty(), "percentile of an empty fleet");
     if (p99_.empty())
         return 0.0;
+    return sim::percentileSorted(p99_, pct);
+}
+
+double
+FleetResult::fractionAbove(double peak_fraction) const
+{
+    KELP_EXPECTS(!p99_.empty(), "fractionAbove on an empty fleet");
+    if (p99_.empty())
+        return 0.0;
+    // upper_bound: strictly-greater semantics -- a value exactly at
+    // the threshold is not above it.
     auto it = std::upper_bound(p99_.begin(), p99_.end(), peak_fraction);
     return static_cast<double>(p99_.end() - it) /
            static_cast<double>(p99_.size());
 }
 
 std::vector<std::pair<double, double>>
-FleetResult::cdf(int points) const
+FleetResult::cdf(int points, double lo, double hi) const
 {
     KELP_ASSERT(points >= 2, "need at least two CDF points");
+    KELP_ASSERT(hi > lo, "CDF range must be non-empty");
     std::vector<std::pair<double, double>> rows;
     for (int i = 0; i < points; ++i) {
-        double x = static_cast<double>(i) / (points - 1);
+        double x = lo + (hi - lo) * static_cast<double>(i) /
+                            (points - 1);
         rows.emplace_back(x, 1.0 - fractionAbove(x));
     }
     return rows;
@@ -74,6 +90,12 @@ profileServer(const FleetConfig &cfg, int s)
         {wl::CpuWorkload::Stitch, 0.35},
         {wl::CpuWorkload::Stream, 0.20},
     };
+    constexpr size_t n_arch = std::size(archetypes);
+    double weight_sum = 0.0;
+    for (const auto &a : archetypes)
+        weight_sum += a.weight;
+    KELP_ASSERT(std::abs(weight_sum - 1.0) < 1e-9,
+                "archetype weights must sum to 1");
 
     // Server population: total threads up to ~1.5x cores
     // (overcommit), split across a handful of jobs.
@@ -82,13 +104,17 @@ profileServer(const FleetConfig &cfg, int s)
     int threads_left = static_cast<int>(
         cfg.cores * srng.uniform(0.3, 1.25));
     for (int j = 0; j < jobs && threads_left > 0; ++j) {
+        // The last archetype is the explicit fall-through so FP
+        // rounding in the partial sums can never leave the pick
+        // unassigned (the pre-fix loop silently remapped a
+        // fallen-through pick to the *first* archetype).
         double pick = srng.uniform();
-        const Archetype *arch = &archetypes[0];
+        const Archetype *arch = &archetypes[n_arch - 1];
         double acc = 0.0;
-        for (const auto &a : archetypes) {
-            acc += a.weight;
+        for (size_t k = 0; k + 1 < n_arch; ++k) {
+            acc += archetypes[k].weight;
             if (pick <= acc) {
-                arch = &a;
+                arch = &archetypes[k];
                 break;
             }
         }
@@ -122,10 +148,11 @@ profileServer(const FleetConfig &cfg, int s)
         }
         samples.push_back(std::min(demand / cfg.peakBw, 1.0));
     }
+    // Shared percentile convention (sim::percentileSorted) -- the
+    // previous ad-hoc floor(0.99*(n-1)) index sat one sample below
+    // the LatencyHistogram rule used everywhere else in the tree.
     std::sort(samples.begin(), samples.end());
-    size_t idx = static_cast<size_t>(
-        std::floor(0.99 * (samples.size() - 1)));
-    return samples[idx];
+    return sim::percentileSorted(samples, 99.0);
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 #ifndef KELP_FLEET_FLEET_HH
 #define KELP_FLEET_FLEET_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -52,7 +53,13 @@ struct FleetConfig
     int jobs = 1;
 };
 
-/** Per-fleet profiling result. */
+/**
+ * Distribution of one per-server statistic across a fleet (the
+ * Figure 2 per-server p99 bandwidth fractions; the cluster simulator
+ * reuses it for fleet-wide request-tail accounting). Values are held
+ * sorted; percentile queries follow the shared
+ * sim::percentileSorted convention.
+ */
 class FleetResult
 {
   public:
@@ -61,15 +68,37 @@ class FleetResult
     /** 99%-ile bandwidth fraction for each server, sorted. */
     const std::vector<double> &p99PerServer() const { return p99_; }
 
-    /** Fraction of machines whose p99 exceeds the given fraction of
-     * peak (the paper's "16% above 70%" statement). */
+    /** The sorted per-server values (alias for generic consumers). */
+    const std::vector<double> &values() const { return p99_; }
+
+    /** Number of servers in the distribution. */
+    size_t count() const { return p99_.size(); }
+
+    /** Fleet-level percentile of the per-server values (shared
+     * sim::percentileSorted convention). Empty fleet is a contract
+     * violation. */
+    double percentile(double pct) const;
+
+    /**
+     * Fraction of machines whose value is *strictly greater* than
+     * the given threshold (the paper's "16% above 70%" statement).
+     * A machine sitting exactly at the threshold counts as not
+     * above. Querying an empty fleet is a contract violation: there
+     * is no distribution to ask about, and silently answering 0
+     * previously masked empty-sweep bugs.
+     */
     double fractionAbove(double peak_fraction) const;
 
     /**
-     * CDF rows for the figure: (x = fraction of peak BW,
-     * y = fraction of machines with p99 <= x).
+     * CDF rows: (x, fraction of machines with value <= x), with x
+     * spanning [lo, hi] inclusive in `points` even steps. The
+     * defaults cover the Figure 2 domain (bandwidth as a fraction of
+     * peak); distributions on other scales (e.g. cluster tail
+     * latencies in seconds) pass their own range. Empty fleet is a
+     * contract violation, as for fractionAbove.
      */
-    std::vector<std::pair<double, double>> cdf(int points = 11) const;
+    std::vector<std::pair<double, double>>
+    cdf(int points = 11, double lo = 0.0, double hi = 1.0) const;
 
   private:
     std::vector<double> p99_;

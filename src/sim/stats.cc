@@ -161,6 +161,23 @@ LatencyHistogram::percentile(double pct) const
     return bucketHigh(buckets_.size() - 1);
 }
 
+double
+percentileSorted(const std::vector<double> &sorted, double pct)
+{
+    KELP_EXPECTS(!sorted.empty(),
+                 "percentileSorted on an empty sample vector");
+    if (sorted.empty())
+        return 0.0;
+    pct = std::clamp(pct, 0.0, 100.0);
+    // Same rule as LatencyHistogram::percentile: the smallest entry
+    // whose cumulative count reaches pct/100 * n. Sample i (0-based)
+    // covers cumulative counts (i, i+1].
+    double target = pct / 100.0 * static_cast<double>(sorted.size());
+    double idx = std::ceil(target) - 1.0;
+    size_t i = idx <= 0.0 ? 0 : static_cast<size_t>(idx);
+    return sorted[std::min(i, sorted.size() - 1)];
+}
+
 void
 IntervalAccumulator::flush() const
 {

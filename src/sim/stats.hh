@@ -145,6 +145,25 @@ class LatencyHistogram
 };
 
 /**
+ * Percentile of a pre-sorted sample vector under the repository's
+ * shared percentile convention -- the same cumulative-count rule
+ * LatencyHistogram::percentile applies to its buckets: the result is
+ * the smallest sample whose cumulative count reaches
+ * pct/100 * count. With point samples the histogram's within-bucket
+ * interpolation collapses to the sample itself, so the two
+ * implementations agree up to the histogram's bucket resolution.
+ * Every consumer of raw sample vectors (fleet profiling, cluster SLO
+ * accounting, manifest sample summaries) must use this instead of
+ * hand-rolled index arithmetic so percentiles can never drift apart
+ * between subsystems.
+ *
+ * `sorted` must be in ascending order. An empty vector is a contract
+ * violation (returns 0 in Count mode, matching the histogram's
+ * empty-case fallback).
+ */
+double percentileSorted(const std::vector<double> &sorted, double pct);
+
+/**
  * Time-integral accumulator with counter-style delta reads.
  *
  * accumulate(x, dt) adds x*dt to a running integral; a reader holding

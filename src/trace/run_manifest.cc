@@ -1,5 +1,6 @@
 #include "trace/run_manifest.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -75,6 +76,33 @@ RunManifest::addHistogram(const std::string &name,
     h.p99 = histogram.percentile(99.0);
     h.p999 = histogram.percentile(99.9);
     h.p9999 = histogram.percentile(99.99);
+    histograms_.push_back(h);
+}
+
+void
+RunManifest::addSamples(const std::string &name,
+                        std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    HistogramSummary h;
+    h.name = name;
+    h.count = static_cast<uint64_t>(values.size());
+    if (values.empty()) {
+        h.mean = h.p50 = h.p90 = h.p95 = h.p99 = h.p999 = h.p9999 =
+            0.0;
+        histograms_.push_back(h);
+        return;
+    }
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    h.mean = sum / static_cast<double>(values.size());
+    h.p50 = sim::percentileSorted(values, 50.0);
+    h.p90 = sim::percentileSorted(values, 90.0);
+    h.p95 = sim::percentileSorted(values, 95.0);
+    h.p99 = sim::percentileSorted(values, 99.0);
+    h.p999 = sim::percentileSorted(values, 99.9);
+    h.p9999 = sim::percentileSorted(values, 99.99);
     histograms_.push_back(h);
 }
 

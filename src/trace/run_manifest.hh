@@ -52,6 +52,17 @@ class RunManifest
     void addHistogram(const std::string &name,
                       const sim::LatencyHistogram &histogram);
 
+    /**
+     * Summarize a raw sample vector under `histograms.<name>` with
+     * the exact same fields as addHistogram, computed with the
+     * shared sim::percentileSorted convention (so a consumer cannot
+     * tell -- and need not care -- whether a producer recorded a
+     * histogram or kept raw samples). `values` need not be sorted.
+     * Empty vectors record a count of 0 with all summaries 0.
+     */
+    void addSamples(const std::string &name,
+                    std::vector<double> values);
+
     /** The build's `git describe` (baked in at configure time;
      * "unknown" outside a git checkout). */
     static const char *gitDescribe();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "fleet/fleet.hh"
+#include "sim/log.hh"
 
 using namespace kelp;
 using namespace kelp::fleet;
@@ -96,17 +97,82 @@ TEST(Fleet, BadConfigPanics)
     EXPECT_DEATH(profileFleet(cfg), "configuration");
 }
 
-TEST(Fleet, EmptyFleetIsAllBelowEveryThreshold)
+TEST(Fleet, EmptyFleetQueriesPanic)
 {
+    // An empty fleet has no distribution to ask about. The old code
+    // silently answered fractionAbove = 0 and an all-ones CDF, which
+    // masked empty-sweep bugs; all three queries are now contract
+    // violations.
     FleetResult r({});
-    EXPECT_DOUBLE_EQ(r.fractionAbove(0.0), 0.0);
-    EXPECT_DOUBLE_EQ(r.fractionAbove(0.7), 0.0);
-    // The CDF of nothing: every row reports "all machines at or
-    // below x" (vacuously true), never a division by zero.
-    for (const auto &[x, y] : r.cdf(5)) {
-        (void)x;
-        EXPECT_DOUBLE_EQ(y, 1.0);
-    }
+    EXPECT_DEATH(
+        {
+            sim::setContractMode(sim::ContractMode::Fatal);
+            r.fractionAbove(0.7);
+        },
+        "empty");
+    EXPECT_DEATH(
+        {
+            sim::setContractMode(sim::ContractMode::Fatal);
+            r.cdf(5);
+        },
+        "empty");
+    EXPECT_DEATH(
+        {
+            sim::setContractMode(sim::ContractMode::Fatal);
+            r.percentile(99.0);
+        },
+        "empty");
+}
+
+TEST(Fleet, PercentileFollowsSharedConvention)
+{
+    // FleetResult::percentile must agree with sim::percentileSorted:
+    // pinned values on a 4-server fleet (p99 target = 3.96 -> the
+    // 4th sorted value; p50 target = 2 -> the 2nd).
+    FleetResult r({0.4, 0.2, 0.8, 0.6});
+    EXPECT_DOUBLE_EQ(r.percentile(50.0), 0.4);
+    EXPECT_DOUBLE_EQ(r.percentile(99.0), 0.8);
+    EXPECT_DOUBLE_EQ(r.percentile(0.0), 0.2);
+    EXPECT_DOUBLE_EQ(r.percentile(100.0), 0.8);
+}
+
+TEST(Fleet, ProfiledP99PinnedRegression)
+{
+    // Regression pin for the percentile bugfix: the per-server p99
+    // must be the sample sim::percentileSorted picks from the
+    // server's 288 interval samples (the old floor(0.99 * (n - 1))
+    // indexing sat one sample lower). Pin the fleet-level p99 of the
+    // profile to the shared convention applied to its own values.
+    FleetConfig cfg;
+    cfg.servers = 100;
+    auto r = profileFleet(cfg);
+    const auto &v = r.values();
+    ASSERT_EQ(v.size(), 100u);
+    EXPECT_DOUBLE_EQ(r.percentile(99.0), v[98]);
+    EXPECT_DOUBLE_EQ(r.percentile(50.0), v[49]);
+}
+
+TEST(Fleet, CdfCustomRange)
+{
+    // cdf() spans [lo, hi] inclusive; distributions on non-fraction
+    // scales (cluster tail latencies in seconds) pass their own
+    // range.
+    FleetResult r({1.0, 2.0, 3.0, 4.0});
+    auto cdf = r.cdf(5, 1.0, 4.0);
+    ASSERT_EQ(cdf.size(), 5u);
+    EXPECT_DOUBLE_EQ(cdf.front().first, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.back().first, 4.0);
+    EXPECT_DOUBLE_EQ(cdf.front().second, 0.25);
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[1].first, 1.75);
+    EXPECT_DOUBLE_EQ(cdf[1].second, 0.25);
+}
+
+TEST(Fleet, CdfBadRangePanics)
+{
+    FleetResult r({0.5});
+    EXPECT_DEATH(r.cdf(5, 1.0, 1.0), "range");
+    EXPECT_DEATH(r.cdf(5, 2.0, 1.0), "range");
 }
 
 TEST(Fleet, FractionAboveIsStrictAtSampleValues)

@@ -311,3 +311,70 @@ TEST(IntervalAccumulator, TotalsTrack)
     EXPECT_DOUBLE_EQ(acc.integral(), 10.0);
     EXPECT_DOUBLE_EQ(acc.elapsed(), 2.0);
 }
+
+TEST(PercentileSorted, PinnedValuesOnOneToHundred)
+{
+    // 100 samples 1..100: the smallest sample whose cumulative count
+    // reaches p% of the total is exactly the sample numbered p.
+    std::vector<double> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[static_cast<size_t>(i)] = static_cast<double>(i + 1);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 100.0), 100.0);
+}
+
+TEST(PercentileSorted, FleetP99RegressionAt288Samples)
+{
+    // Regression pin for the fleet-profiler bug: with 288 samples
+    // (one day at 5-minute grain) the old floor(0.99 * (n - 1))
+    // indexing returned sample 284; the shared convention --
+    // smallest cumulative count >= 0.99 * 288 = 285.12, i.e. the
+    // 286th sample -- returns index 285, one sample higher.
+    std::vector<double> v(288);
+    for (int i = 0; i < 288; ++i)
+        v[static_cast<size_t>(i)] = static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 99.0), 285.0);
+}
+
+TEST(PercentileSorted, MatchesHistogramTargetRule)
+{
+    // The convention, spelled out: index = ceil(p/100 * n) - 1,
+    // clamped to the vector -- the sample-vector analogue of
+    // LatencyHistogram's smallest-cumulative-count-reaching-target
+    // rule. Checked across sizes and percentiles.
+    for (int n : {1, 2, 3, 7, 100, 288, 1000}) {
+        std::vector<double> v(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            v[static_cast<size_t>(i)] = static_cast<double>(i);
+        for (double p : {0.0, 1.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+            double target = p / 100.0 * n;
+            int idx = static_cast<int>(std::ceil(target)) - 1;
+            idx = std::max(0, std::min(n - 1, idx));
+            EXPECT_DOUBLE_EQ(percentileSorted(v, p),
+                             static_cast<double>(idx))
+                << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(PercentileSorted, SingleSampleIsEveryPercentile)
+{
+    std::vector<double> v{3.5};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 3.5);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 50.0), 3.5);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 100.0), 3.5);
+}
+
+TEST(PercentileSorted, EmptyVectorPanics)
+{
+    std::vector<double> v;
+    EXPECT_DEATH(
+        {
+            setContractMode(ContractMode::Fatal);
+            percentileSorted(v, 99.0);
+        },
+        "empty");
+}

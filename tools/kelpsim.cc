@@ -21,7 +21,9 @@
 #include <optional>
 #include <string>
 
+#include "cluster/cluster.hh"
 #include "exp/pool.hh"
+#include "exp/report.hh"
 #include "exp/scenario.hh"
 #include "hal/counters.hh"
 #include "hal/fault_injector.hh"
@@ -82,6 +84,17 @@ parseConfig(const std::string &name)
     if (name == "fg")
         return exp::ConfigKind::FG;
     sim::fatal("unknown config '", name, "' (bl|ct|kpsd|kp|fg)");
+}
+
+cluster::Placement
+parsePlacement(const std::string &name)
+{
+    if (name == "binpack" || name == "bin-pack")
+        return cluster::Placement::BinPack;
+    if (name == "interference" || name == "interference-aware")
+        return cluster::Placement::InterferenceAware;
+    sim::fatal("unknown placement '", name,
+               "' (binpack|interference)");
 }
 
 wl::AggressorLevel
@@ -153,6 +166,14 @@ main(int argc, char **argv)
                  "arm the SLO degradation ladder (kp/kpsd)");
     opts.addDouble("slo-floor", 0.85,
                    "SLO floor: min acceptable ML perf ratio");
+    opts.addInt("cluster", 0,
+                "simulate a cluster of this many Kelp-managed nodes "
+                "instead of one node (uses --ml, --config, --seed, "
+                "--jobs, --slo-floor, --manifest, --decisions)");
+    opts.addInt("cluster-epochs", 12,
+                "simulated node-hours per node (--cluster runs)");
+    opts.addString("cluster-placement", "interference",
+                   "cluster scheduler: binpack|interference");
     opts.addString("traffic", "",
                    "open-loop request traffic spec, e.g. "
                    "shape=poisson,qps=300 or "
@@ -184,6 +205,73 @@ main(int argc, char **argv)
                      opts.positional().front().c_str(),
                      opts.usage().c_str());
         return 2;
+    }
+
+    if (opts.getInt("cluster") > 0) {
+        cluster::ClusterConfig ccfg;
+        ccfg.nodes = static_cast<int>(opts.getInt("cluster"));
+        ccfg.epochs = static_cast<int>(opts.getInt("cluster-epochs"));
+        ccfg.placement =
+            parsePlacement(opts.getString("cluster-placement"));
+        ccfg.ml = parseMl(opts.getString("ml"));
+        ccfg.config = parseConfig(opts.getString("config"));
+        ccfg.sloFloor = opts.getDouble("slo-floor");
+        ccfg.seed = static_cast<uint64_t>(opts.getInt("seed"));
+        ccfg.jobs = static_cast<int>(opts.getInt("jobs"));
+
+        trace::DecisionLog clog;
+        std::string clusterDecisions = opts.getString("decisions");
+        cluster::ClusterResult cr = cluster::simulateCluster(
+            ccfg, clusterDecisions.empty() ? nullptr : &clog);
+
+        std::printf("cluster: %d nodes x %d node-hours, %s "
+                    "scheduler, %s nodes (%s)\n",
+                    ccfg.nodes, ccfg.epochs,
+                    cluster::placementName(ccfg.placement),
+                    exp::configName(ccfg.config),
+                    wl::mlName(ccfg.ml));
+        std::printf("%s", cr.canonicalText().c_str());
+
+        if (!clusterDecisions.empty()) {
+            if (!clog.writeJsonl(clusterDecisions))
+                sim::fatal("cannot write decision log to ",
+                           clusterDecisions);
+            std::printf("decision log written to %s (%zu events)\n",
+                        clusterDecisions.c_str(), clog.size());
+        }
+        std::string clusterManifest = opts.getString("manifest");
+        if (!clusterManifest.empty()) {
+            trace::RunManifest man;
+            man.set("tool", "kelpsim-cluster");
+            man.set("ml", wl::mlName(ccfg.ml));
+            man.set("config", exp::configName(ccfg.config));
+            man.set("placement",
+                    cluster::placementName(ccfg.placement));
+            man.set("nodes", ccfg.nodes);
+            man.set("epochs", ccfg.epochs);
+            man.set("seed", ccfg.seed);
+            man.set("slo_floor", ccfg.sloFloor);
+            man.set("arrivals", cr.arrivals);
+            man.set("placed", cr.placed);
+            man.set("rejected", cr.rejected);
+            man.set("migrations", cr.migrations);
+            man.set("evictions", cr.evictions);
+            man.set("finished", cr.finished);
+            man.set("running_at_end", cr.runningAtEnd);
+            man.set("node_hours", cr.nodeHours);
+            man.set("slo_node_hours", cr.sloNodeHours);
+            man.set("slo_fraction", cr.sloFraction());
+            man.set("stranded_ratio", cr.strandedRatio());
+            man.set("evaluations", cr.evaluations);
+            man.set("contract_violations", sim::contractViolations());
+            man.addSamples("node_tail_p95_s", cr.tailSamples);
+            if (!man.writeJson(clusterManifest))
+                sim::fatal("cannot write manifest to ",
+                           clusterManifest);
+            std::printf("manifest written to %s\n",
+                        clusterManifest.c_str());
+        }
+        return 0;
     }
 
     exp::RunConfig cfg;
